@@ -1,0 +1,48 @@
+# Standard entry points for the swizzleqos reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet fmt bench experiments verify examples cover fuzz
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+# One benchmark per paper table/figure; headline numbers as metrics.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure at full length (EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/ssvc-bench -cycles 100000 -warmup 10000
+
+# The paper's §4.1 wire-level verification.
+verify:
+	$(GO) run ./cmd/ssvc-verify -radix 4 -lanes 6 -classes
+	$(GO) run ./cmd/ssvc-verify -radix 8 -lanes 16 -classes -trials 100000
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/basestation
+	$(GO) run ./examples/interrupts
+	$(GO) run ./examples/latencyfairness
+	$(GO) run ./examples/planner
+
+cover:
+	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
+
+# Short fuzzing sessions for the fuzz targets.
+fuzz:
+	$(GO) test ./internal/core/ -fuzz FuzzSSVCGrantSequence -fuzztime 30s
+	$(GO) test ./internal/core/ -fuzz FuzzThermRoundTrip -fuzztime 30s
+	$(GO) test ./cmd/ssvc-sim/ -fuzz FuzzScenarioParse -fuzztime 30s

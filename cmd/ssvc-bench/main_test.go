@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBenchMainTable1(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := benchMain([]string{"-exp", "table1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "1101 K") {
+		t.Fatalf("missing Table 1 total:\n%s", out.String())
+	}
+}
+
+func TestBenchMainCSV(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := benchMain([]string{"-exp", "lanes,area", "-csv"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, header := range []string{"radix,channel(bits),lanes", "channel(bits),overhead(%)"} {
+		if !strings.Contains(out.String(), header) {
+			t.Fatalf("CSV header %q missing:\n%s", header, out.String())
+		}
+	}
+}
+
+func TestBenchMainQuickSimulation(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := benchMain([]string{"-exp", "chaining", "-cycles", "5000", "-warmup", "500"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "chaining") {
+		t.Fatalf("missing chaining table:\n%s", out.String())
+	}
+}
+
+func TestBenchMainUnknownExperiment(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := benchMain([]string{"-exp", "nonsense"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown experiment") {
+		t.Fatalf("missing diagnostic: %s", errOut.String())
+	}
+}
+
+func TestBenchMainBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := benchMain([]string{"-definitely-not-a-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

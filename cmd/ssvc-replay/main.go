@@ -1,0 +1,120 @@
+// Command ssvc-replay analyses a packet log produced by
+// `ssvc-sim -packet-log`: per-flow packet counts, throughput, and latency
+// statistics including percentile estimates.
+//
+// Usage:
+//
+//	ssvc-replay -log packets.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"swizzleqos/internal/noc"
+	"swizzleqos/internal/stats"
+)
+
+// record mirrors ssvc-sim's packet-log schema.
+type record struct {
+	ID        uint64 `json:"id"`
+	Src       int    `json:"src"`
+	Dst       int    `json:"dst"`
+	Class     string `json:"class"`
+	Length    int    `json:"lengthFlits"`
+	Created   uint64 `json:"createdAt"`
+	Enqueued  uint64 `json:"enqueuedAt"`
+	Granted   uint64 `json:"grantedAt"`
+	Delivered uint64 `json:"deliveredAt"`
+}
+
+func main() {
+	var path = flag.String("log", "", "packet log written by ssvc-sim -packet-log")
+	flag.Parse()
+	if *path == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssvc-replay:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := analyse(f, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ssvc-replay:", err)
+		os.Exit(1)
+	}
+}
+
+func parseClass(s string) (noc.Class, error) {
+	switch s {
+	case "BE":
+		return noc.BestEffort, nil
+	case "GB":
+		return noc.GuaranteedBandwidth, nil
+	case "GL":
+		return noc.GuaranteedLatency, nil
+	}
+	return 0, fmt.Errorf("unknown class %q", s)
+}
+
+// analyse streams the log into a collector and renders the summary.
+func analyse(r io.Reader, w io.Writer) error {
+	col := stats.NewCollector(0, 0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var last uint64
+	lines := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("line %d: %w", lines+1, err)
+		}
+		class, err := parseClass(rec.Class)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lines+1, err)
+		}
+		if rec.Delivered < rec.Granted || rec.Granted < rec.Enqueued || rec.Enqueued < rec.Created {
+			return fmt.Errorf("line %d: non-monotone timestamps in record %d", lines+1, rec.ID)
+		}
+		col.OnDeliver(&noc.Packet{
+			ID: rec.ID, Src: rec.Src, Dst: rec.Dst, Class: class, Length: rec.Length,
+			CreatedAt: rec.Created, EnqueuedAt: rec.Enqueued,
+			GrantedAt: rec.Granted, DeliveredAt: rec.Delivered,
+		})
+		if rec.Delivered > last {
+			last = rec.Delivered
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if lines == 0 {
+		return fmt.Errorf("no packet records")
+	}
+	col.Close(last + 1)
+
+	t := stats.NewTable(
+		fmt.Sprintf("packet log: %d packets over %d cycles", col.TotalPackets(), col.Window()),
+		"flow", "packets", "flits/cycle", "mean lat", "p50<=", "p99<=", "max lat", "max wait")
+	for _, k := range col.Keys() {
+		fs := col.Flow(k)
+		t.AddRow(k.String(), fs.Packets,
+			fmt.Sprintf("%.4f", col.Throughput(k)),
+			fmt.Sprintf("%.1f", fs.MeanLatency()),
+			fs.LatencyPercentileUpperBound(0.5),
+			fs.LatencyPercentileUpperBound(0.99),
+			fs.LatMax, fs.WaitMax)
+	}
+	return t.Render(w)
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleLog = `{"id":1,"src":0,"dst":7,"class":"GB","lengthFlits":8,"createdAt":0,"enqueuedAt":0,"grantedAt":2,"deliveredAt":10}
+{"id":2,"src":0,"dst":7,"class":"GB","lengthFlits":8,"createdAt":5,"enqueuedAt":6,"grantedAt":11,"deliveredAt":19}
+{"id":3,"src":1,"dst":7,"class":"GL","lengthFlits":2,"createdAt":8,"enqueuedAt":8,"grantedAt":20,"deliveredAt":22}
+`
+
+func TestAnalyse(t *testing.T) {
+	var out strings.Builder
+	if err := analyse(strings.NewReader(sampleLog), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"0->7/GB", "1->7/GL", "3 packets"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestAnalyseRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"not json":     "hello\n",
+		"bad class":    `{"id":1,"src":0,"dst":1,"class":"XX","lengthFlits":1,"deliveredAt":5}` + "\n",
+		"non-monotone": `{"id":1,"src":0,"dst":1,"class":"BE","lengthFlits":1,"createdAt":9,"enqueuedAt":3,"grantedAt":4,"deliveredAt":5}` + "\n",
+	}
+	for name, log := range cases {
+		var out strings.Builder
+		if err := analyse(strings.NewReader(log), &out); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRoundTripWithSimSchema(t *testing.T) {
+	// The replay schema must stay in sync with ssvc-sim's writer; this
+	// is the structural half of that contract (same JSON keys).
+	var rec record
+	line := `{"id":9,"src":2,"dst":3,"class":"BE","lengthFlits":4,"createdAt":1,"enqueuedAt":2,"grantedAt":3,"deliveredAt":7}`
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.ID != 9 || rec.Length != 4 || rec.Delivered != 7 {
+		t.Fatalf("decoded %+v", rec)
+	}
+}

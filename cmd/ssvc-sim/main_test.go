@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"swizzleqos"
+)
+
+func TestExampleScenarioParsesAndBuilds(t *testing.T) {
+	var sc scenario
+	if err := json.Unmarshal([]byte(exampleScenario), &sc); err != nil {
+		t.Fatalf("example scenario does not parse: %v", err)
+	}
+	cfg, ws, err := sc.build()
+	if err != nil {
+		t.Fatalf("example scenario does not build: %v", err)
+	}
+	if cfg.Radix != 8 || len(ws) != 5 {
+		t.Fatalf("radix=%d workloads=%d, want 8/5", cfg.Radix, len(ws))
+	}
+	if ws[4].Spec.Class != swizzleqos.GuaranteedLatency {
+		t.Fatalf("last workload class %v, want GL", ws[4].Spec.Class)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, []byte(exampleScenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, ""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsUnknownFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, []byte(`{"radix": 8, "bogus": 1, "workloads": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, ""); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	cases := map[string]swizzleqos.Class{
+		"BE": swizzleqos.BestEffort,
+		"":   swizzleqos.BestEffort,
+		"gb": swizzleqos.GuaranteedBandwidth,
+		"GL": swizzleqos.GuaranteedLatency,
+	}
+	for in, want := range cases {
+		got, err := parseClass(in)
+		if err != nil || got != want {
+			t.Errorf("parseClass(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseClass("XX"); err == nil {
+		t.Error("parseClass accepted XX")
+	}
+}
+
+func TestParseArbitrationAndPolicy(t *testing.T) {
+	if a, err := parseArbitration("origvc"); err != nil || a != swizzleqos.OriginalVirtualClock {
+		t.Errorf("parseArbitration(origvc) = %v, %v", a, err)
+	}
+	if _, err := parseArbitration("nope"); err == nil {
+		t.Error("parseArbitration accepted nope")
+	}
+	if p, err := parsePolicy("halve"); err != nil || p != swizzleqos.Halve {
+		t.Errorf("parsePolicy(halve) = %v, %v", p, err)
+	}
+	if _, err := parsePolicy("nope"); err == nil {
+		t.Error("parsePolicy accepted nope")
+	}
+}
+
+func TestInjectBuildErrors(t *testing.T) {
+	if _, err := (inject{Kind: "warp"}).build(); err == nil {
+		t.Error("unknown injection kind accepted")
+	}
+}
+
+func TestRunWithPacketLog(t *testing.T) {
+	dir := t.TempDir()
+	scenarioPath := filepath.Join(dir, "scenario.json")
+	logPath := filepath.Join(dir, "packets.jsonl")
+	if err := os.WriteFile(scenarioPath, []byte(exampleScenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(scenarioPath, logPath); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 100 {
+		t.Fatalf("only %d packet records", len(lines))
+	}
+	var rec packetRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("first record does not parse: %v", err)
+	}
+	if rec.Delivered < rec.Enqueued || rec.Length == 0 || rec.Class == "" {
+		t.Fatalf("malformed record: %+v", rec)
+	}
+}

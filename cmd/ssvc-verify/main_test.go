@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunExhaustiveRadix4(t *testing.T) {
+	if err := run(4, 6, true, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRandomRadix8(t *testing.T) {
+	if err := run(8, 16, true, 5000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(8, 8, false, 5000, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadGeometry(t *testing.T) {
+	if err := run(1, 4, false, 10, 1); err == nil {
+		t.Fatal("radix 1 accepted")
+	}
+	if err := run(64, 2, true, 10, 1); err == nil {
+		t.Fatal("no GB lane left but accepted")
+	}
+}

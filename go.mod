@@ -1,0 +1,3 @@
+module swizzleqos
+
+go 1.22

@@ -1,0 +1,65 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"swizzleqos/internal/core"
+	"swizzleqos/internal/noc"
+	"swizzleqos/internal/traffic"
+)
+
+// TestQuickPlanInvariants draws random feasible requirement sets and
+// checks the planner's contract: every emitted SSVC configuration is
+// valid, every implied entitlement covers its nominal reservation, and
+// the implied totals respect the budget.
+func TestQuickPlanInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := traffic.NewRNG(seed)
+		const radix = 8
+		nFlows := 2 + rng.Intn(6)
+		total := 0.4 + 0.4*rng.Float64()
+		lens := []int{4, 8, 16}
+		var wsum float64
+		ws := make([]float64, nFlows)
+		for i := range ws {
+			ws[i] = 0.05 + rng.Float64()
+			wsum += ws[i]
+		}
+		req := Requirements{Radix: radix, BusWidthBits: 128}
+		for i := 0; i < nFlows; i++ {
+			req.GB = append(req.GB, noc.FlowSpec{
+				Src: i, Dst: 0,
+				Class:        noc.GuaranteedBandwidth,
+				Rate:         ws[i] / wsum * total,
+				PacketLength: lens[rng.Intn(len(lens))],
+			})
+		}
+		plan, err := Build(req)
+		if err != nil {
+			// Feasible nominal rates can still fail when register
+			// clamping over-entitles tiny flows beyond the budget;
+			// that is a legitimate rejection, not a bug.
+			t.Logf("seed %d: %v", seed, err)
+			return true
+		}
+		cfg := plan.SSVCConfig(0)
+		if cfg.Validate() != nil {
+			return false
+		}
+		core.NewSSVC(cfg) // must not panic
+		p := plan.Outputs[0]
+		var implied float64
+		for _, f := range req.GB {
+			if p.Implied[f.Src] < f.Rate-1e-9 {
+				t.Logf("seed %d: implied %g below reservation %g", seed, p.Implied[f.Src], f.Rate)
+				return false
+			}
+			implied += p.Implied[f.Src]
+		}
+		return implied <= 1.0+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+// Package arb provides output-channel arbitration policies for a
+// single-stage crossbar switch.
+//
+// Each output channel of the switch owns one Arbiter. Every cycle the
+// channel is idle, the switch presents the set of inputs requesting that
+// output and the arbiter picks at most one winner; the switch then notifies
+// the arbiter of the grant so it can update its internal priority state.
+//
+// The package contains the baselines the paper evaluates against or
+// discusses in its background section (§2.2):
+//
+//   - LRG: least-recently-granted, the Swizzle Switch's default best-effort
+//     policy and the "No QoS" baseline of Figure 4(a).
+//   - RoundRobin: classic rotating-priority arbitration.
+//   - MultiLevel: the fixed-priority 4-level message QoS of the prior
+//     Swizzle Switch work [14]; high levels can starve low levels.
+//   - WRR / DWRR: static weighted schemes with strict bandwidth shares but
+//     poor redistribution of leftover bandwidth.
+//   - WFQ: weighted fair queueing emulating bit-by-bit round robin via
+//     per-packet finish times.
+//   - OrigVC: the original Virtual Clock algorithm [19] with exact
+//     per-packet time stamps, the baseline curve of Figure 5.
+//
+// The paper's own mechanism, SSVC, lives in package core and implements the
+// same Arbiter interface.
+package arb
+
+import "swizzleqos/internal/noc"
+
+// Request describes one input port contending for an output channel in the
+// current cycle. Packet is the head packet the input would transmit if
+// granted.
+type Request struct {
+	Input  int
+	Class  noc.Class
+	Packet *noc.Packet
+}
+
+// Arbiter selects a winner among inputs requesting a single output channel.
+//
+// Implementations are single-output: a radix-N switch instantiates N
+// independent arbiters. They are not safe for concurrent use; the simulator
+// drives them from a single goroutine, mirroring the synchronous hardware.
+type Arbiter interface {
+	// Arbitrate returns the index into reqs of the winning request, or -1
+	// if no request can be granted this cycle (for example, all pending
+	// guaranteed-latency traffic is being policed, or a fixed-schedule
+	// slot is wasted). Arbitrate may advance internal schedule
+	// bookkeeping (frame pointers, deficit refills) but must leave
+	// grant-dependent priority updates to Granted. It is called at most
+	// once per cycle.
+	Arbitrate(now uint64, reqs []Request) int
+
+	// Granted commits the grant decided by Arbitrate, updating priority
+	// state (LRG order, virtual clocks, deficit counters, ...).
+	Granted(now uint64, req Request)
+
+	// Tick advances per-cycle state such as the real-time clock used for
+	// virtual clock maintenance. The switch calls it exactly once per
+	// cycle, after arbitration.
+	Tick(now uint64)
+}
+
+// ArrivalObserver is implemented by arbiters that stamp packets on arrival
+// at the input buffer rather than on transmission. The original Virtual
+// Clock algorithm stamps "upon receiving each packet" (§2.2); the switch
+// calls PacketArrived when a packet destined to this arbiter's output
+// enters its input buffer.
+type ArrivalObserver interface {
+	PacketArrived(now uint64, pkt *noc.Packet)
+}

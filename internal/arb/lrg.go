@@ -1,0 +1,130 @@
+package arb
+
+import "fmt"
+
+// LRGState tracks a least-recently-granted priority order over n inputs.
+// order[0] is the least recently granted input (highest priority); granting
+// an input moves it to the back (lowest priority).
+//
+// In the Swizzle Switch the LRG order is held as per-crosspoint priority
+// bits that self-update on the output bus wires [15]; this is the
+// behavioural equivalent. It is reused as the tie-breaker inside SSVC and
+// as the selector of the guaranteed-latency lane.
+type LRGState struct {
+	order []int // permutation of 0..n-1
+	rank  []int // rank[i] = position of input i in order
+}
+
+// NewLRGState returns an LRG order over inputs 0..n-1, initially in index
+// order (input 0 has the highest priority).
+func NewLRGState(n int) *LRGState {
+	if n <= 0 {
+		panic(fmt.Sprintf("arb: LRG size %d must be positive", n))
+	}
+	s := &LRGState{order: make([]int, n), rank: make([]int, n)}
+	for i := range s.order {
+		s.order[i] = i
+		s.rank[i] = i
+	}
+	return s
+}
+
+// Size returns the number of inputs tracked.
+func (s *LRGState) Size() int { return len(s.order) }
+
+// Pick returns the least recently granted input among candidates, or -1 if
+// candidates is empty.
+func (s *LRGState) Pick(candidates []int) int {
+	best, bestRank := -1, len(s.order)
+	for _, c := range candidates {
+		if r := s.rank[c]; r < bestRank {
+			best, bestRank = c, r
+		}
+	}
+	return best
+}
+
+// HasPriority reports whether input a beats input b under the current
+// order, i.e. a was granted less recently than b.
+func (s *LRGState) HasPriority(a, b int) bool { return s.rank[a] < s.rank[b] }
+
+// Rank returns the position of input i in the priority order (0 = highest
+// priority).
+func (s *LRGState) Rank(i int) int { return s.rank[i] }
+
+// Grant records that input i was granted, moving it to the lowest
+// priority position.
+func (s *LRGState) Grant(i int) {
+	r := s.rank[i]
+	copy(s.order[r:], s.order[r+1:])
+	s.order[len(s.order)-1] = i
+	for p := r; p < len(s.order); p++ {
+		s.rank[s.order[p]] = p
+	}
+}
+
+// Order returns a copy of the current priority order, highest priority
+// first.
+func (s *LRGState) Order() []int {
+	out := make([]int, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// SetOrder installs an explicit priority order (a permutation of 0..n-1).
+// It is used by the circuit-equivalence tests to enumerate all valid LRG
+// states.
+func (s *LRGState) SetOrder(order []int) error {
+	if len(order) != len(s.order) {
+		return fmt.Errorf("arb: order length %d != size %d", len(order), len(s.order))
+	}
+	seen := make([]bool, len(order))
+	for _, v := range order {
+		if v < 0 || v >= len(order) || seen[v] {
+			return fmt.Errorf("arb: order %v is not a permutation", order)
+		}
+		seen[v] = true
+	}
+	copy(s.order, order)
+	for p, v := range s.order {
+		s.rank[v] = p
+	}
+	return nil
+}
+
+// LRG is the Swizzle Switch's default least-recently-granted arbiter: the
+// winner is the requesting input granted longest ago. It is
+// class-unaware — the "No QoS" configuration of Figure 4(a), under which
+// all flows converge to an equal share of bandwidth during congestion.
+type LRG struct {
+	state *LRGState
+	cand  []int
+}
+
+// NewLRG returns an LRG arbiter over n inputs.
+func NewLRG(n int) *LRG {
+	return &LRG{state: NewLRGState(n), cand: make([]int, 0, n)}
+}
+
+// Arbitrate implements Arbiter.
+func (a *LRG) Arbitrate(now uint64, reqs []Request) int {
+	if len(reqs) == 0 {
+		return -1
+	}
+	best, bestRank := -1, a.state.Size()
+	for i, r := range reqs {
+		if rk := a.state.Rank(r.Input); rk < bestRank {
+			best, bestRank = i, rk
+		}
+	}
+	return best
+}
+
+// Granted implements Arbiter.
+func (a *LRG) Granted(now uint64, req Request) { a.state.Grant(req.Input) }
+
+// Tick implements Arbiter.
+func (a *LRG) Tick(now uint64) {}
+
+// State exposes the underlying LRG order for inspection in tests.
+func (a *LRG) State() *LRGState { return a.state }

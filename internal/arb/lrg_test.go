@@ -1,0 +1,155 @@
+package arb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"swizzleqos/internal/noc"
+)
+
+func req(input int) Request {
+	return Request{Input: input, Class: noc.BestEffort, Packet: &noc.Packet{Src: input}}
+}
+
+func TestLRGStateInitialOrder(t *testing.T) {
+	s := NewLRGState(4)
+	want := []int{0, 1, 2, 3}
+	got := s.Order()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("initial order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLRGStateGrantMovesToBack(t *testing.T) {
+	s := NewLRGState(4)
+	s.Grant(0)
+	if got := s.Order(); got[3] != 0 || got[0] != 1 {
+		t.Fatalf("after granting 0, order = %v, want [1 2 3 0]", got)
+	}
+	s.Grant(2)
+	if got := s.Order(); got[3] != 2 || got[2] != 0 {
+		t.Fatalf("after granting 2, order = %v, want [1 3 0 2]", got)
+	}
+}
+
+func TestLRGStatePick(t *testing.T) {
+	s := NewLRGState(4)
+	s.Grant(0) // order 1 2 3 0
+	if got := s.Pick([]int{0, 3}); got != 3 {
+		t.Errorf("Pick{0,3} = %d, want 3", got)
+	}
+	if got := s.Pick([]int{0}); got != 0 {
+		t.Errorf("Pick{0} = %d, want 0", got)
+	}
+	if got := s.Pick(nil); got != -1 {
+		t.Errorf("Pick{} = %d, want -1", got)
+	}
+}
+
+func TestLRGStateHasPriorityAntisymmetric(t *testing.T) {
+	s := NewLRGState(5)
+	s.Grant(3)
+	s.Grant(1)
+	for a := 0; a < 5; a++ {
+		for b := 0; b < 5; b++ {
+			if a == b {
+				continue
+			}
+			if s.HasPriority(a, b) == s.HasPriority(b, a) {
+				t.Fatalf("HasPriority not antisymmetric for %d,%d", a, b)
+			}
+		}
+	}
+}
+
+func TestLRGStateSetOrder(t *testing.T) {
+	s := NewLRGState(3)
+	if err := s.SetOrder([]int{2, 0, 1}); err != nil {
+		t.Fatalf("SetOrder: %v", err)
+	}
+	if s.Rank(2) != 0 || s.Rank(0) != 1 || s.Rank(1) != 2 {
+		t.Fatalf("ranks after SetOrder: %d %d %d", s.Rank(0), s.Rank(1), s.Rank(2))
+	}
+	if err := s.SetOrder([]int{0, 0, 1}); err == nil {
+		t.Error("SetOrder accepted a non-permutation")
+	}
+	if err := s.SetOrder([]int{0, 1}); err == nil {
+		t.Error("SetOrder accepted a short order")
+	}
+	if err := s.SetOrder([]int{0, 1, 3}); err == nil {
+		t.Error("SetOrder accepted an out-of-range value")
+	}
+}
+
+func TestLRGStateRankInvariant(t *testing.T) {
+	// Property: after any grant sequence, rank is the inverse of order.
+	f := func(grants []uint8) bool {
+		s := NewLRGState(6)
+		for _, g := range grants {
+			s.Grant(int(g % 6))
+		}
+		for pos, in := range s.Order() {
+			if s.Rank(in) != pos {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLRGArbiterPicksLeastRecentlyGranted(t *testing.T) {
+	a := NewLRG(4)
+	reqs := []Request{req(2), req(1), req(3)}
+	w := a.Arbitrate(0, reqs)
+	if reqs[w].Input != 1 {
+		t.Fatalf("winner = input %d, want 1", reqs[w].Input)
+	}
+	a.Granted(0, reqs[w])
+	w = a.Arbitrate(1, reqs)
+	if reqs[w].Input != 2 {
+		t.Fatalf("second winner = input %d, want 2", reqs[w].Input)
+	}
+}
+
+func TestLRGArbiterNoRequests(t *testing.T) {
+	a := NewLRG(4)
+	if w := a.Arbitrate(0, nil); w != -1 {
+		t.Fatalf("Arbitrate(nil) = %d, want -1", w)
+	}
+}
+
+func TestLRGArbiterFairnessUnderSaturation(t *testing.T) {
+	// With all inputs always requesting, LRG must rotate through every
+	// input: over n*k grants each input wins exactly k times.
+	const n, rounds = 8, 100
+	a := NewLRG(n)
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = req(i)
+	}
+	wins := make([]int, n)
+	for g := 0; g < n*rounds; g++ {
+		w := a.Arbitrate(uint64(g), reqs)
+		wins[reqs[w].Input]++
+		a.Granted(uint64(g), reqs[w])
+	}
+	for i, w := range wins {
+		if w != rounds {
+			t.Errorf("input %d won %d times, want %d", i, w, rounds)
+		}
+	}
+}
+
+func TestNewLRGStatePanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLRGState(0) did not panic")
+		}
+	}()
+	NewLRGState(0)
+}

@@ -1,0 +1,149 @@
+package arb
+
+import (
+	"math"
+	"testing"
+
+	"swizzleqos/internal/noc"
+)
+
+func gbPacket(src int, length int) *noc.Packet {
+	return &noc.Packet{Src: src, Class: noc.GuaranteedBandwidth, Length: length}
+}
+
+func TestOrigVCStampsFollowAlgorithm(t *testing.T) {
+	// Steps 1-3 of the quoted algorithm: auxVC <- max(auxVC, now) + Vtick.
+	a := NewOrigVC(2, []uint64{100, 50})
+
+	p1 := gbPacket(0, 8)
+	a.PacketArrived(10, p1)
+	if p1.Stamp != 110 {
+		t.Fatalf("first stamp = %d, want max(0,10)+100 = 110", p1.Stamp)
+	}
+
+	// Back-to-back arrival: virtual clock is ahead of real time, so the
+	// stamp builds on auxVC, not on now.
+	p2 := gbPacket(0, 8)
+	a.PacketArrived(11, p2)
+	if p2.Stamp != 210 {
+		t.Fatalf("second stamp = %d, want 110+100 = 210", p2.Stamp)
+	}
+
+	// After a long idle period the clock snaps forward to real time,
+	// preventing banked priority (the anti-burst rule of step 1).
+	p3 := gbPacket(0, 8)
+	a.PacketArrived(1000, p3)
+	if p3.Stamp != 1100 {
+		t.Fatalf("post-idle stamp = %d, want 1000+100 = 1100", p3.Stamp)
+	}
+}
+
+func TestOrigVCTransmitsInStampOrder(t *testing.T) {
+	a := NewOrigVC(2, []uint64{100, 20})
+	p0 := gbPacket(0, 8)
+	p1 := gbPacket(1, 8)
+	a.PacketArrived(0, p0) // stamp 100
+	a.PacketArrived(0, p1) // stamp 20
+	reqs := []Request{
+		{Input: 0, Class: noc.GuaranteedBandwidth, Packet: p0},
+		{Input: 1, Class: noc.GuaranteedBandwidth, Packet: p1},
+	}
+	w := a.Arbitrate(1, reqs)
+	if reqs[w].Input != 1 {
+		t.Fatalf("winner %d, want input 1 (smaller stamp)", reqs[w].Input)
+	}
+}
+
+func TestOrigVCTieBrokenByLRG(t *testing.T) {
+	a := NewOrigVC(2, []uint64{50, 50})
+	p0, p1 := gbPacket(0, 8), gbPacket(1, 8)
+	a.PacketArrived(0, p0)
+	a.PacketArrived(0, p1)
+	if p0.Stamp != p1.Stamp {
+		t.Fatalf("stamps differ: %d vs %d", p0.Stamp, p1.Stamp)
+	}
+	reqs := []Request{
+		{Input: 0, Class: noc.GuaranteedBandwidth, Packet: p0},
+		{Input: 1, Class: noc.GuaranteedBandwidth, Packet: p1},
+	}
+	w := a.Arbitrate(1, reqs)
+	if reqs[w].Input != 0 {
+		t.Fatalf("tie winner %d, want 0 (initial LRG order)", reqs[w].Input)
+	}
+	a.Granted(1, reqs[w])
+	w = a.Arbitrate(2, reqs)
+	if reqs[w].Input != 1 {
+		t.Fatalf("after grant, tie winner %d, want 1", reqs[w].Input)
+	}
+}
+
+func TestOrigVCUnreservedAlwaysLoses(t *testing.T) {
+	a := NewOrigVC(2, []uint64{0, 1 << 30})
+	p0, p1 := gbPacket(0, 8), gbPacket(1, 8)
+	a.PacketArrived(0, p0)
+	a.PacketArrived(0, p1)
+	if p0.Stamp != math.MaxUint64 {
+		t.Fatalf("unreserved stamp = %d, want MaxUint64", p0.Stamp)
+	}
+	reqs := []Request{
+		{Input: 0, Class: noc.GuaranteedBandwidth, Packet: p0},
+		{Input: 1, Class: noc.GuaranteedBandwidth, Packet: p1},
+	}
+	if w := a.Arbitrate(1, reqs); reqs[w].Input != 1 {
+		t.Fatalf("reserved flow must beat unreserved flow")
+	}
+}
+
+// origVCWait measures how long a single packet from a flow with the given
+// Vtick waits behind a saturated high-rate competitor (Vtick 27) when both
+// share one output serving 8-flit packets.
+func origVCWait(t *testing.T, lowVtick uint64) uint64 {
+	t.Helper()
+	a := NewOrigVC(2, []uint64{lowVtick, 27})
+	low := gbPacket(0, 8)
+	a.PacketArrived(0, low)
+	now := uint64(0)
+	for served := 0; ; served++ {
+		high := gbPacket(1, 8)
+		a.PacketArrived(now, high)
+		reqs := []Request{
+			{Input: 0, Class: noc.GuaranteedBandwidth, Packet: low},
+			{Input: 1, Class: noc.GuaranteedBandwidth, Packet: high},
+		}
+		w := a.Arbitrate(now, reqs)
+		a.Granted(now, reqs[w])
+		if reqs[w].Input == 0 {
+			return now
+		}
+		now += 9 // 8 flits + arbitration
+		if served > 10000 {
+			t.Fatal("low-rate flow starved beyond plausibility")
+		}
+	}
+}
+
+func TestOrigVCLatencyCoupling(t *testing.T) {
+	// The drawback motivating SSVC (§2.2): with exact stamps, a
+	// low-rate flow's packet waits until the competitor's virtual clock
+	// overtakes its stamp, so the wait grows with the flow's Vtick
+	// (inverse reserved rate). Halving the reserved rate should roughly
+	// double the wait.
+	w800 := origVCWait(t, 800)
+	w1600 := origVCWait(t, 1600)
+	if w800 < 100 {
+		t.Fatalf("wait at Vtick 800 = %d cycles; expected a substantial stall", w800)
+	}
+	ratio := float64(w1600) / float64(w800)
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Fatalf("wait(1600)/wait(800) = %.2f (%d vs %d), want ~2: latency must scale with 1/rate", ratio, w1600, w800)
+	}
+}
+
+func TestOrigVCPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewOrigVC with wrong vtick count did not panic")
+		}
+	}()
+	NewOrigVC(4, []uint64{1, 2})
+}

@@ -1,0 +1,83 @@
+package arb
+
+import (
+	"math"
+	"testing"
+
+	"swizzleqos/internal/noc"
+)
+
+func TestPVCStampsLikeOriginalVC(t *testing.T) {
+	a := NewPVC(2, []uint64{100, 50}, 10)
+	p := gbPacket(0, 8)
+	a.PacketArrived(10, p)
+	if p.Stamp != 110 {
+		t.Fatalf("stamp = %d, want 110", p.Stamp)
+	}
+	q := gbPacket(0, 8)
+	a.PacketArrived(11, q)
+	if q.Stamp != 210 {
+		t.Fatalf("second stamp = %d, want 210", q.Stamp)
+	}
+}
+
+func TestPVCPreemptsOnStampGap(t *testing.T) {
+	a := NewPVC(2, []uint64{800, 20}, 50)
+	holder := gbPacket(0, 8)
+	holder.Stamp = 1000
+	inflight := Request{Input: 0, Class: noc.GuaranteedBandwidth, Packet: holder}
+
+	// Challenger well ahead of the holder: preempt.
+	fast := gbPacket(1, 8)
+	fast.Stamp = 100
+	reqs := []Request{{Input: 1, Class: noc.GuaranteedBandwidth, Packet: fast}}
+	if w := a.ShouldPreempt(0, inflight, reqs); w != 0 {
+		t.Fatalf("ShouldPreempt = %d, want 0", w)
+	}
+	if a.Preemptions != 1 {
+		t.Fatalf("preemptions = %d, want 1", a.Preemptions)
+	}
+
+	// Challenger within the threshold: let the holder finish.
+	near := gbPacket(1, 8)
+	near.Stamp = 960
+	reqs = []Request{{Input: 1, Class: noc.GuaranteedBandwidth, Packet: near}}
+	if w := a.ShouldPreempt(0, inflight, reqs); w != -1 {
+		t.Fatalf("near-stamp challenger preempted (gap 40 < threshold 50)")
+	}
+}
+
+func TestPVCNeverPreemptsForUnreserved(t *testing.T) {
+	a := NewPVC(2, []uint64{0, 20}, 10)
+	holder := gbPacket(1, 8)
+	holder.Stamp = 50
+	inflight := Request{Input: 1, Class: noc.GuaranteedBandwidth, Packet: holder}
+	unreserved := gbPacket(0, 8)
+	unreserved.Stamp = math.MaxUint64
+	reqs := []Request{{Input: 0, Class: noc.GuaranteedBandwidth, Packet: unreserved}}
+	if w := a.ShouldPreempt(0, inflight, reqs); w != -1 {
+		t.Fatal("unreserved challenger preempted a stamped holder")
+	}
+}
+
+func TestPVCPreemptsUnreservedHolder(t *testing.T) {
+	a := NewPVC(2, []uint64{0, 20}, 10)
+	holder := gbPacket(0, 8)
+	holder.Stamp = math.MaxUint64
+	inflight := Request{Input: 0, Class: noc.GuaranteedBandwidth, Packet: holder}
+	stamped := gbPacket(1, 8)
+	stamped.Stamp = 40
+	reqs := []Request{{Input: 1, Class: noc.GuaranteedBandwidth, Packet: stamped}}
+	if w := a.ShouldPreempt(0, inflight, reqs); w != 0 {
+		t.Fatal("stamped challenger should preempt an unreserved holder")
+	}
+}
+
+func TestPVCPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewPVC(3, []uint64{1}, 0)
+}

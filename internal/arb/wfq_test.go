@@ -1,0 +1,81 @@
+package arb
+
+import (
+	"testing"
+
+	"swizzleqos/internal/noc"
+)
+
+func TestWFQServesByFinishTime(t *testing.T) {
+	a := NewWFQ([]float64{0.1, 0.9})
+	p0, p1 := gbPacket(0, 8), gbPacket(1, 8)
+	a.PacketArrived(0, p0) // finish 8/0.1 = 80
+	a.PacketArrived(0, p1) // finish 8/0.9 = 8.9
+	reqs := []Request{
+		{Input: 0, Class: noc.GuaranteedBandwidth, Packet: p0},
+		{Input: 1, Class: noc.GuaranteedBandwidth, Packet: p1},
+	}
+	if w := a.Arbitrate(1, reqs); reqs[w].Input != 1 {
+		t.Fatalf("heavier flow's earlier finish time must win")
+	}
+}
+
+func TestWFQBandwidthProportionalToWeights(t *testing.T) {
+	// Saturated inputs with weights 3:1 should receive grants 3:1.
+	a := NewWFQ([]float64{3, 1})
+	wins := make([]int, 2)
+	heads := []*noc.Packet{gbPacket(0, 4), gbPacket(1, 4)}
+	a.PacketArrived(0, heads[0])
+	a.PacketArrived(0, heads[1])
+	for g := 0; g < 400; g++ {
+		now := uint64(g)
+		reqs := []Request{
+			{Input: 0, Class: noc.GuaranteedBandwidth, Packet: heads[0]},
+			{Input: 1, Class: noc.GuaranteedBandwidth, Packet: heads[1]},
+		}
+		w := a.Arbitrate(now, reqs)
+		in := reqs[w].Input
+		wins[in]++
+		a.Granted(now, reqs[w])
+		heads[in] = gbPacket(in, 4)
+		a.PacketArrived(now, heads[in])
+		a.Tick(now)
+	}
+	share := float64(wins[0]) / 400
+	if share < 0.72 || share > 0.78 {
+		t.Fatalf("weight-3 flow won %.3f of grants, want ~0.75", share)
+	}
+}
+
+func TestWFQHandlesUnseenPacket(t *testing.T) {
+	// A packet that never passed PacketArrived is stamped lazily rather
+	// than crashing the arbitration.
+	a := NewWFQ([]float64{1, 1})
+	p := gbPacket(0, 8)
+	reqs := []Request{{Input: 0, Class: noc.GuaranteedBandwidth, Packet: p}}
+	if w := a.Arbitrate(5, reqs); w != 0 {
+		t.Fatalf("Arbitrate = %d, want 0", w)
+	}
+}
+
+func TestWFQGrantedReleasesStamp(t *testing.T) {
+	a := NewWFQ([]float64{1})
+	p := gbPacket(0, 8)
+	a.PacketArrived(0, p)
+	if len(a.stamps) != 1 {
+		t.Fatalf("stamp table size %d, want 1", len(a.stamps))
+	}
+	a.Granted(0, Request{Input: 0, Class: noc.GuaranteedBandwidth, Packet: p})
+	if len(a.stamps) != 0 {
+		t.Fatalf("stamp table size %d after grant, want 0 (no leak)", len(a.stamps))
+	}
+}
+
+func TestWFQPanicsOnBadWeight(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWFQ with non-positive weight did not panic")
+		}
+	}()
+	NewWFQ([]float64{1, 0})
+}

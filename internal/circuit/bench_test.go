@@ -1,0 +1,39 @@
+package circuit
+
+import (
+	"testing"
+
+	"swizzleqos/internal/arb"
+	"swizzleqos/internal/core"
+)
+
+// BenchmarkFabricArbitrate measures one wire-level arbitration cycle of
+// the paper's 8x8/64-bit configuration with all inputs requesting.
+func BenchmarkFabricArbitrate(b *testing.B) {
+	f, err := NewFabric(8, 8, false, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	points := make([]Crosspoint, 8)
+	for i := range points {
+		points[i] = gbPoint(i%f.GBLanes(), f.GBLanes())
+	}
+	lrg := arb.NewLRGState(8)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		res := f.Arbitrate(points, lrg)
+		if res.Winner < 0 {
+			b.Fatal("no winner")
+		}
+	}
+}
+
+// BenchmarkThermCode measures thermometer encode/decode round trips.
+func BenchmarkThermCode(b *testing.B) {
+	for n := 0; n < b.N; n++ {
+		code := core.ThermCode(n%16, 16)
+		if _, err := core.ThermValue(code); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

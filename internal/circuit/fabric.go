@@ -1,0 +1,258 @@
+// Package circuit is a structural, wire-level model of the Swizzle
+// Switch's inhibit-based QoS arbitration (Figures 1-3 of the paper).
+//
+// During an arbitration cycle the output channel's data bitlines are
+// precharged and then selectively discharged by the requesting inputs:
+// an input discharges the bitlines it has priority over, and at the end of
+// the cycle each requesting input senses exactly one wire — if any other
+// input discharged it, the input lost. Exactly one requesting input is
+// left with a charged wire: the arbitration winner.
+//
+// The bus is partitioned into lanes of Radix bitlines each. Wire k*Radix+i
+// is input i's wire in lane k. Guaranteed-bandwidth lanes encode
+// thermometer-coded auxVC levels (lane index = coarse auxVC value; lower is
+// higher priority); one lane is reserved for the best-effort class and one
+// for the guaranteed-latency class when those classes are enabled.
+//
+// Discharge rules, replicated per crosspoint:
+//
+//   - A GB requester with coarse value m (thermometer bits T, where
+//     T[k] = 1 iff k <= m) applies, for each GB lane k, the two-bit
+//     decision circuit of Figure 1(b) on (T[k], T[k+1]):
+//     T[k+1]=1 -> lane k is below its own level: discharge nothing;
+//     T[k]=1, T[k+1]=0 -> lane k is its own level: discharge the wires of
+//     inputs it beats under LRG;
+//     T[k]=0 -> lane k is above its own level: discharge every wire.
+//     It also discharges the whole best-effort lane.
+//   - A GL requester discharges every wire of every GB lane and the BE
+//     lane (Figure 3: "In the presence of a GL request, all bitlines in GB
+//     class lanes will be discharged"), plus its LRG pattern in the GL
+//     lane.
+//   - A BE requester discharges only its LRG pattern in the BE lane.
+//
+// Each requesting input's sense amplifier selects the wire to observe with
+// a multiplexer driven by its auxVC most significant bits (GB: wire
+// m*Radix+i) or its class lane (BE/GL). This multiplexer is the critical
+// path extension that costs the frequency slowdown of Table 2.
+//
+// The package is verified exhaustively against the behavioural reference
+// (class priority, then minimum coarse value, then LRG) exactly as §4.1
+// describes: "we tested this program with all input combinations of
+// thermometer code vectors and valid LRG states".
+package circuit
+
+import (
+	"fmt"
+
+	"swizzleqos/internal/arb"
+	"swizzleqos/internal/core"
+	"swizzleqos/internal/noc"
+)
+
+// Crosspoint is the per-(input, output) state presented to one arbitration
+// cycle.
+type Crosspoint struct {
+	// Request is set when the input is requesting this output.
+	Request bool
+	// Class is the traffic class of the head packet.
+	Class noc.Class
+	// Therm is the thermometer-coded coarse auxVC value, of length
+	// equal to the fabric's GB lane count. Only read for GB requests.
+	Therm []bool
+}
+
+// Fabric models one output channel's arbitration wires.
+type Fabric struct {
+	radix   int
+	lanes   int
+	gbLanes int
+	beLane  int // lane index, -1 when the BE class has no lane
+	glLane  int // lane index, -1 when the GL class has no lane
+}
+
+// NewFabric builds the wire model for one output channel: lanes =
+// busWidthBits / radix groups of radix bitlines. It returns an error if
+// the enabled classes leave no lane for the GB thermometer code.
+func NewFabric(radix, lanes int, enableBE, enableGL bool) (*Fabric, error) {
+	if radix < 2 {
+		return nil, fmt.Errorf("circuit: radix %d must be at least 2", radix)
+	}
+	if lanes < 1 {
+		return nil, fmt.Errorf("circuit: lane count %d must be positive", lanes)
+	}
+	f := &Fabric{radix: radix, lanes: lanes, beLane: -1, glLane: -1}
+	next := lanes
+	if enableGL {
+		next--
+		f.glLane = next
+	}
+	if enableBE {
+		next--
+		f.beLane = next
+	}
+	f.gbLanes = next
+	if f.gbLanes < 1 {
+		return nil, fmt.Errorf("circuit: %d lanes leave no GB lane after class lanes", lanes)
+	}
+	return f, nil
+}
+
+// Radix returns the number of inputs.
+func (f *Fabric) Radix() int { return f.radix }
+
+// GBLanes returns the number of thermometer levels available to the GB
+// class.
+func (f *Fabric) GBLanes() int { return f.gbLanes }
+
+// Wires returns the total number of bitlines (radix * lanes).
+func (f *Fabric) Wires() int { return f.radix * f.lanes }
+
+// wire returns the bitline index of input i in lane k.
+func (f *Fabric) wire(lane, input int) int { return lane*f.radix + input }
+
+// Result captures one arbitration cycle for inspection.
+type Result struct {
+	// Winner is the granted input, or -1 when no input requested.
+	Winner int
+	// Charged[w] reports whether bitline w was still precharged at sense
+	// time.
+	Charged []bool
+	// SenseWire[i] is the bitline input i's sense amp observed, or -1
+	// if input i was not requesting.
+	SenseWire []int
+	// Discharges is the total number of pull-down events (a wire may be
+	// discharged by several inputs).
+	Discharges int
+}
+
+// thermValue returns the coarse value encoded by t, panicking on an
+// invalid code: crosspoint registers hold codes produced by shifting, so a
+// non-thermometer value indicates a modelling bug, not bad input.
+func thermValue(t []bool, gbLanes int) int {
+	if len(t) != gbLanes {
+		panic(fmt.Sprintf("circuit: thermometer code length %d, fabric has %d GB lanes", len(t), gbLanes))
+	}
+	v, err := core.ThermValue(t)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Arbitrate runs one arbitration cycle: precharge, discharge, sense.
+// points[i] is input i's crosspoint state; lrg supplies the tie-break
+// order shared by the replicated per-lane LRG logic. The fabric itself is
+// stateless; callers own the LRG update after a grant.
+func (f *Fabric) Arbitrate(points []Crosspoint, lrg *arb.LRGState) Result {
+	if len(points) != f.radix {
+		panic(fmt.Sprintf("circuit: got %d crosspoints for radix %d", len(points), f.radix))
+	}
+	if lrg.Size() != f.radix {
+		panic(fmt.Sprintf("circuit: LRG over %d inputs for radix %d", lrg.Size(), f.radix))
+	}
+	res := Result{
+		Winner:    -1,
+		Charged:   make([]bool, f.Wires()),
+		SenseWire: make([]int, f.radix),
+	}
+	// Precharge.
+	for w := range res.Charged {
+		res.Charged[w] = true
+	}
+	for i := range res.SenseWire {
+		res.SenseWire[i] = -1
+	}
+
+	discharge := func(w int) {
+		res.Charged[w] = false
+		res.Discharges++
+	}
+	dischargeLane := func(lane int) {
+		for j := 0; j < f.radix; j++ {
+			discharge(f.wire(lane, j))
+		}
+	}
+	dischargeLRG := func(lane, self int) {
+		for j := 0; j < f.radix; j++ {
+			if j != self && lrg.HasPriority(self, j) {
+				discharge(f.wire(lane, j))
+			}
+		}
+	}
+
+	// Discharge phase: every requesting crosspoint pulls down the wires
+	// it inhibits.
+	for i, p := range points {
+		if !p.Request {
+			continue
+		}
+		switch p.Class {
+		case noc.GuaranteedLatency:
+			if f.glLane < 0 {
+				panic("circuit: GL request on a fabric without a GL lane")
+			}
+			for k := 0; k < f.gbLanes; k++ {
+				dischargeLane(k)
+			}
+			if f.beLane >= 0 {
+				dischargeLane(f.beLane)
+			}
+			dischargeLRG(f.glLane, i)
+		case noc.GuaranteedBandwidth:
+			// The decision circuit needs only the two adjacent
+			// thermometer bits per lane, never the decoded value.
+			if len(p.Therm) != f.gbLanes {
+				panic(fmt.Sprintf("circuit: thermometer code length %d, fabric has %d GB lanes", len(p.Therm), f.gbLanes))
+			}
+			for k := 0; k < f.gbLanes; k++ {
+				tk := p.Therm[k]
+				tk1 := false // T[gbLanes] is tied low
+				if k+1 < f.gbLanes {
+					tk1 = p.Therm[k+1]
+				}
+				switch {
+				case tk1: // lane below own level
+				case tk: // own level: replicated LRG logic
+					dischargeLRG(k, i)
+				default: // lane above own level
+					dischargeLane(k)
+				}
+			}
+			if f.beLane >= 0 {
+				dischargeLane(f.beLane)
+			}
+		case noc.BestEffort:
+			if f.beLane < 0 {
+				panic("circuit: BE request on a fabric without a BE lane")
+			}
+			dischargeLRG(f.beLane, i)
+		default:
+			panic(fmt.Sprintf("circuit: invalid class %v", p.Class))
+		}
+	}
+
+	// Sense phase: each requesting input's multiplexer selects one wire.
+	for i, p := range points {
+		if !p.Request {
+			continue
+		}
+		var lane int
+		switch p.Class {
+		case noc.GuaranteedLatency:
+			lane = f.glLane
+		case noc.GuaranteedBandwidth:
+			lane = thermValue(p.Therm, f.gbLanes)
+		case noc.BestEffort:
+			lane = f.beLane
+		}
+		w := f.wire(lane, i)
+		res.SenseWire[i] = w
+		if res.Charged[w] {
+			if res.Winner != -1 {
+				panic(fmt.Sprintf("circuit: inputs %d and %d both sensed charged wires", res.Winner, i))
+			}
+			res.Winner = i
+		}
+	}
+	return res
+}

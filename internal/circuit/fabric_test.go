@@ -1,0 +1,370 @@
+package circuit
+
+import (
+	"testing"
+
+	"swizzleqos/internal/arb"
+	"swizzleqos/internal/core"
+	"swizzleqos/internal/noc"
+	"swizzleqos/internal/traffic"
+)
+
+func gbPoint(value, gbLanes int) Crosspoint {
+	return Crosspoint{Request: true, Class: noc.GuaranteedBandwidth, Therm: core.ThermCode(value, gbLanes)}
+}
+
+func TestFabricFigure1Example(t *testing.T) {
+	// Figure 1: an 8-input switch with a 64-bit bus (8 lanes, all GB).
+	// Inputs 0,1,2,5,6 request output M with coarse auxVC values
+	// 6,6,4,-,-,4,4,- and the LRG order prefers In2 over In5 and In6.
+	f, err := NewFabric(8, 8, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := make([]Crosspoint, 8)
+	points[0] = gbPoint(6, 8)
+	points[1] = gbPoint(6, 8)
+	points[2] = gbPoint(4, 8)
+	points[5] = gbPoint(4, 8)
+	points[6] = gbPoint(4, 8)
+
+	lrg := arb.NewLRGState(8) // identity order: In2 ahead of In5, In6
+	res := f.Arbitrate(points, lrg)
+	if res.Winner != 2 {
+		t.Fatalf("winner = %d, want 2", res.Winner)
+	}
+	// The paper's sense-amp wiring: input i with coarse value m senses
+	// wire 8m+i. In2 at value 4 senses wire 34; In0 at value 6 senses
+	// wire 48.
+	if res.SenseWire[2] != 34 {
+		t.Errorf("In2 sensed wire %d, want 34", res.SenseWire[2])
+	}
+	if res.SenseWire[0] != 48 {
+		t.Errorf("In0 sensed wire %d, want 48", res.SenseWire[0])
+	}
+	// Wire 48 (In0's) must have been discharged — by In1 via LRG and by
+	// the value-4 inputs via their all-ones decision for lane 6.
+	if res.Charged[48] {
+		t.Error("wire 48 should be discharged")
+	}
+	// Non-requesting inputs sense nothing.
+	if res.SenseWire[3] != -1 || res.SenseWire[7] != -1 {
+		t.Error("non-requesting inputs must not sense a wire")
+	}
+}
+
+func TestFabricGLBeatsEverything(t *testing.T) {
+	// Figure 3: any GL request discharges every GB-lane bitline.
+	f, err := NewFabric(4, 6, true, true) // 4 GB lanes + BE + GL
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := []Crosspoint{
+		gbPoint(0, 4), // best possible GB value
+		{Request: true, Class: noc.GuaranteedLatency},
+		{Request: true, Class: noc.BestEffort},
+		{},
+	}
+	lrg := arb.NewLRGState(4)
+	res := f.Arbitrate(points, lrg)
+	if res.Winner != 1 {
+		t.Fatalf("winner = %d, want the GL input 1", res.Winner)
+	}
+}
+
+func TestFabricGLTieUsesLRG(t *testing.T) {
+	f, err := NewFabric(4, 6, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := []Crosspoint{
+		{},
+		{Request: true, Class: noc.GuaranteedLatency},
+		{},
+		{Request: true, Class: noc.GuaranteedLatency},
+	}
+	lrg := arb.NewLRGState(4)
+	if err := lrg.SetOrder([]int{3, 2, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	res := f.Arbitrate(points, lrg)
+	if res.Winner != 3 {
+		t.Fatalf("winner = %d, want 3 (LRG priority)", res.Winner)
+	}
+}
+
+func TestFabricBEOnlyWhenAlone(t *testing.T) {
+	f, err := NewFabric(4, 6, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lrg := arb.NewLRGState(4)
+
+	// BE vs GB: GB wins even at the worst thermometer level.
+	points := []Crosspoint{
+		{Request: true, Class: noc.BestEffort},
+		gbPoint(3, 4),
+		{}, {},
+	}
+	if res := f.Arbitrate(points, lrg); res.Winner != 1 {
+		t.Fatalf("winner = %d, want GB input 1", res.Winner)
+	}
+
+	// BE alone: LRG among BE requesters.
+	points = []Crosspoint{
+		{Request: true, Class: noc.BestEffort},
+		{},
+		{Request: true, Class: noc.BestEffort},
+		{},
+	}
+	if res := f.Arbitrate(points, lrg); res.Winner != 0 {
+		t.Fatalf("winner = %d, want BE input 0", res.Winner)
+	}
+}
+
+func TestFabricNoRequests(t *testing.T) {
+	f, err := NewFabric(4, 4, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := f.Arbitrate(make([]Crosspoint, 4), arb.NewLRGState(4))
+	if res.Winner != -1 {
+		t.Fatalf("winner = %d with no requests, want -1", res.Winner)
+	}
+	if res.Discharges != 0 {
+		t.Fatalf("discharges = %d with no requests, want 0", res.Discharges)
+	}
+	for _, c := range res.Charged {
+		if !c {
+			t.Fatal("all wires must remain precharged with no requests")
+		}
+	}
+}
+
+// permutations returns all permutations of 0..n-1.
+func permutations(n int) [][]int {
+	var out [][]int
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// TestFabricExhaustiveEquivalence reproduces the paper's §4.1 verification:
+// for a radix-4 fabric, every combination of request pattern, class, and
+// thermometer code, across every valid LRG state, must produce the same
+// winner as the behavioural reference comparison.
+func TestFabricExhaustiveEquivalence(t *testing.T) {
+	const radix = 4
+	f, err := NewFabric(radix, 6, true, true) // 4 GB lanes + BE + GL
+	if err != nil {
+		t.Fatal(err)
+	}
+	gbLanes := f.GBLanes()
+
+	// Per-input options: idle, BE, GL, or GB at each thermometer level.
+	options := make([]Crosspoint, 0, 3+gbLanes)
+	options = append(options,
+		Crosspoint{},
+		Crosspoint{Request: true, Class: noc.BestEffort},
+		Crosspoint{Request: true, Class: noc.GuaranteedLatency},
+	)
+	for v := 0; v < gbLanes; v++ {
+		options = append(options, gbPoint(v, gbLanes))
+	}
+
+	perms := permutations(radix)
+	points := make([]Crosspoint, radix)
+	idx := make([]int, radix)
+	checked := 0
+	for {
+		for i := range points {
+			points[i] = options[idx[i]]
+		}
+		for _, order := range perms {
+			lrg := arb.NewLRGState(radix)
+			if err := lrg.SetOrder(order); err != nil {
+				t.Fatal(err)
+			}
+			got := f.Arbitrate(points, lrg).Winner
+			want := ReferenceWinner(points, lrg)
+			if got != want {
+				t.Fatalf("divergence: points=%+v order=%v: circuit=%d reference=%d", points, order, got, want)
+			}
+			checked++
+		}
+		// Next combination (odometer).
+		k := 0
+		for ; k < radix; k++ {
+			idx[k]++
+			if idx[k] < len(options) {
+				break
+			}
+			idx[k] = 0
+		}
+		if k == radix {
+			break
+		}
+	}
+	if checked != 24*2401 { // 4! LRG orders x 7^4 input combinations
+		t.Fatalf("checked %d combinations, want %d", checked, 24*2401)
+	}
+}
+
+// TestFabricRandomEquivalenceRadix8 extends the equivalence check to the
+// paper's radix-8/64-bit configuration with randomised states.
+func TestFabricRandomEquivalenceRadix8(t *testing.T) {
+	const radix, lanes = 8, 8
+	f, err := NewFabric(radix, lanes, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := traffic.NewRNG(0xC1BC51)
+	points := make([]Crosspoint, radix)
+	for trial := 0; trial < 20000; trial++ {
+		for i := range points {
+			if rng.Bernoulli(0.7) {
+				points[i] = gbPoint(rng.Intn(f.GBLanes()), f.GBLanes())
+			} else {
+				points[i] = Crosspoint{}
+			}
+		}
+		lrg := arb.NewLRGState(radix)
+		// Random LRG state via random grant sequence.
+		for g := 0; g < 16; g++ {
+			lrg.Grant(rng.Intn(radix))
+		}
+		got := f.Arbitrate(points, lrg).Winner
+		want := ReferenceWinner(points, lrg)
+		if got != want {
+			t.Fatalf("trial %d divergence: circuit=%d reference=%d points=%+v order=%v",
+				trial, got, want, points, lrg.Order())
+		}
+	}
+}
+
+// TestFabricUniqueWinner checks the hardware invariant that at most one
+// requesting input survives with a charged sense wire (the model panics
+// otherwise), and that some requester always wins when any request is
+// present.
+func TestFabricUniqueWinner(t *testing.T) {
+	const radix = 4
+	f, err := NewFabric(radix, 6, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := traffic.NewRNG(7)
+	points := make([]Crosspoint, radix)
+	for trial := 0; trial < 5000; trial++ {
+		any := false
+		for i := range points {
+			switch rng.Intn(4) {
+			case 0:
+				points[i] = Crosspoint{}
+			case 1:
+				points[i] = Crosspoint{Request: true, Class: noc.BestEffort}
+				any = true
+			case 2:
+				points[i] = Crosspoint{Request: true, Class: noc.GuaranteedLatency}
+				any = true
+			default:
+				points[i] = gbPoint(rng.Intn(f.GBLanes()), f.GBLanes())
+				any = true
+			}
+		}
+		lrg := arb.NewLRGState(radix)
+		for g := 0; g < 8; g++ {
+			lrg.Grant(rng.Intn(radix))
+		}
+		res := f.Arbitrate(points, lrg)
+		if any && res.Winner == -1 {
+			t.Fatalf("trial %d: requests present but no winner", trial)
+		}
+		if !any && res.Winner != -1 {
+			t.Fatalf("trial %d: winner %d with no requests", trial, res.Winner)
+		}
+		if res.Winner >= 0 && !points[res.Winner].Request {
+			t.Fatalf("trial %d: winner %d was not requesting", trial, res.Winner)
+		}
+	}
+}
+
+func TestNewFabricRejectsBadGeometry(t *testing.T) {
+	if _, err := NewFabric(1, 4, false, false); err == nil {
+		t.Error("radix 1 accepted")
+	}
+	if _, err := NewFabric(4, 0, false, false); err == nil {
+		t.Error("zero lanes accepted")
+	}
+	if _, err := NewFabric(4, 2, true, true); err == nil {
+		t.Error("no GB lane left but fabric accepted")
+	}
+}
+
+func TestFabricPanicsOnGLWithoutLane(t *testing.T) {
+	f, err := NewFabric(4, 4, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GL request without a GL lane did not panic")
+		}
+	}()
+	points := make([]Crosspoint, 4)
+	points[0] = Crosspoint{Request: true, Class: noc.GuaranteedLatency}
+	f.Arbitrate(points, arb.NewLRGState(4))
+}
+
+// TestFabricRandomGeometries sweeps random radix/lane combinations to
+// check the wire model agrees with the reference for any legal geometry.
+func TestFabricRandomGeometries(t *testing.T) {
+	rng := traffic.NewRNG(0xFab)
+	for trial := 0; trial < 40; trial++ {
+		radix := 2 + rng.Intn(7)
+		lanes := 3 + rng.Intn(8)
+		f, err := NewFabric(radix, lanes, true, true)
+		if err != nil {
+			t.Fatalf("radix %d lanes %d: %v", radix, lanes, err)
+		}
+		points := make([]Crosspoint, radix)
+		for round := 0; round < 500; round++ {
+			for i := range points {
+				switch rng.Intn(5) {
+				case 0:
+					points[i] = Crosspoint{}
+				case 1:
+					points[i] = Crosspoint{Request: true, Class: noc.BestEffort}
+				case 2:
+					points[i] = Crosspoint{Request: true, Class: noc.GuaranteedLatency}
+				default:
+					points[i] = gbPoint(rng.Intn(f.GBLanes()), f.GBLanes())
+				}
+			}
+			lrg := arb.NewLRGState(radix)
+			for g := 0; g < radix*2; g++ {
+				lrg.Grant(rng.Intn(radix))
+			}
+			got := f.Arbitrate(points, lrg).Winner
+			want := ReferenceWinner(points, lrg)
+			if got != want {
+				t.Fatalf("radix %d lanes %d: circuit=%d reference=%d points=%+v",
+					radix, lanes, got, want, points)
+			}
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package circuit
+
+import (
+	"swizzleqos/internal/arb"
+	"swizzleqos/internal/core"
+	"swizzleqos/internal/noc"
+)
+
+// ReferenceWinner is the behavioural specification the wire model must
+// match: strict class priority (GL over GB over BE), then minimum coarse
+// auxVC value among GB requesters, then least recently granted. It mirrors
+// the paper's §4.1 methodology, where the per-wire model's decisions were
+// checked against a direct priority-value comparison for all input
+// combinations of thermometer codes and valid LRG states.
+func ReferenceWinner(points []Crosspoint, lrg *arb.LRGState) int {
+	winner := -1
+	bestClass := noc.Class(0)
+	bestCoarse := -1
+	for i, p := range points {
+		if !p.Request {
+			continue
+		}
+		coarse := 0
+		if p.Class == noc.GuaranteedBandwidth {
+			v, err := core.ThermValue(p.Therm)
+			if err != nil {
+				panic(err)
+			}
+			coarse = v
+		}
+		if winner == -1 {
+			winner, bestClass, bestCoarse = i, p.Class, coarse
+			continue
+		}
+		switch {
+		case p.Class > bestClass:
+			winner, bestClass, bestCoarse = i, p.Class, coarse
+		case p.Class < bestClass:
+		case p.Class == noc.GuaranteedBandwidth && coarse < bestCoarse:
+			winner, bestClass, bestCoarse = i, p.Class, coarse
+		case p.Class == noc.GuaranteedBandwidth && coarse > bestCoarse:
+		default: // same class, same coarse value: LRG decides
+			if lrg.HasPriority(i, winner) {
+				winner, bestClass, bestCoarse = i, p.Class, coarse
+			}
+		}
+	}
+	return winner
+}

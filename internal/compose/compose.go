@@ -1,0 +1,427 @@
+// Package compose simulates networks built from multiple crossbar
+// switches, the scaling path the paper declines (§4.4): "Scaling to more
+// nodes involves composing multiple switches, which makes the QoS
+// technique more complex. Crosspoints will have to be shared by several
+// flows, requiring more per-flow state storage."
+//
+// A composed network is a set of crossbar nodes joined by links, with
+// static routing from every node toward every terminal. Each node is the
+// same model as the single-stage switch: per-input-port packet buffers,
+// one arbiter per output port, whole-packet (virtual cut-through)
+// switching with downstream buffer reservation, and a one-cycle
+// arbitration overhead per traversed node.
+//
+// The point the package exists to make: a first-stage crosspoint
+// (terminal, uplink) carries every flow that terminal sends through the
+// uplink, so an SSVC auxVC register there can only enforce the AGGREGATE
+// of their reservations — per-flow guarantees dissolve at the first
+// merge, unless routers grow per-flow state. The TwoLevelClos constructor
+// plus the experiments package's Compose experiment quantify exactly
+// that.
+package compose
+
+import (
+	"fmt"
+
+	"swizzleqos/internal/arb"
+	"swizzleqos/internal/noc"
+	"swizzleqos/internal/traffic"
+)
+
+// PortRef names one port of one node.
+type PortRef struct {
+	Node int
+	Port int
+}
+
+// Topology describes a composed network. Ports[n] is node n's port
+// count; Links joins output ports to input ports (unidirectional);
+// Terminals[t] is the node/port where terminal t attaches (both its
+// injection and ejection point); Route gives the output port at a node
+// for traffic toward a terminal.
+type Topology struct {
+	Ports     []int
+	Links     map[PortRef]PortRef // from (node, output port) to (node, input port)
+	Terminals []PortRef
+	Route     func(node, terminal int) int
+}
+
+// Validate reports a descriptive error for malformed topologies.
+func (t Topology) Validate() error {
+	if len(t.Ports) == 0 {
+		return fmt.Errorf("compose: no nodes")
+	}
+	for n, p := range t.Ports {
+		if p < 1 {
+			return fmt.Errorf("compose: node %d has %d ports", n, p)
+		}
+	}
+	if len(t.Terminals) < 2 {
+		return fmt.Errorf("compose: need at least 2 terminals")
+	}
+	check := func(r PortRef) error {
+		if r.Node < 0 || r.Node >= len(t.Ports) || r.Port < 0 || r.Port >= t.Ports[r.Node] {
+			return fmt.Errorf("compose: port reference %+v out of range", r)
+		}
+		return nil
+	}
+	for from, to := range t.Links {
+		if err := check(from); err != nil {
+			return err
+		}
+		if err := check(to); err != nil {
+			return err
+		}
+	}
+	for _, term := range t.Terminals {
+		if err := check(term); err != nil {
+			return err
+		}
+	}
+	if t.Route == nil {
+		return fmt.Errorf("compose: no routing function")
+	}
+	return nil
+}
+
+// TwoLevelClos builds the canonical composition: `leaves` leaf switches,
+// each with terminalsPerLeaf terminals and uplinks uplink ports, joined
+// by one spine switch. Terminal IDs are leaf-major. Uplink selection is
+// deterministic by destination terminal (dst % uplinks), so a flow's path
+// is fixed — matching the paper's definition of a flow as packets on one
+// route.
+func TwoLevelClos(leaves, terminalsPerLeaf, uplinks int) (Topology, error) {
+	if leaves < 2 || terminalsPerLeaf < 1 || uplinks < 1 {
+		return Topology{}, fmt.Errorf("compose: clos(%d,%d,%d) is degenerate", leaves, terminalsPerLeaf, uplinks)
+	}
+	leafPorts := terminalsPerLeaf + uplinks
+	spine := leaves // spine node index
+	spinePorts := leaves * uplinks
+
+	topo := Topology{
+		Ports: make([]int, leaves+1),
+		Links: make(map[PortRef]PortRef),
+	}
+	for l := 0; l < leaves; l++ {
+		topo.Ports[l] = leafPorts
+	}
+	topo.Ports[spine] = spinePorts
+
+	for l := 0; l < leaves; l++ {
+		for t := 0; t < terminalsPerLeaf; t++ {
+			topo.Terminals = append(topo.Terminals, PortRef{Node: l, Port: t})
+		}
+		for u := 0; u < uplinks; u++ {
+			leafUp := PortRef{Node: l, Port: terminalsPerLeaf + u}
+			spinePort := PortRef{Node: spine, Port: l*uplinks + u}
+			// Bidirectional pair of unidirectional links.
+			topo.Links[leafUp] = spinePort
+			topo.Links[spinePort] = leafUp
+		}
+	}
+	topo.Route = func(node, terminal int) int {
+		dstLeaf := terminal / terminalsPerLeaf
+		dstPort := terminal % terminalsPerLeaf
+		if node == spine {
+			// Downlink toward the destination leaf, spread by terminal.
+			return dstLeaf*uplinks + dstPort%uplinks
+		}
+		if node == dstLeaf {
+			return dstPort
+		}
+		// Uplink, picked deterministically by destination.
+		return terminalsPerLeaf + terminal%uplinks
+	}
+	return topo, nil
+}
+
+// buffer is a packet FIFO with flit capacity and reservation accounting
+// (same discipline as the mesh).
+type buffer struct {
+	capFlits int
+	flits    int
+	reserved int
+	pkts     []*noc.Packet
+	head     int
+}
+
+func (b *buffer) canReserve(l int) bool { return b.flits+b.reserved+l <= b.capFlits }
+func (b *buffer) reserve(l int)         { b.reserved += l }
+func (b *buffer) commit(p *noc.Packet) {
+	b.reserved -= p.Length
+	b.pkts = append(b.pkts, p)
+	b.flits += p.Length
+}
+func (b *buffer) admit(p *noc.Packet) bool {
+	if !b.canReserve(p.Length) {
+		return false
+	}
+	b.pkts = append(b.pkts, p)
+	b.flits += p.Length
+	return true
+}
+func (b *buffer) headPkt() *noc.Packet {
+	if b.head >= len(b.pkts) {
+		return nil
+	}
+	return b.pkts[b.head]
+}
+func (b *buffer) pop() *noc.Packet {
+	p := b.pkts[b.head]
+	b.pkts[b.head] = nil
+	b.head++
+	b.flits -= p.Length
+	if b.head > 32 && b.head*2 >= len(b.pkts) {
+		n := copy(b.pkts, b.pkts[b.head:])
+		for i := n; i < len(b.pkts); i++ {
+			b.pkts[i] = nil
+		}
+		b.pkts = b.pkts[:n]
+		b.head = 0
+	}
+	return p
+}
+
+type transmission struct {
+	pkt       *noc.Packet
+	from      int
+	remaining int
+}
+
+type node struct {
+	id       int
+	in       []*buffer
+	out      []*transmission
+	cooldown []bool
+	inBusy   []bool
+	arbs     []arb.Arbiter
+}
+
+type flowState struct {
+	flow  traffic.Flow
+	queue []*noc.Packet
+	head  int
+}
+
+func (f *flowState) queued() int { return len(f.queue) - f.head }
+
+// Config sizes a composed network.
+type Config struct {
+	Topology    Topology
+	BufferFlits int
+	// NewArbiter builds the arbiter for (node, output port) over the
+	// node's input ports; nil defaults to LRG everywhere.
+	NewArbiter func(nodeID, port, ports int) arb.Arbiter
+}
+
+// Network is the composed-switch simulator. Not safe for concurrent use.
+type Network struct {
+	cfg        Config
+	nodes      []*node
+	flows      []*flowState
+	byTerminal map[int][]int // flow indices per source terminal
+	admitRR    map[int]int   // per-terminal admission rotation
+	now        uint64
+
+	onDeliver func(*noc.Packet)
+
+	Injected  uint64
+	Admitted  uint64
+	Delivered uint64
+}
+
+// New builds a composed network.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BufferFlits < 1 {
+		return nil, fmt.Errorf("compose: buffer capacity %d must be positive", cfg.BufferFlits)
+	}
+	newArb := cfg.NewArbiter
+	if newArb == nil {
+		newArb = func(_, _, ports int) arb.Arbiter { return arb.NewLRG(ports) }
+	}
+	net := &Network{cfg: cfg, byTerminal: make(map[int][]int), admitRR: make(map[int]int)}
+	for id, ports := range cfg.Topology.Ports {
+		n := &node{
+			id:       id,
+			in:       make([]*buffer, ports),
+			out:      make([]*transmission, ports),
+			cooldown: make([]bool, ports),
+			inBusy:   make([]bool, ports),
+			arbs:     make([]arb.Arbiter, ports),
+		}
+		for p := 0; p < ports; p++ {
+			n.in[p] = &buffer{capFlits: cfg.BufferFlits}
+			n.arbs[p] = newArb(id, p, ports)
+		}
+		net.nodes = append(net.nodes, n)
+	}
+	return net, nil
+}
+
+// Terminals returns the number of attachable endpoints.
+func (n *Network) Terminals() int { return len(n.cfg.Topology.Terminals) }
+
+// Now returns the current cycle.
+func (n *Network) Now() uint64 { return n.now }
+
+// AddFlow attaches a flow between terminals (Spec.Src/Dst are terminal
+// IDs).
+func (n *Network) AddFlow(f traffic.Flow) error {
+	if f.Spec.Src < 0 || f.Spec.Src >= n.Terminals() || f.Spec.Dst < 0 || f.Spec.Dst >= n.Terminals() {
+		return fmt.Errorf("compose: flow %d->%d outside %d terminals", f.Spec.Src, f.Spec.Dst, n.Terminals())
+	}
+	if f.Spec.Src == f.Spec.Dst {
+		return fmt.Errorf("compose: flow %d->%d routes to itself", f.Spec.Src, f.Spec.Dst)
+	}
+	if f.Gen == nil {
+		return fmt.Errorf("compose: flow %d->%d has no generator", f.Spec.Src, f.Spec.Dst)
+	}
+	n.flows = append(n.flows, &flowState{flow: f})
+	n.byTerminal[f.Spec.Src] = append(n.byTerminal[f.Spec.Src], len(n.flows)-1)
+	return nil
+}
+
+// OnDeliver registers a delivery observer.
+func (n *Network) OnDeliver(fn func(*noc.Packet)) { n.onDeliver = fn }
+
+// Step advances one cycle.
+func (n *Network) Step() {
+	now := n.now
+	n.inject(now)
+	n.transfer(now)
+	n.arbitrate(now)
+	for _, nd := range n.nodes {
+		for _, a := range nd.arbs {
+			a.Tick(now)
+		}
+	}
+	n.now++
+}
+
+// Run advances the given number of cycles.
+func (n *Network) Run(cycles uint64) {
+	for i := uint64(0); i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// inject lets every generator emit, then admits at most one packet per
+// terminal per cycle, rotating across the terminal's flows so that
+// co-located flows share the injection port fairly.
+func (n *Network) inject(now uint64) {
+	for _, fs := range n.flows {
+		if p := fs.flow.Gen.Tick(now, fs.queued()); p != nil {
+			fs.queue = append(fs.queue, p)
+			n.Injected++
+		}
+	}
+	for term, idxs := range n.byTerminal {
+		count := len(idxs)
+		for k := 0; k < count; k++ {
+			fi := idxs[(n.admitRR[term]+k)%count]
+			fs := n.flows[fi]
+			if fs.head >= len(fs.queue) {
+				continue
+			}
+			p := fs.queue[fs.head]
+			at := n.cfg.Topology.Terminals[p.Src]
+			if !n.nodes[at.Node].in[at.Port].admit(p) {
+				continue
+			}
+			p.EnqueuedAt = now
+			fs.queue[fs.head] = nil
+			fs.head++
+			n.Admitted++
+			n.admitRR[term] = (n.admitRR[term] + k + 1) % count
+			break
+		}
+	}
+}
+
+func (n *Network) transfer(now uint64) {
+	for _, nd := range n.nodes {
+		for port := range nd.out {
+			tx := nd.out[port]
+			if tx == nil {
+				continue
+			}
+			tx.remaining--
+			if tx.remaining > 0 {
+				continue
+			}
+			nd.inBusy[tx.from] = false
+			nd.out[port] = nil
+			nd.cooldown[port] = true
+			from := PortRef{Node: nd.id, Port: port}
+			if next, ok := n.cfg.Topology.Links[from]; ok {
+				n.nodes[next.Node].in[next.Port].commit(tx.pkt)
+				continue
+			}
+			// No link: this port is a terminal ejection.
+			tx.pkt.DeliveredAt = now
+			n.Delivered++
+			if n.onDeliver != nil {
+				n.onDeliver(tx.pkt)
+			}
+		}
+	}
+}
+
+func (n *Network) arbitrate(now uint64) {
+	reqs := make([]arb.Request, 0, 8)
+	for _, nd := range n.nodes {
+		var heads []*noc.Packet
+		for port := range nd.in {
+			if nd.inBusy[port] {
+				heads = append(heads, nil)
+			} else {
+				heads = append(heads, nd.in[port].headPkt())
+			}
+		}
+		for out := range nd.out {
+			if nd.out[out] != nil {
+				continue
+			}
+			if nd.cooldown[out] {
+				nd.cooldown[out] = false
+				continue
+			}
+			reqs = reqs[:0]
+			for in, p := range heads {
+				if p == nil || n.cfg.Topology.Route(nd.id, p.Dst) != out {
+					continue
+				}
+				if next, ok := n.cfg.Topology.Links[PortRef{Node: nd.id, Port: out}]; ok {
+					if !n.nodes[next.Node].in[next.Port].canReserve(p.Length) {
+						continue
+					}
+				}
+				reqs = append(reqs, arb.Request{Input: in, Class: p.Class, Packet: p})
+			}
+			if len(reqs) == 0 {
+				continue
+			}
+			w := nd.arbs[out].Arbitrate(now, reqs)
+			if w < 0 {
+				continue
+			}
+			req := reqs[w]
+			p := nd.in[req.Input].pop()
+			if p != req.Packet {
+				panic(fmt.Sprintf("compose: node %d granted packet %d but head is %d", nd.id, req.Packet.ID, p.ID))
+			}
+			if p.GrantedAt == 0 {
+				p.GrantedAt = now
+			}
+			if next, ok := n.cfg.Topology.Links[PortRef{Node: nd.id, Port: out}]; ok {
+				n.nodes[next.Node].in[next.Port].reserve(p.Length)
+			}
+			nd.inBusy[req.Input] = true
+			nd.out[out] = &transmission{pkt: p, from: req.Input, remaining: p.Length}
+			nd.arbs[out].Granted(now, req)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package compose
+
+import (
+	"testing"
+	"testing/quick"
+
+	"swizzleqos/internal/noc"
+	"swizzleqos/internal/traffic"
+)
+
+// TestQuickClosConservationAndDrain builds random Clos shapes with random
+// finite traces and checks conservation, monotone timestamps, and full
+// drain (the deterministic up/down routing is deadlock-free).
+func TestQuickClosConservationAndDrain(t *testing.T) {
+	f := func(seed uint64, leavesSel, perLeafSel, upSel uint8) bool {
+		leaves := 2 + int(leavesSel)%2
+		perLeaf := 2 + int(perLeafSel)%3
+		uplinks := 1 + int(upSel)%3
+		topo, err := TwoLevelClos(leaves, perLeaf, uplinks)
+		if err != nil {
+			t.Logf("clos: %v", err)
+			return false
+		}
+		net, err := New(Config{Topology: topo, BufferFlits: 16})
+		if err != nil {
+			t.Logf("new: %v", err)
+			return false
+		}
+		rng := traffic.NewRNG(seed)
+		var seq traffic.Sequence
+		terms := net.Terminals()
+		flows := 0
+		for i := 0; i < terms; i++ {
+			dst := rng.Intn(terms)
+			if dst == i {
+				continue
+			}
+			spec := noc.FlowSpec{Src: i, Dst: dst, Class: noc.BestEffort,
+				PacketLength: 1 + rng.Intn(8)}
+			var times []uint64
+			for k := 0; k < 15; k++ {
+				times = append(times, uint64(rng.Intn(1500)))
+			}
+			sortU64(times)
+			if err := net.AddFlow(traffic.Flow{Spec: spec, Gen: traffic.NewTrace(&seq, spec, times)}); err != nil {
+				t.Logf("addflow: %v", err)
+				return false
+			}
+			flows++
+		}
+		if flows == 0 {
+			return true
+		}
+		ok := true
+		net.OnDeliver(func(p *noc.Packet) {
+			if p.DeliveredAt < p.EnqueuedAt || p.EnqueuedAt < p.CreatedAt {
+				ok = false
+			}
+		})
+		net.Run(60000)
+		if net.Delivered != net.Admitted || net.Admitted != net.Injected {
+			t.Logf("seed %d: injected %d admitted %d delivered %d",
+				seed, net.Injected, net.Admitted, net.Delivered)
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortU64(v []uint64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"swizzleqos/internal/arb"
+)
+
+// BenchmarkSSVCArbitrate measures one fully contended arbitration: all
+// radix inputs requesting, mixed coarse values.
+func BenchmarkSSVCArbitrate(b *testing.B) {
+	for _, radix := range []int{8, 64} {
+		b.Run(map[int]string{8: "radix8", 64: "radix64"}[radix], func(b *testing.B) {
+			vticks := make([]uint64, radix)
+			for i := range vticks {
+				vticks[i] = uint64(20 + 40*i)
+			}
+			s := NewSSVC(Config{Radix: radix, CounterBits: 12, SigBits: 4,
+				Policy: SubtractRealTime, Vticks: vticks})
+			reqs := make([]arb.Request, radix)
+			for i := range reqs {
+				reqs[i] = gbReq(i)
+			}
+			// Spread the counters so the comparison is non-trivial.
+			for i := 0; i < radix; i++ {
+				s.Granted(0, reqs[i])
+			}
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				now := uint64(n)
+				w := s.Arbitrate(now, reqs)
+				s.Granted(now, reqs[w])
+				s.Tick(now)
+			}
+		})
+	}
+}
+
+// BenchmarkSSVCTick measures the real-time-clock maintenance sweep.
+func BenchmarkSSVCTick(b *testing.B) {
+	s := NewSSVC(testConfig(uniformVticks(8, 300)))
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		s.Tick(uint64(n))
+	}
+}

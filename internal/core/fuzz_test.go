@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"swizzleqos/internal/arb"
+	"swizzleqos/internal/noc"
+)
+
+// FuzzSSVCGrantSequence feeds arbitrary byte strings as grant/tick
+// scripts to an SSVC instance under each policy; the arbiter must never
+// panic, leak counters past the ceiling, or grant a non-requester.
+func FuzzSSVCGrantSequence(f *testing.F) {
+	f.Add([]byte{0x00}, uint8(0))
+	f.Add([]byte{0xff, 0x03, 0x41, 0x99, 0x12}, uint8(1))
+	f.Add([]byte("grant grant tick grant"), uint8(2))
+	f.Fuzz(func(t *testing.T, script []byte, policySel uint8) {
+		const radix = 4
+		policy := []CounterPolicy{SubtractRealTime, Halve, Reset}[int(policySel)%3]
+		s := NewSSVC(Config{
+			Radix: radix, CounterBits: 9, SigBits: 3, Policy: policy,
+			Vticks:   []uint64{7, 80, 300, 900},
+			EnableGL: true, GLVtick: 50, GLBurst: 2,
+		})
+		now := uint64(0)
+		for _, b := range script {
+			now += uint64(b%7) + 1
+			s.Tick(now)
+			var reqs []arb.Request
+			for i := 0; i < radix; i++ {
+				if b&(1<<uint(i)) == 0 {
+					continue
+				}
+				class := noc.GuaranteedBandwidth
+				if b&0x10 != 0 && i == 0 {
+					class = noc.GuaranteedLatency
+				}
+				if b&0x20 != 0 && i == 1 {
+					class = noc.BestEffort
+				}
+				reqs = append(reqs, arb.Request{Input: i, Class: class,
+					Packet: &noc.Packet{Src: i, Class: class, Length: int(b%8) + 1}})
+			}
+			w := s.Arbitrate(now, reqs)
+			if w >= len(reqs) || w < -1 {
+				t.Fatalf("winner index %d out of range for %d requests", w, len(reqs))
+			}
+			if w >= 0 {
+				s.Granted(now, reqs[w])
+			}
+			for i := 0; i < radix; i++ {
+				if s.Aux(i) > s.max {
+					t.Fatalf("aux[%d]=%d exceeds ceiling %d", i, s.Aux(i), s.max)
+				}
+			}
+		}
+	})
+}
+
+// FuzzThermRoundTrip checks the thermometer encode/decode pair on
+// arbitrary values and widths.
+func FuzzThermRoundTrip(f *testing.F) {
+	f.Add(3, 8)
+	f.Add(0, 1)
+	f.Add(200, 16)
+	f.Fuzz(func(t *testing.T, value, levels int) {
+		if levels <= 0 || levels > 64 {
+			return
+		}
+		code := ThermCode(value, levels)
+		if len(code) != levels {
+			t.Fatalf("code length %d, want %d", len(code), levels)
+		}
+		got, err := ThermValue(code)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		want := value
+		if want < 0 {
+			want = 0
+		}
+		if want >= levels {
+			want = levels - 1
+		}
+		if got != want {
+			t.Fatalf("ThermValue(ThermCode(%d,%d)) = %d, want %d", value, levels, got, want)
+		}
+	})
+}

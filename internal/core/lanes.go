@@ -1,0 +1,122 @@
+// Package core implements SSVC — Swizzle Switch Virtual Clock — the QoS
+// arbitration mechanism that is the primary contribution of the DAC 2014
+// paper "Quality-of-Service for a High-Radix Switch".
+//
+// SSVC integrates the Virtual Clock algorithm into the Swizzle Switch's
+// inhibit-based arbitration so that bandwidth reservations, priority
+// comparison, and least-recently-granted tie-breaking all complete in a
+// single arbitration cycle. Each crosspoint (input, output) keeps:
+//
+//   - an auxVC counter tracking the flow's bandwidth usage,
+//   - a Vtick increment register derived from the flow's reserved rate,
+//   - a thermometer-code register holding the quantised (most significant
+//     bits of the) auxVC value,
+//   - replicated LRG arbitration logic.
+//
+// The output data bus is repurposed during arbitration: its bitlines are
+// partitioned into lanes of Radix wires each. A requesting input discharges
+// bitlines to inhibit inputs with larger auxVC values (coarse comparison via
+// thermometer codes) and, within its own lane, inputs over which it holds
+// LRG priority. Package circuit models that wire level structurally; this
+// package is the behavioural reference the circuit is verified against.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// LanePlan describes how an output channel's bitlines are partitioned into
+// arbitration lanes (§4.4). A lane is a group of exactly Radix bitlines —
+// the number needed for one LRG arbitration — so a switch has
+// BusWidthBits/Radix lanes in total. The guaranteed-latency class and the
+// best-effort class each consume one lane when enabled; the remaining lanes
+// encode the thermometer-coded auxVC levels of the guaranteed-bandwidth
+// class. More GB lanes mean a finer-grained virtual clock comparison.
+type LanePlan struct {
+	BusWidthBits int
+	Radix        int
+	Lanes        int // total lanes = BusWidthBits / Radix
+	GLLanes      int // 1 if the GL class is enabled
+	BELanes      int // 1 if the BE class is enabled
+	GBLanes      int // thermometer levels available to the GB class
+}
+
+// PlanLanes computes the lane partition for a switch, or an error when the
+// bus is too narrow to support the requested classes (the paper's
+// scalability limit: a radix-64 switch needs a 256-bit bus for three
+// classes).
+func PlanLanes(busWidthBits, radix int, enableGL, enableBE bool) (LanePlan, error) {
+	if radix <= 1 {
+		return LanePlan{}, fmt.Errorf("core: radix %d must be at least 2", radix)
+	}
+	if busWidthBits <= 0 || busWidthBits%radix != 0 {
+		return LanePlan{}, fmt.Errorf("core: bus width %d not a positive multiple of radix %d", busWidthBits, radix)
+	}
+	p := LanePlan{
+		BusWidthBits: busWidthBits,
+		Radix:        radix,
+		Lanes:        busWidthBits / radix,
+	}
+	if enableGL {
+		p.GLLanes = 1
+	}
+	if enableBE {
+		p.BELanes = 1
+	}
+	p.GBLanes = p.Lanes - p.GLLanes - p.BELanes
+	if p.GBLanes < 1 {
+		return LanePlan{}, fmt.Errorf("core: %d-bit bus with radix %d leaves %d lanes for the GB class; need at least 1",
+			busWidthBits, radix, p.GBLanes)
+	}
+	return p, nil
+}
+
+// MaxSigBits returns the largest number of significant auxVC bits whose
+// thermometer code fits in the plan's GB lanes: 2^sig <= GBLanes.
+func (p LanePlan) MaxSigBits() int {
+	if p.GBLanes < 1 {
+		return 0
+	}
+	return bits.Len(uint(p.GBLanes)) - 1
+}
+
+// ThermCode returns the thermometer-code bit vector for a quantised auxVC
+// value: bit i is set iff i <= value. Smaller values (higher priority)
+// yield fewer set bits. levels is the vector length; value is clamped to
+// levels-1.
+func ThermCode(value, levels int) []bool {
+	if levels <= 0 {
+		return nil
+	}
+	if value >= levels {
+		value = levels - 1
+	}
+	if value < 0 {
+		value = 0
+	}
+	t := make([]bool, levels)
+	for i := 0; i <= value; i++ {
+		t[i] = true
+	}
+	return t
+}
+
+// ThermValue decodes a thermometer code produced by ThermCode back to its
+// integer value (the index of the highest set bit). It returns an error if
+// the vector is not a valid thermometer code (a prefix of ones).
+func ThermValue(code []bool) (int, error) {
+	if len(code) == 0 || !code[0] {
+		return 0, fmt.Errorf("core: thermometer code %v must begin with a set bit", code)
+	}
+	v := 0
+	for i := 1; i < len(code); i++ {
+		if code[i] {
+			if !code[i-1] {
+				return 0, fmt.Errorf("core: %v is not a thermometer code", code)
+			}
+			v = i
+		}
+	}
+	return v, nil
+}

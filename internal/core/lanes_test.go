@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPlanLanesPaperConfigs(t *testing.T) {
+	// §4.4: num_lanes = output bus width / radix; a 128-bit bus suffices
+	// for radix 8-32 with three classes, radix-64 needs 256 bits.
+	cases := []struct {
+		width, radix int
+		gl, be       bool
+		lanes, gb    int
+		err          bool
+	}{
+		{64, 8, false, false, 8, 8, false},
+		{128, 8, true, true, 16, 14, false},
+		{128, 16, true, true, 8, 6, false},
+		{128, 32, true, true, 4, 2, false},
+		{128, 64, true, true, 2, 0, true}, // radix-64 needs 256-bit for 3 classes
+		{256, 64, true, true, 4, 2, false},
+		{512, 64, true, true, 8, 6, false},
+		{128, 8, false, false, 16, 16, false},
+	}
+	for _, tc := range cases {
+		p, err := PlanLanes(tc.width, tc.radix, tc.gl, tc.be)
+		if tc.err {
+			if err == nil {
+				t.Errorf("PlanLanes(%d,%d,gl=%v,be=%v): expected error", tc.width, tc.radix, tc.gl, tc.be)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("PlanLanes(%d,%d): %v", tc.width, tc.radix, err)
+			continue
+		}
+		if p.Lanes != tc.lanes || p.GBLanes != tc.gb {
+			t.Errorf("PlanLanes(%d,%d) = lanes %d gb %d, want %d/%d", tc.width, tc.radix, p.Lanes, p.GBLanes, tc.lanes, tc.gb)
+		}
+	}
+}
+
+func TestPlanLanesRejectsBadGeometry(t *testing.T) {
+	if _, err := PlanLanes(100, 8, false, false); err == nil {
+		t.Error("width not a multiple of radix must be rejected")
+	}
+	if _, err := PlanLanes(128, 1, false, false); err == nil {
+		t.Error("radix 1 must be rejected")
+	}
+	if _, err := PlanLanes(0, 8, false, false); err == nil {
+		t.Error("zero width must be rejected")
+	}
+}
+
+func TestMaxSigBits(t *testing.T) {
+	cases := []struct {
+		gbLanes, want int
+	}{{16, 4}, {14, 3}, {8, 3}, {2, 1}, {1, 0}, {3, 1}}
+	for _, tc := range cases {
+		p := LanePlan{GBLanes: tc.gbLanes}
+		if got := p.MaxSigBits(); got != tc.want {
+			t.Errorf("MaxSigBits(gbLanes=%d) = %d, want %d", tc.gbLanes, got, tc.want)
+		}
+	}
+}
+
+func TestThermCodeExamples(t *testing.T) {
+	// Figure 1(a): value 6 over 8 lanes has seven leading ones; value 0
+	// has one; value 7 is all ones.
+	if got := ThermCode(6, 8); !equalBools(got, []bool{true, true, true, true, true, true, true, false}) {
+		t.Errorf("ThermCode(6,8) = %v", got)
+	}
+	if got := ThermCode(0, 8); !equalBools(got, []bool{true, false, false, false, false, false, false, false}) {
+		t.Errorf("ThermCode(0,8) = %v", got)
+	}
+	if got := ThermCode(7, 8); !equalBools(got, []bool{true, true, true, true, true, true, true, true}) {
+		t.Errorf("ThermCode(7,8) = %v", got)
+	}
+	// Values beyond the range clamp to the top level.
+	if got := ThermCode(12, 8); !equalBools(got, ThermCode(7, 8)) {
+		t.Errorf("ThermCode(12,8) = %v, want all ones", got)
+	}
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestThermRoundTrip(t *testing.T) {
+	f := func(v uint8, levelsRaw uint8) bool {
+		levels := int(levelsRaw%16) + 1
+		val := int(v) % levels
+		got, err := ThermValue(ThermCode(val, levels))
+		return err == nil && got == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThermValueRejectsInvalid(t *testing.T) {
+	bad := [][]bool{
+		{},
+		{false, true},
+		{true, false, true},
+		{true, true, false, true},
+	}
+	for _, code := range bad {
+		if _, err := ThermValue(code); err == nil {
+			t.Errorf("ThermValue(%v): expected error", code)
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"fmt"
+
+	"swizzleqos/internal/arb"
+	"swizzleqos/internal/noc"
+)
+
+// CounterPolicy selects how the finite auxVC counters are kept from
+// saturating (§3.1 "Finite Counters and Real Time Clock" and "Improving
+// Latency Fairness").
+type CounterPolicy uint8
+
+const (
+	// SubtractRealTime keeps a real-time clock counter of the same
+	// granularity as the auxVC least significant bits; each time it
+	// saturates, one is subtracted from every counter's most significant
+	// bits and all thermometer codes shift down a position. This is the
+	// baseline hardware adaptation of Virtual Clock step 1:
+	// auxVC <- max(auxVC, realtime) - realtime.
+	SubtractRealTime CounterPolicy = iota
+	// Halve divides every auxVC register by two whenever any of them
+	// saturates (shift down one position, copy the top half of the
+	// thermometer code to the bottom half). Compressing the value range
+	// creates more thermometer-code ties, which LRG resolves fairly,
+	// decoupling latency from the reserved rate.
+	Halve
+	// Reset zeroes every auxVC register (and thermometer code) whenever
+	// any of them saturates. The paper found this gives the least
+	// latency variance across bandwidth allocations.
+	Reset
+)
+
+// String returns the paper's name for the policy.
+func (p CounterPolicy) String() string {
+	switch p {
+	case SubtractRealTime:
+		return "SubtractRealClock"
+	case Halve:
+		return "DivideBy2"
+	case Reset:
+		return "Reset"
+	}
+	return fmt.Sprintf("CounterPolicy(%d)", uint8(p))
+}
+
+// Config parameterises one SSVC arbiter (one output channel).
+type Config struct {
+	// Radix is the number of input ports.
+	Radix int
+	// CounterBits is the total auxVC counter width. Table 1 uses 3+8
+	// bits; Figure 4 uses 4 significant bits over a 12-bit counter.
+	CounterBits int
+	// SigBits is the number of auxVC most significant bits mapped to the
+	// thermometer code: the coarse comparison distinguishes 2^SigBits
+	// priority levels, one per GB lane.
+	SigBits int
+	// Policy is the finite-counter management method.
+	Policy CounterPolicy
+	// Vticks[i] is input i's virtual clock increment in cycles per
+	// packet (FlowSpec.Vtick) for this output. An input with Vtick 0
+	// has no GB reservation; its GB requests are demoted to best-effort
+	// priority.
+	Vticks []uint64
+
+	// EnableGL reserves the guaranteed-latency lane. GLVtick is the
+	// cycle budget per GL packet implied by the small fraction of output
+	// bandwidth reserved for the class (shared among all inputs), and
+	// GLBurst is the number of GL packets that may be serviced
+	// back-to-back before the leaky-bucket policing defers further GL
+	// traffic until the real-time clock catches up (§3.4: "safeguards
+	// ... to prevent its abuse"). GLVtick 0 disables policing.
+	EnableGL bool
+	GLVtick  uint64
+	GLBurst  int
+}
+
+// Validate reports a descriptive error for malformed configurations.
+func (c Config) Validate() error {
+	if c.Radix < 2 {
+		return fmt.Errorf("core: radix %d must be at least 2", c.Radix)
+	}
+	if c.CounterBits < 2 || c.CounterBits > 32 {
+		return fmt.Errorf("core: counter width %d outside [2,32]", c.CounterBits)
+	}
+	if c.SigBits < 1 || c.SigBits >= c.CounterBits {
+		return fmt.Errorf("core: %d significant bits must lie in [1,%d)", c.SigBits, c.CounterBits)
+	}
+	if len(c.Vticks) != c.Radix {
+		return fmt.Errorf("core: got %d vticks for radix %d", len(c.Vticks), c.Radix)
+	}
+	if c.EnableGL && c.GLVtick > 0 && c.GLBurst < 1 {
+		return fmt.Errorf("core: GL policing needs a burst allowance of at least 1 packet, got %d", c.GLBurst)
+	}
+	return nil
+}
+
+// SSVC is the Swizzle Switch Virtual Clock arbiter for a single output
+// channel. It implements the full three-class arbitration of §3 in one
+// call: guaranteed-latency requests (policed by a leaky bucket) take
+// absolute priority, guaranteed-bandwidth requests are compared by the
+// coarse thermometer-coded auxVC value with LRG breaking ties, and
+// best-effort requests are served by plain LRG when no higher class is
+// present.
+type SSVC struct {
+	cfg     Config
+	levels  int    // 2^SigBits thermometer levels
+	quantum uint64 // value of one auxVC most-significant-bit step
+	max     uint64 // counter saturation value
+
+	aux  []uint64 // per-input auxVC, relative to base
+	base uint64   // real-time epoch the aux values are relative to
+	lrg  *arb.LRGState
+
+	glVC uint64 // absolute leaky-bucket clock for the shared GL budget
+
+	saturations uint64 // number of policy events (halve/reset), for tests
+}
+
+// Statically ensure SSVC satisfies the switch arbitration contract.
+var _ arb.Arbiter = (*SSVC)(nil)
+
+// NewSSVC returns an SSVC arbiter. It panics on an invalid configuration;
+// use Config.Validate to check first when the configuration is external.
+func NewSSVC(cfg Config) *SSVC {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	cfg.Vticks = append([]uint64(nil), cfg.Vticks...)
+	s := &SSVC{
+		cfg:     cfg,
+		levels:  1 << cfg.SigBits,
+		quantum: 1 << (cfg.CounterBits - cfg.SigBits),
+		max:     1<<cfg.CounterBits - 1,
+		aux:     make([]uint64, cfg.Radix),
+		lrg:     arb.NewLRGState(cfg.Radix),
+	}
+	return s
+}
+
+// Levels returns the number of distinct coarse priority levels (GB lanes
+// consumed by the thermometer code).
+func (s *SSVC) Levels() int { return s.levels }
+
+// rel returns the real-time clock value relative to the current epoch,
+// clamped to the counter range like the saturating hardware counter.
+func (s *SSVC) rel(now uint64) uint64 {
+	r := now - s.base
+	if r > s.max {
+		r = s.max
+	}
+	return r
+}
+
+// Coarse returns input i's quantised auxVC value: the SigBits most
+// significant counter bits, clamped to the top thermometer level.
+func (s *SSVC) Coarse(i int) int {
+	v := s.aux[i] / s.quantum
+	if v >= uint64(s.levels) {
+		return s.levels - 1
+	}
+	return int(v)
+}
+
+// Therm returns input i's thermometer-code vector.
+func (s *SSVC) Therm(i int) []bool { return ThermCode(s.Coarse(i), s.levels) }
+
+// LRG exposes the tie-break state (shared by all classes).
+func (s *SSVC) LRG() *arb.LRGState { return s.lrg }
+
+// Aux returns input i's raw auxVC counter value (relative to the epoch).
+func (s *SSVC) Aux(i int) uint64 { return s.aux[i] }
+
+// Saturations returns how many halve/reset events have occurred.
+func (s *SSVC) Saturations() uint64 { return s.saturations }
+
+// glEligible reports whether a guaranteed-latency grant is currently
+// within the class's shared bandwidth budget.
+func (s *SSVC) glEligible(now uint64) bool {
+	if !s.cfg.EnableGL || s.cfg.GLVtick == 0 {
+		return s.cfg.EnableGL
+	}
+	allowance := uint64(s.cfg.GLBurst-1) * s.cfg.GLVtick
+	return s.glVC <= now+allowance
+}
+
+// Arbitrate implements arb.Arbiter.
+func (s *SSVC) Arbitrate(now uint64, reqs []arb.Request) int {
+	if len(reqs) == 0 {
+		return -1
+	}
+	// Guaranteed latency: absolute priority while within budget; LRG
+	// picks among simultaneous GL requesters (Fig 3).
+	if s.cfg.EnableGL && s.glEligible(now) {
+		if w := s.pickLRG(reqs, func(r arb.Request) bool {
+			return r.Class == noc.GuaranteedLatency
+		}); w >= 0 {
+			return w
+		}
+	}
+	// Guaranteed bandwidth: smallest thermometer code wins; LRG breaks
+	// ties. GB requests from inputs without a reservation fall through
+	// to best-effort priority.
+	best := -1
+	bestCoarse := s.levels
+	bestRank := s.cfg.Radix
+	for i, r := range reqs {
+		if r.Class != noc.GuaranteedBandwidth || s.cfg.Vticks[r.Input] == 0 {
+			continue
+		}
+		c := s.Coarse(r.Input)
+		rk := s.lrg.Rank(r.Input)
+		if c < bestCoarse || (c == bestCoarse && rk < bestRank) {
+			best, bestCoarse, bestRank = i, c, rk
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	// Best effort (including unreserved GB): plain LRG.
+	return s.pickLRG(reqs, func(r arb.Request) bool {
+		return r.Class == noc.BestEffort ||
+			(r.Class == noc.GuaranteedBandwidth && s.cfg.Vticks[r.Input] == 0)
+	})
+}
+
+func (s *SSVC) pickLRG(reqs []arb.Request, keep func(arb.Request) bool) int {
+	best, bestRank := -1, s.cfg.Radix
+	for i, r := range reqs {
+		if !keep(r) {
+			continue
+		}
+		if rk := s.lrg.Rank(r.Input); rk < bestRank {
+			best, bestRank = i, rk
+		}
+	}
+	return best
+}
+
+// Granted implements arb.Arbiter: the winner's virtual clock advances by
+// its Vtick ("the auxVC counter increases by Vtick each time a packet is
+// transmitted") and the LRG order rotates.
+func (s *SSVC) Granted(now uint64, req arb.Request) {
+	s.lrg.Grant(req.Input)
+	switch req.Class {
+	case noc.GuaranteedLatency:
+		if s.cfg.GLVtick > 0 {
+			if now > s.glVC {
+				s.glVC = now
+			}
+			s.glVC += s.cfg.GLVtick
+		}
+	case noc.GuaranteedBandwidth:
+		vt := s.cfg.Vticks[req.Input]
+		if vt == 0 {
+			return
+		}
+		a := s.aux[req.Input]
+		if r := s.rel(now); r > a {
+			a = r
+		}
+		a += vt
+		if a > s.max {
+			a = s.max
+			s.aux[req.Input] = a
+			s.onSaturation(now)
+			return
+		}
+		s.aux[req.Input] = a
+	}
+}
+
+// onSaturation applies the configured finite-counter policy when a counter
+// hits its ceiling. Under SubtractRealTime saturation simply clamps — the
+// counter rides at its maximum until the periodic real-time subtraction
+// drains it, which can take many quanta after a burst. Halve and Reset
+// instead forgive accumulated "burst debt" across every counter at once,
+// compressing the set of distinct thermometer codes so LRG ties (and with
+// them latency fairness) become more frequent (§3.1 "Improving Latency
+// Fairness").
+func (s *SSVC) onSaturation(now uint64) {
+	switch s.cfg.Policy {
+	case SubtractRealTime:
+		return
+	case Halve:
+		s.saturations++
+		for i := range s.aux {
+			s.aux[i] /= 2
+		}
+	case Reset:
+		s.saturations++
+		for i := range s.aux {
+			s.aux[i] = 0
+		}
+	}
+}
+
+// Tick implements arb.Arbiter: every time the real-time clock counter (the
+// low CounterBits-SigBits bits) rolls over, one quantum is subtracted from
+// every auxVC and the epoch advances — the hardware's "subtract 1 from the
+// most significant bits and shift all thermometer codes down by 1". The
+// real-time clock is the same piece of hardware under all three counter
+// policies; the policies differ only in how auxVC saturation is handled.
+func (s *SSVC) Tick(now uint64) {
+	for now-s.base >= s.quantum {
+		for i := range s.aux {
+			if s.aux[i] > s.quantum {
+				s.aux[i] -= s.quantum
+			} else {
+				s.aux[i] = 0
+			}
+		}
+		s.base += s.quantum
+	}
+}

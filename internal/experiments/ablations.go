@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+
+	"swizzleqos/internal/arb"
+	"swizzleqos/internal/noc"
+	"swizzleqos/internal/stats"
+	"swizzleqos/internal/switchsim"
+	"swizzleqos/internal/traffic"
+)
+
+// ChainingOutcome compares saturated throughput with and without packet
+// chaining for one packet length.
+type ChainingOutcome struct {
+	PacketLen   int
+	Plain       float64 // accepted flits/cycle
+	Chained     float64
+	TheoryPlain float64 // L/(L+1)
+}
+
+// AblationChaining quantifies the arbitration-cycle loss the paper
+// mentions in §4.2 and its recovery by packet chaining [10]: a saturated
+// output moving L-flit packets reaches L/(L+1) flits/cycle without
+// chaining and ~1.0 with it. Short packets suffer most.
+func AblationChaining(o Options) []ChainingOutcome {
+	o = o.withDefaults()
+	var out []ChainingOutcome
+	for _, l := range []int{1, 2, 4, 8, 16} {
+		oc := ChainingOutcome{PacketLen: l, TheoryPlain: float64(l) / float64(l+1)}
+		oc.Plain = chainingRun(l, false, o)
+		oc.Chained = chainingRun(l, true, o)
+		out = append(out, oc)
+	}
+	return out
+}
+
+func chainingRun(packetLen int, chaining bool, o Options) float64 {
+	cfg := fig4Config()
+	cfg.PacketChaining = chaining
+	if cfg.GBBufferFlits < 2*packetLen {
+		cfg.GBBufferFlits = 2 * packetLen
+	}
+	sw := mustSwitch(cfg, func(int) arb.Arbiter { return arb.NewLRG(fig4Radix) })
+	var seq traffic.Sequence
+	for i := 0; i < fig4Radix; i++ {
+		spec := noc.FlowSpec{Src: i, Dst: 0, Class: noc.BestEffort, PacketLength: packetLen}
+		mustAddFlow(sw, traffic.Flow{Spec: spec, Gen: traffic.NewBacklogged(&seq, spec, 4)})
+	}
+	return runCollected(sw, o).OutputThroughput(0)
+}
+
+// ChainingTable renders the chaining ablation.
+func ChainingTable(outcomes []ChainingOutcome) *stats.Table {
+	t := stats.NewTable("Ablation: arbitration-cycle loss and packet chaining (saturated output, LRG)",
+		"packet(flits)", "plain", "theory L/(L+1)", "chained")
+	for _, oc := range outcomes {
+		t.AddRow(oc.PacketLen, fmt.Sprintf("%.3f", oc.Plain),
+			fmt.Sprintf("%.3f", oc.TheoryPlain), fmt.Sprintf("%.3f", oc.Chained))
+	}
+	return t
+}
+
+// FixedPriorityOutcome contrasts the prior 4-level fixed-priority QoS [14]
+// with SSVC for a high-priority aggressor and a low-priority victim.
+type FixedPriorityOutcome struct {
+	Scheme            string
+	AggressorAccepted float64
+	VictimAccepted    float64
+}
+
+// AblationFixedPriority reproduces the §2.2 comparison with the prior
+// Swizzle Switch QoS: under fixed priority a persistent high-level flow
+// starves the low level entirely, and inputs cannot control how much
+// bandwidth a level receives; SSVC instead holds the aggressor to its
+// reservation and keeps serving the victim.
+func AblationFixedPriority(o Options) []FixedPriorityOutcome {
+	o = o.withDefaults()
+	// Aggressor reserves 30% but demands everything; victim reserves
+	// 30% and demands everything too.
+	specs := []noc.FlowSpec{
+		{Src: 0, Dst: 0, Class: noc.GuaranteedBandwidth, Rate: 0.3, PacketLength: 8},
+		{Src: 1, Dst: 0, Class: noc.GuaranteedBandwidth, Rate: 0.3, PacketLength: 8},
+	}
+	run := func(name string, factory func(int) arb.Arbiter) FixedPriorityOutcome {
+		sw := mustSwitch(fig4Config(), factory)
+		var seq traffic.Sequence
+		for _, s := range specs {
+			mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+		}
+		col := runCollected(sw, o)
+		return FixedPriorityOutcome{
+			Scheme:            name,
+			AggressorAccepted: col.Throughput(stats.FlowKey{Src: 0, Dst: 0, Class: noc.GuaranteedBandwidth}),
+			VictimAccepted:    col.Throughput(stats.FlowKey{Src: 1, Dst: 0, Class: noc.GuaranteedBandwidth}),
+		}
+	}
+	fixed := run("FixedPriority[14]", func(int) arb.Arbiter {
+		// Message priority by input: input 0 is the high level.
+		return arb.NewMultiLevel(fig4Radix, func(r arb.Request) int { return -r.Input })
+	})
+	ssvc := run("SSVC", ssvcFactory(fig4Radix, fig4SigBits, 0, specs))
+	return []FixedPriorityOutcome{fixed, ssvc}
+}
+
+// FixedPriorityTable renders the starvation ablation.
+func FixedPriorityTable(outcomes []FixedPriorityOutcome) *stats.Table {
+	t := stats.NewTable("Ablation: fixed-priority starvation vs SSVC (both flows reserve 30%, both saturated)",
+		"scheme", "aggressor (flits/cyc)", "victim (flits/cyc)")
+	for _, oc := range outcomes {
+		t.AddRow(oc.Scheme, fmt.Sprintf("%.3f", oc.AggressorAccepted), fmt.Sprintf("%.3f", oc.VictimAccepted))
+	}
+	return t
+}
+
+// StaticOutcome measures channel utilisation when half the flows go idle.
+type StaticOutcome struct {
+	Scheme      string
+	Utilisation float64 // accepted / effective capacity
+}
+
+// AblationStaticSchedulers demonstrates §2.2's criticism of static
+// schemes: when half the reserved flows fall silent, true TDM and a
+// fixed WRR schedule waste the idle slots ("that time slot is wasted and
+// results in link underutilization"), while DWRR, WFQ, and SSVC hand the
+// leftover to the backlogged flows.
+func AblationStaticSchedulers(o Options) []StaticOutcome {
+	o = o.withDefaults()
+	const packetLen = 8
+	specs := make([]noc.FlowSpec, fig4Radix)
+	weights := make([]int, fig4Radix)
+	quanta := make([]int, fig4Radix)
+	wf := make([]float64, fig4Radix)
+	for i := range specs {
+		specs[i] = noc.FlowSpec{Src: i, Dst: 0, Class: noc.GuaranteedBandwidth, Rate: 0.1, PacketLength: packetLen}
+		weights[i] = packetLen
+		quanta[i] = packetLen
+		wf[i] = 0.1
+	}
+	capacity := float64(packetLen) / float64(packetLen+1)
+	run := func(name string, factory func(int) arb.Arbiter) StaticOutcome {
+		sw := mustSwitch(fig4Config(), factory)
+		var seq traffic.Sequence
+		// Only the even inputs offer traffic.
+		for i := 0; i < fig4Radix; i += 2 {
+			mustAddFlow(sw, traffic.Flow{Spec: specs[i], Gen: traffic.NewBacklogged(&seq, specs[i], 4)})
+		}
+		col := runCollected(sw, o)
+		return StaticOutcome{Scheme: name, Utilisation: col.OutputThroughput(0) / capacity}
+	}
+	return []StaticOutcome{
+		run("TDM", func(int) arb.Arbiter {
+			return arb.NewTDM(arb.UniformTDMTable(fig4Radix, packetLen+1))
+		}),
+		run("WRR(fixed)", func(int) arb.Arbiter { return arb.NewWRR(weights, false) }),
+		run("WRR(work-conserving)", func(int) arb.Arbiter { return arb.NewWRR(weights, true) }),
+		run("DWRR", func(int) arb.Arbiter { return arb.NewDWRR(quanta) }),
+		run("WFQ", func(int) arb.Arbiter { return arb.NewWFQ(wf) }),
+		run("SSVC", ssvcFactory(fig4Radix, fig4SigBits, 0, specs)),
+	}
+}
+
+// StaticTable renders the leftover-bandwidth ablation.
+func StaticTable(outcomes []StaticOutcome) *stats.Table {
+	t := stats.NewTable("Ablation: channel utilisation when half the reserved flows go idle",
+		"scheme", "utilisation")
+	for _, oc := range outcomes {
+		t.AddRow(oc.Scheme, fmt.Sprintf("%.3f", oc.Utilisation))
+	}
+	return t
+}
+
+// SigBitsOutcome records adherence accuracy for one thermometer
+// resolution.
+type SigBitsOutcome struct {
+	SigBits    int
+	Levels     int
+	WorstRatio float64 // min accepted/reserved across flows
+}
+
+// AblationSigBits sweeps the number of significant auxVC bits (§4.4: "the
+// accuracy of the SSVC technique increases with more lanes of
+// arbitration") using the Figure 4 reservation mix scaled into capacity.
+func AblationSigBits(o Options) []SigBitsOutcome {
+	o = o.withDefaults()
+	rates := []float64{0.3, 0.15, 0.1, 0.1, 0.05, 0.05, 0.05, 0.05}
+	specs := make([]noc.FlowSpec, fig4Radix)
+	for i, r := range rates {
+		specs[i] = noc.FlowSpec{Src: i, Dst: 0, Class: noc.GuaranteedBandwidth, Rate: r, PacketLength: fig4PacketLen}
+	}
+	var out []SigBitsOutcome
+	for sig := 1; sig <= 6; sig++ {
+		sw := mustSwitch(fig4Config(), ssvcFactory(fig4Radix, sig, 0, specs))
+		var seq traffic.Sequence
+		for _, s := range specs {
+			mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+		}
+		col := runCollected(sw, o)
+		worst := 1e9
+		for i, r := range rates {
+			ratio := col.Throughput(stats.FlowKey{Src: i, Dst: 0, Class: noc.GuaranteedBandwidth}) / r
+			if ratio < worst {
+				worst = ratio
+			}
+		}
+		out = append(out, SigBitsOutcome{SigBits: sig, Levels: 1 << sig, WorstRatio: worst})
+	}
+	return out
+}
+
+// SigBitsTable renders the resolution sweep.
+func SigBitsTable(outcomes []SigBitsOutcome) *stats.Table {
+	t := stats.NewTable("Ablation: thermometer resolution vs reservation accuracy (Fig 4 mix, saturated)",
+		"sig bits", "levels (lanes)", "worst accepted/reserved")
+	for _, oc := range outcomes {
+		t.AddRow(oc.SigBits, oc.Levels, fmt.Sprintf("%.3f", oc.WorstRatio))
+	}
+	return t
+}
+
+// compile-time guard: the ablations only use exported switchsim API.
+var _ = switchsim.Config{}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"swizzleqos/internal/arb"
+	"swizzleqos/internal/compose"
+	"swizzleqos/internal/core"
+	"swizzleqos/internal/noc"
+	"swizzleqos/internal/stats"
+	"swizzleqos/internal/traffic"
+)
+
+// ComposeOutcome contrasts per-flow and per-crosspoint (aggregate)
+// guarantee enforcement on one fabric.
+type ComposeOutcome struct {
+	System         string
+	PerFlowWorst   float64 // min accepted/reserved across individual flows
+	AggregateWorst float64 // min accepted/reserved across source aggregates
+	PerFlowHeld    bool
+	AggregateHeld  bool
+}
+
+// ComposeQoS quantifies §4.4's argument against composing switches:
+// "Crosspoints will have to be shared by several flows, requiring more
+// per-flow state storage." Four GB flows (two per source terminal, with
+// very different reservations) run on a single radix-8 SSVC switch and on
+// a two-level Clos of SSVC switches with one uplink per leaf. On the
+// single stage every flow has its own crosspoint and its own auxVC: all
+// four reservations hold. On the composition, both of a terminal's flows
+// traverse the same (terminal, uplink) crosspoint, whose single auxVC can
+// only be programmed with their aggregate — the aggregate holds, but the
+// per-flow split collapses to FIFO fairness and the 40% flow starves
+// toward 25%.
+func ComposeQoS(o Options) []ComposeOutcome {
+	o = o.withDefaults()
+	type contract struct {
+		src, dst int
+		rate     float64
+	}
+	contracts := []contract{
+		{0, 4, 0.40},
+		{0, 5, 0.10},
+		{1, 4, 0.20},
+		{1, 5, 0.10},
+	}
+	const pktLen = 8
+	specs := make([]noc.FlowSpec, len(contracts))
+	for i, c := range contracts {
+		specs[i] = noc.FlowSpec{Src: c.src, Dst: c.dst,
+			Class: noc.GuaranteedBandwidth, Rate: c.rate, PacketLength: pktLen}
+	}
+	aggregate := map[int]float64{}
+	for _, c := range contracts {
+		aggregate[c.src] += c.rate
+	}
+
+	evaluate := func(system string, col *stats.Collector) ComposeOutcome {
+		oc := ComposeOutcome{System: system, PerFlowWorst: 1e9, AggregateWorst: 1e9}
+		bySrc := map[int]float64{}
+		for _, c := range contracts {
+			got := col.Throughput(stats.FlowKey{Src: c.src, Dst: c.dst, Class: noc.GuaranteedBandwidth})
+			bySrc[c.src] += got
+			if ratio := got / c.rate; ratio < oc.PerFlowWorst {
+				oc.PerFlowWorst = ratio
+			}
+		}
+		for src, sum := range bySrc {
+			if ratio := sum / aggregate[src]; ratio < oc.AggregateWorst {
+				oc.AggregateWorst = ratio
+			}
+		}
+		oc.PerFlowHeld = oc.PerFlowWorst >= 0.95
+		oc.AggregateHeld = oc.AggregateWorst >= 0.95
+		return oc
+	}
+
+	var out []ComposeOutcome
+
+	// Single-stage radix-8 SSVC switch: one crosspoint per flow.
+	{
+		sw := mustSwitch(fig4Config(), ssvcFactory(fig4Radix, fig4SigBits, 0, specs))
+		var seq traffic.Sequence
+		for _, s := range specs {
+			mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+		}
+		out = append(out, evaluate("SingleStage radix-8 SSVC", runCollected(sw, o)))
+	}
+
+	// Two-level Clos, one uplink per leaf: both of a terminal's flows
+	// share the (terminal, uplink) crosspoint, so the leaf's SSVC can
+	// only be programmed with the aggregate Vtick.
+	{
+		topo, err := compose.TwoLevelClos(2, 4, 1)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		net, err := compose.New(compose.Config{
+			Topology:    topo,
+			BufferFlits: fig4BufFlits,
+			NewArbiter: func(nodeID, port, ports int) arb.Arbiter {
+				// Leaf 0's uplink (port 4) regulates the contended
+				// stage; aggregate reservations per input port.
+				if nodeID == 0 && port == 4 {
+					vticks := make([]uint64, ports)
+					for src, sum := range aggregate {
+						vticks[src] = noc.FlowSpec{Rate: sum, PacketLength: pktLen}.Vtick()
+					}
+					return core.NewSSVC(core.Config{
+						Radix: ports, CounterBits: counterBits, SigBits: 3,
+						Policy: core.SubtractRealTime, Vticks: vticks,
+					})
+				}
+				return arb.NewLRG(ports)
+			},
+		})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		var seq traffic.Sequence
+		for _, s := range specs {
+			if err := net.AddFlow(traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)}); err != nil {
+				panic(fmt.Sprintf("experiments: %v", err))
+			}
+		}
+		col := stats.NewCollector(o.Warmup, o.total())
+		net.OnDeliver(col.OnDeliver)
+		net.Run(o.total())
+		out = append(out, evaluate("Composed 2-level Clos (shared crosspoints)", col))
+	}
+	return out
+}
+
+// ComposeTable renders the composition comparison.
+func ComposeTable(outcomes []ComposeOutcome) *stats.Table {
+	t := stats.NewTable(
+		"§4.4 composition: per-flow vs aggregate guarantees (flows 40/10% and 20/10% per source)",
+		"system", "per-flow worst ratio", "per-flow held?", "aggregate worst ratio", "aggregate held?")
+	for _, oc := range outcomes {
+		t.AddRow(oc.System, fmt.Sprintf("%.3f", oc.PerFlowWorst), oc.PerFlowHeld,
+			fmt.Sprintf("%.3f", oc.AggregateWorst), oc.AggregateHeld)
+	}
+	return t
+}

@@ -1,0 +1,138 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§4) plus the ablations called out in DESIGN.md. Each
+// experiment is a pure function from an Options value to a result struct
+// with a Table method, so the same code backs the ssvc-bench CLI and the
+// repository's benchmarks.
+package experiments
+
+import (
+	"fmt"
+
+	"swizzleqos/internal/arb"
+	"swizzleqos/internal/core"
+	"swizzleqos/internal/noc"
+	"swizzleqos/internal/stats"
+	"swizzleqos/internal/switchsim"
+	"swizzleqos/internal/traffic"
+)
+
+// Options controls simulation length and reproducibility. The zero value
+// selects full-length runs; Quick shrinks them for fast benchmarks and CI.
+type Options struct {
+	// Cycles is the measurement window length after warmup.
+	Cycles uint64
+	// Warmup is the number of cycles discarded before measuring.
+	Warmup uint64
+	// Seed perturbs all workload RNG streams.
+	Seed uint64
+}
+
+// Quick returns options for a fast, reduced-accuracy run.
+func Quick() Options { return Options{Cycles: 20000, Warmup: 2000, Seed: 1} }
+
+// Full returns options for a publication-length run.
+func Full() Options { return Options{Cycles: 200000, Warmup: 20000, Seed: 1} }
+
+func (o Options) withDefaults() Options {
+	if o.Cycles == 0 {
+		o.Cycles = 200000
+	}
+	if o.Warmup == 0 {
+		o.Warmup = o.Cycles / 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+func (o Options) total() uint64 { return o.Warmup + o.Cycles }
+
+// fig4Radix and friends pin the paper's Figure 4 setup: 8 inputs, one
+// output, 128-bit output channel, 8-flit packets, 16-flit buffers, GB
+// traffic only, 4 significant auxVC bits.
+const (
+	fig4Radix     = 8
+	fig4PacketLen = 8
+	fig4BufFlits  = 16
+	fig4SigBits   = 4
+	counterBits   = 12
+
+	// Figure 5 uses a 9-bit auxVC with 3 significant bits. The counter
+	// width is the lever behind the halve/reset policies: a low-rate
+	// flow's Vtick (800 cycles at a 1% allocation) then reaches the
+	// counter ceiling within a single grant, so the Halve and Reset
+	// policies fire often enough to keep the set of live thermometer
+	// codes compressed, handing arbitration to the fair LRG tie-break.
+	// With a much wider counter the policies almost never fire and all
+	// three collapse onto the subtract behaviour (see EXPERIMENTS.md).
+	fig5CounterBits = 9
+	fig5SigBits     = 3
+)
+
+// Fig4Rates are the reserved fractions of the eight inputs in Figure 4:
+// 40, 20, 10, 10, 5, 5, 5, 5 percent.
+var Fig4Rates = []float64{0.40, 0.20, 0.10, 0.10, 0.05, 0.05, 0.05, 0.05}
+
+func fig4Config() switchsim.Config {
+	return switchsim.Config{
+		Radix:         fig4Radix,
+		BEBufferFlits: fig4BufFlits,
+		GLBufferFlits: fig4BufFlits,
+		GBBufferFlits: fig4BufFlits,
+	}
+}
+
+// vticksFor computes the per-input Vtick vector toward one output for a
+// set of flow specs.
+func vticksFor(radix int, specs []noc.FlowSpec, out int) []uint64 {
+	vt := make([]uint64, radix)
+	for _, s := range specs {
+		if s.Dst == out && s.Class == noc.GuaranteedBandwidth {
+			vt[s.Src] = s.Vtick()
+		}
+	}
+	return vt
+}
+
+// ssvcFactory builds per-output SSVC arbiters configured from the flow
+// specs, with the default 12-bit counter.
+func ssvcFactory(radix, sigBits int, policy core.CounterPolicy, specs []noc.FlowSpec) func(int) arb.Arbiter {
+	return ssvcFactoryBits(radix, counterBits, sigBits, policy, specs)
+}
+
+// ssvcFactoryBits is ssvcFactory with an explicit auxVC counter width.
+func ssvcFactoryBits(radix, ctrBits, sigBits int, policy core.CounterPolicy, specs []noc.FlowSpec) func(int) arb.Arbiter {
+	return func(out int) arb.Arbiter {
+		return core.NewSSVC(core.Config{
+			Radix:       radix,
+			CounterBits: ctrBits,
+			SigBits:     sigBits,
+			Policy:      policy,
+			Vticks:      vticksFor(radix, specs, out),
+		})
+	}
+}
+
+func mustSwitch(cfg switchsim.Config, f func(int) arb.Arbiter) *switchsim.Switch {
+	sw, err := switchsim.New(cfg, f)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return sw
+}
+
+func mustAddFlow(sw *switchsim.Switch, f traffic.Flow) {
+	if err := sw.AddFlow(f); err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+}
+
+// runCollected drives a configured switch and returns the collected
+// steady-state statistics.
+func runCollected(sw *switchsim.Switch, o Options) *stats.Collector {
+	col := stats.NewCollector(o.Warmup, o.total())
+	sw.OnDeliver(col.OnDeliver)
+	sw.Run(o.total())
+	return col
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"swizzleqos/internal/arb"
+	"swizzleqos/internal/noc"
+	"swizzleqos/internal/stats"
+	"swizzleqos/internal/traffic"
+)
+
+// Fig4Point is one x-axis sample of Figure 4: every input injects at
+// InjectionRate flits/cycle and PerFlow records each flow's accepted
+// throughput at the output.
+type Fig4Point struct {
+	InjectionRate float64
+	PerFlow       []float64
+	Total         float64
+}
+
+// Fig4Result holds one curve family of Figure 4 — either the LRG
+// "No QoS" panel (a) or the SSVC "QoS Virtual Clock" panel (b).
+type Fig4Result struct {
+	QoS    bool
+	Rates  []float64 // reserved fractions (QoS panel only)
+	Points []Fig4Point
+}
+
+// Fig4InjectionRates is the swept x axis in flits/input/cycle.
+func Fig4InjectionRates() []float64 {
+	rates := make([]float64, 0, 20)
+	for r := 0.05; r <= 1.0001; r += 0.05 {
+		rates = append(rates, r)
+	}
+	return rates
+}
+
+// Fig4 reproduces Figure 4: eight inputs sending 8-flit GB packets to a
+// single output with reserved fractions 40/20/10/10/5/5/5/5%, swept over
+// injection rates. Without QoS (LRG) all flows converge to an equal share
+// during congestion; with QoS (SSVC) each flow receives at least its
+// reserved rate and the maximum accepted throughput is 8/9 ~ 0.89
+// flits/cycle.
+func Fig4(qos bool, o Options) Fig4Result {
+	o = o.withDefaults()
+	res := Fig4Result{QoS: qos, Rates: append([]float64(nil), Fig4Rates...)}
+	for _, inj := range Fig4InjectionRates() {
+		res.Points = append(res.Points, fig4Point(qos, inj, o))
+	}
+	return res
+}
+
+func fig4Point(qos bool, inj float64, o Options) Fig4Point {
+	specs := make([]noc.FlowSpec, fig4Radix)
+	for i, r := range Fig4Rates {
+		specs[i] = noc.FlowSpec{
+			Src: i, Dst: 0,
+			Class:        noc.GuaranteedBandwidth,
+			Rate:         r,
+			PacketLength: fig4PacketLen,
+		}
+	}
+	var factory func(int) arb.Arbiter
+	if qos {
+		factory = ssvcFactory(fig4Radix, fig4SigBits, 0, specs)
+	} else {
+		factory = func(int) arb.Arbiter { return arb.NewLRG(fig4Radix) }
+	}
+	sw := mustSwitch(fig4Config(), factory)
+	var seq traffic.Sequence
+	for i, s := range specs {
+		gen := traffic.NewBernoulli(&seq, s, inj, o.Seed+uint64(i)*7919)
+		mustAddFlow(sw, traffic.Flow{Spec: s, Gen: gen})
+	}
+	col := runCollected(sw, o)
+
+	p := Fig4Point{InjectionRate: inj, PerFlow: make([]float64, fig4Radix)}
+	for i := range specs {
+		p.PerFlow[i] = col.Throughput(stats.FlowKey{Src: i, Dst: 0, Class: noc.GuaranteedBandwidth})
+		p.Total += p.PerFlow[i]
+	}
+	return p
+}
+
+// Table renders the curve family as one row per injection rate.
+func (r Fig4Result) Table() *stats.Table {
+	title := "Figure 4(a): accepted throughput per flow, No QoS (LRG)"
+	if r.QoS {
+		title = "Figure 4(b): accepted throughput per flow, QoS (SSVC Virtual Clock)"
+	}
+	headers := []string{"inj(flits/in/cyc)"}
+	for i := range Fig4Rates {
+		headers = append(headers, fmt.Sprintf("flow%d(r=%.2f)", i+1, Fig4Rates[i]))
+	}
+	headers = append(headers, "total")
+	t := stats.NewTable(title, headers...)
+	for _, p := range r.Points {
+		cells := make([]any, 0, len(headers))
+		cells = append(cells, fmt.Sprintf("%.2f", p.InjectionRate))
+		for _, v := range p.PerFlow {
+			cells = append(cells, fmt.Sprintf("%.3f", v))
+		}
+		cells = append(cells, fmt.Sprintf("%.3f", p.Total))
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// Saturated returns the curve's final point (injection rate 1.0), used by
+// tests and EXPERIMENTS.md to compare against the paper's congestion
+// behaviour.
+func (r Fig4Result) Saturated() Fig4Point {
+	return r.Points[len(r.Points)-1]
+}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"swizzleqos/internal/arb"
+	"swizzleqos/internal/core"
+	"swizzleqos/internal/glbound"
+	"swizzleqos/internal/noc"
+	"swizzleqos/internal/stats"
+	"swizzleqos/internal/traffic"
+)
+
+// GLScenario is one guaranteed-latency contention scenario: NGL inputs
+// fill their GL buffers simultaneously while the remaining inputs keep the
+// output saturated with GB traffic.
+type GLScenario struct {
+	NGL           int
+	GLPacketLen   int
+	GLBufferFlits int
+	GBPacketLen   int
+}
+
+// GLOutcome compares the analytic bound with the measured worst case.
+type GLOutcome struct {
+	Scenario      GLScenario
+	PredictedWait float64 // tau_GL from Eq. 1
+	MeasuredWait  uint64  // worst observed waiting time (enqueue to grant)
+	Holds         bool
+	GLDelivered   uint64
+}
+
+// GLBoundResult aggregates the §3.4 validation scenarios.
+type GLBoundResult struct {
+	Outcomes []GLOutcome
+}
+
+// GLBoundScenarios returns the default validation matrix.
+func GLBoundScenarios() []GLScenario {
+	return []GLScenario{
+		{NGL: 1, GLPacketLen: 4, GLBufferFlits: 16, GBPacketLen: 8},
+		{NGL: 2, GLPacketLen: 4, GLBufferFlits: 16, GBPacketLen: 8},
+		{NGL: 4, GLPacketLen: 4, GLBufferFlits: 16, GBPacketLen: 8},
+		{NGL: 8, GLPacketLen: 4, GLBufferFlits: 16, GBPacketLen: 8},
+		{NGL: 4, GLPacketLen: 1, GLBufferFlits: 4, GBPacketLen: 8},
+		{NGL: 4, GLPacketLen: 8, GLBufferFlits: 16, GBPacketLen: 8},
+	}
+}
+
+// GLBound validates Eq. 1 empirically: for every scenario it arranges the
+// adversarial worst case — all NGL inputs' GL buffers filling in the same
+// cycle while saturated GB flows hold the channel — and checks that no GL
+// packet ever waits longer than tau_GL = lmax + NGL*(b + b/lmin).
+func GLBound(o Options) GLBoundResult {
+	o = o.withDefaults()
+	var res GLBoundResult
+	for _, sc := range GLBoundScenarios() {
+		res.Outcomes = append(res.Outcomes, glBoundRun(sc, o))
+	}
+	return res
+}
+
+func glBoundRun(sc GLScenario, o Options) GLOutcome {
+	lmax := sc.GBPacketLen
+	if sc.GLPacketLen > lmax {
+		lmax = sc.GLPacketLen
+	}
+	params := glbound.Params{
+		LMax:        lmax,
+		LMin:        sc.GLPacketLen,
+		NGL:         sc.NGL,
+		BufferFlits: sc.GLBufferFlits,
+	}
+	if err := params.Validate(); err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	out := GLOutcome{Scenario: sc, PredictedWait: params.MaxWait()}
+
+	// GB background: all eight inputs saturate the output with modest
+	// reservations, so a GB packet is always mid-flight when the GL
+	// burst lands.
+	gbSpecs := make([]noc.FlowSpec, fig4Radix)
+	for i := range gbSpecs {
+		gbSpecs[i] = noc.FlowSpec{
+			Src: i, Dst: 0,
+			Class:        noc.GuaranteedBandwidth,
+			Rate:         0.08,
+			PacketLength: sc.GBPacketLen,
+		}
+	}
+	pktsPerBuf := sc.GLBufferFlits / sc.GLPacketLen
+	factory := func(outPort int) arb.Arbiter {
+		return core.NewSSVC(core.Config{
+			Radix:       fig4Radix,
+			CounterBits: counterBits,
+			SigBits:     fig4SigBits,
+			Policy:      core.SubtractRealTime,
+			Vticks:      vticksFor(fig4Radix, gbSpecs, outPort),
+			EnableGL:    true,
+			// The leaky bucket must admit one full adversarial burst;
+			// long-run policing is exercised separately.
+			GLVtick: uint64(sc.GLPacketLen * 20),
+			GLBurst: sc.NGL * pktsPerBuf,
+		})
+	}
+	cfg := fig4Config()
+	cfg.GLBufferFlits = sc.GLBufferFlits
+	sw := mustSwitch(cfg, factory)
+
+	var seq traffic.Sequence
+	for _, s := range gbSpecs {
+		mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+	}
+	// GL bursts: every input fills its buffer at the same instants,
+	// several times per run, spaced far enough apart for policing and
+	// buffers to recover.
+	burstTimes := []uint64{}
+	gap := uint64(40 * sc.NGL * pktsPerBuf * (sc.GLPacketLen + 1))
+	if gap < 2000 {
+		gap = 2000
+	}
+	for tm := o.Warmup; tm < o.total()-gap; tm += gap {
+		burstTimes = append(burstTimes, tm)
+	}
+	for i := 0; i < sc.NGL; i++ {
+		spec := noc.FlowSpec{
+			Src: i, Dst: 0,
+			Class:        noc.GuaranteedLatency,
+			Rate:         0.05,
+			PacketLength: sc.GLPacketLen,
+		}
+		times := make([]uint64, 0, len(burstTimes)*pktsPerBuf)
+		for _, tm := range burstTimes {
+			for k := 0; k < pktsPerBuf; k++ {
+				times = append(times, tm)
+			}
+		}
+		mustAddFlow(sw, traffic.Flow{Spec: spec, Gen: traffic.NewTrace(&seq, spec, times)})
+	}
+
+	sw.OnDeliver(func(p *noc.Packet) {
+		if p.Class != noc.GuaranteedLatency {
+			return
+		}
+		out.GLDelivered++
+		if w := p.WaitingTime(); w > out.MeasuredWait {
+			out.MeasuredWait = w
+		}
+	})
+	sw.Run(o.total())
+	out.Holds = float64(out.MeasuredWait) <= out.PredictedWait
+	return out
+}
+
+// Table renders predicted vs measured worst-case GL waiting time.
+func (r GLBoundResult) Table() *stats.Table {
+	t := stats.NewTable("§3.4 Eq. 1: guaranteed-latency bound, predicted vs measured worst wait (cycles)",
+		"NGL", "GL pkt(flits)", "buffer b(flits)", "tau_GL predicted", "measured worst", "holds", "GL packets")
+	for _, o := range r.Outcomes {
+		t.AddRow(o.Scenario.NGL, o.Scenario.GLPacketLen, o.Scenario.GLBufferFlits,
+			fmt.Sprintf("%.0f", o.PredictedWait), o.MeasuredWait, o.Holds, o.GLDelivered)
+	}
+	return t
+}
+
+// AllHold reports whether the bound held in every scenario.
+func (r GLBoundResult) AllHold() bool {
+	for _, o := range r.Outcomes {
+		if !o.Holds || o.GLDelivered == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Tightness returns the largest measured/predicted ratio — how close the
+// worst case comes to the analytic bound.
+func (r GLBoundResult) Tightness() float64 {
+	worst := 0.0
+	for _, o := range r.Outcomes {
+		ratio := float64(o.MeasuredWait) / o.PredictedWait
+		worst = math.Max(worst, ratio)
+	}
+	return worst
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden table files")
+
+// TestGoldenTables pins the exact rendering of the deterministic
+// (simulation-free) tables. Run with -update-golden after an intentional
+// change to the hardware models or the table renderer.
+func TestGoldenTables(t *testing.T) {
+	cases := []struct {
+		name string
+		got  string
+	}{
+		{"table1.txt", Table1().String()},
+		{"table2.txt", Table2().String()},
+		{"area.txt", AreaTable().String()},
+		{"lanes.txt", LanesTable().String()},
+	}
+	for _, tc := range cases {
+		path := filepath.Join("testdata", tc.name)
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(tc.got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update-golden to create)", tc.name, err)
+		}
+		if string(want) != tc.got {
+			t.Errorf("%s drifted from golden output.\n--- golden ---\n%s\n--- got ---\n%s",
+				tc.name, want, tc.got)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"swizzleqos/internal/arb"
+	"swizzleqos/internal/gsf"
+	"swizzleqos/internal/noc"
+	"swizzleqos/internal/stats"
+	"swizzleqos/internal/switchsim"
+	"swizzleqos/internal/traffic"
+)
+
+// GSFOutcome summarises one scheme's behaviour on the saturated
+// reservation mix.
+type GSFOutcome struct {
+	Scheme      string
+	WorstRatio  float64 // min accepted/reserved across flows
+	Utilisation float64 // accepted / effective channel capacity
+	Throttled   uint64  // GSF only: source-throttled admissions
+	Retired     uint64  // GSF only: frames recycled
+}
+
+// AblationGSF compares SSVC with the §2.2 frame-based alternative,
+// Globally Synchronized Frames: both enforce reservations, but GSF pays
+// for its global barrier — every barrier cycle is dead time that dilutes
+// both the guarantees and the channel utilisation, and the cost grows
+// with the barrier network's latency. SSVC's arbitration is local to the
+// switch and pays nothing.
+func AblationGSF(o Options) []GSFOutcome {
+	o = o.withDefaults()
+	rates := []float64{0.3, 0.15, 0.1, 0.1, 0.05, 0.05, 0.05, 0.05}
+	specs := make([]noc.FlowSpec, fig4Radix)
+	for i, r := range rates {
+		specs[i] = noc.FlowSpec{
+			Src: i, Dst: 0,
+			Class:        noc.GuaranteedBandwidth,
+			Rate:         r,
+			PacketLength: fig4PacketLen,
+		}
+	}
+	capacity := float64(fig4PacketLen) / float64(fig4PacketLen+1)
+
+	run := func(name string, cfg switchsim.Config, factory func(int) arb.Arbiter,
+		ctl *gsf.Controller) GSFOutcome {
+		sw := mustSwitch(cfg, factory)
+		var seq traffic.Sequence
+		for _, s := range specs {
+			mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+		}
+		col := stats.NewCollector(o.Warmup, o.total())
+		sw.OnDeliver(func(p *noc.Packet) {
+			col.OnDeliver(p)
+			if ctl != nil {
+				ctl.Delivered(p)
+			}
+		})
+		sw.Run(o.total())
+		oc := GSFOutcome{Scheme: name, WorstRatio: 1e9}
+		var total float64
+		for i, r := range rates {
+			got := col.Throughput(stats.FlowKey{Src: i, Dst: 0, Class: noc.GuaranteedBandwidth})
+			total += got
+			if ratio := got / r; ratio < oc.WorstRatio {
+				oc.WorstRatio = ratio
+			}
+		}
+		oc.Utilisation = total / capacity
+		if ctl != nil {
+			oc.Throttled = ctl.Throttled
+			oc.Retired = ctl.Retired
+		}
+		return oc
+	}
+
+	out := []GSFOutcome{
+		run("SSVC", fig4Config(), ssvcFactory(fig4Radix, fig4SigBits, 0, specs), nil),
+	}
+	for _, barrier := range []uint64{0, 256, 512, 1024} {
+		// Frame capacity 320 keeps every budget a whole number of
+		// 8-flit packets (16..96 flits); a single-frame window makes
+		// the barrier latency visible — with a deep window, admission
+		// into later frames hides it entirely.
+		ctl := gsf.NewController(gsf.Config{
+			Inputs:         fig4Radix,
+			FrameFlits:     320,
+			Window:         1,
+			BarrierLatency: barrier,
+			Rates:          rates,
+		})
+		cfg := fig4Config()
+		cfg.AdmissionGate = ctl.Admit
+		oc := run(fmt.Sprintf("GSF(barrier=%d)", barrier), cfg,
+			func(int) arb.Arbiter { return gsf.NewArbiter(fig4Radix, ctl) }, ctl)
+		out = append(out, oc)
+	}
+	return out
+}
+
+// GSFTable renders the comparison.
+func GSFTable(outcomes []GSFOutcome) *stats.Table {
+	t := stats.NewTable(
+		"§2.2 frame-based QoS: GSF vs SSVC on the saturated reservation mix (sum 85%)",
+		"scheme", "worst accepted/reserved", "utilisation", "throttled", "frames retired")
+	for _, oc := range outcomes {
+		t.AddRow(oc.Scheme, fmt.Sprintf("%.3f", oc.WorstRatio),
+			fmt.Sprintf("%.3f", oc.Utilisation), oc.Throttled, oc.Retired)
+	}
+	return t
+}

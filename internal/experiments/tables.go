@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"swizzleqos/internal/core"
+	"swizzleqos/internal/hwmodel"
+	"swizzleqos/internal/stats"
+)
+
+// Table1 renders the paper's Table 1: SSVC storage requirements for a
+// 64x64 switch with 512-bit output buses.
+func Table1() *stats.Table {
+	c := hwmodel.Table1Config()
+	t := stats.NewTable("Table 1: SSVC storage requirements (bytes), 64x64 switch, 512-bit buses",
+		"component", "detail", "bytes")
+	t.AddRow("Buffering/Input BE", fmt.Sprintf("%d flits, %d bytes/flit", c.BEBufferFlits, c.FlitBytes()), c.BEBufferBytes())
+	t.AddRow("Buffering/Input GB", fmt.Sprintf("%d flits/out, %d outs, %d bytes/flit", c.GBBufferFlitsPerOut, c.Radix, c.FlitBytes()), c.GBBufferBytes())
+	t.AddRow("Buffering/Input GL", fmt.Sprintf("%d flits, %d bytes/flit", c.GLBufferFlits, c.FlitBytes()), c.GLBufferBytes())
+	t.AddRow("Total buffering, all inputs", fmt.Sprintf("%d inputs", c.Radix), fmt.Sprintf("%d K", c.TotalBufferBytes()/1024))
+	t.AddRow("Crosspoint auxVC", fmt.Sprintf("%d bits", c.AuxVCBits), fmt.Sprintf("%.3f", float64(c.AuxVCBits)/8))
+	t.AddRow("Crosspoint thermometer", fmt.Sprintf("%d bits", c.ThermBits), fmt.Sprintf("%.3f", float64(c.ThermBits)/8))
+	t.AddRow("Crosspoint Vtick", fmt.Sprintf("%d bits", c.VtickBits), fmt.Sprintf("%.3f", float64(c.VtickBits)/8))
+	t.AddRow("Crosspoint LRG", fmt.Sprintf("%d bits", c.LRGBits()), fmt.Sprintf("%.3f", float64(c.LRGBits())/8))
+	t.AddRow("Total crosspoint state", fmt.Sprintf("%d crosspoints", c.Radix*c.Radix), fmt.Sprintf("%.0f K", c.TotalCrosspointBytes()/1024))
+	t.AddRow("Total switch storage", "buffering + crosspoint state", fmt.Sprintf("%.0f K", c.TotalBytes()/1024))
+	return t
+}
+
+// Table2Radices and Table2Widths are the configurations of the paper's
+// Table 2.
+var (
+	Table2Radices = []int{8, 16, 32, 64}
+	Table2Widths  = []int{128, 256, 512}
+)
+
+// Table2 renders the paper's Table 2: modelled clock frequency with and
+// without SSVC for each radix and channel width, plus the slowdown. The
+// delay model is the documented substitution for the paper's SPICE data,
+// calibrated so a 64x64/128-bit switch runs at ~1.5 GHz and the worst
+// slowdown is 8.4% at 8x8/256-bit.
+func Table2() *stats.Table {
+	t := stats.NewTable("Table 2: frequency (GHz) with and without SSVC (modelled)",
+		"radix", "channel", "SS", "SSVC", "slowdown(%)", "3 classes?")
+	for _, w := range Table2Widths {
+		for _, r := range Table2Radices {
+			c := hwmodel.TimingConfig{Radix: r, ChannelBits: w}
+			if c.Validate() != nil {
+				continue
+			}
+			classes := "yes"
+			if !c.SupportsThreeClasses() {
+				classes = "no (needs wider bus)"
+			}
+			t.AddRow(fmt.Sprintf("%dx%d", r, r), w,
+				fmt.Sprintf("%.2f", c.BaseFrequencyGHz()),
+				fmt.Sprintf("%.2f", c.SSVCFrequencyGHz()),
+				fmt.Sprintf("%.1f", c.SlowdownPercent()),
+				classes)
+		}
+	}
+	return t
+}
+
+// Table1StorageKB returns Table 1's bottom line: total switch storage in
+// kilobytes.
+func Table1StorageKB() float64 {
+	return hwmodel.Table1Config().TotalBytes() / 1024
+}
+
+// WorstSlowdownPercent returns the largest SSVC frequency slowdown across
+// the Table 2 configurations (the paper's 8.4%).
+func WorstSlowdownPercent() float64 {
+	worst := 0.0
+	for _, w := range Table2Widths {
+		for _, r := range Table2Radices {
+			c := hwmodel.TimingConfig{Radix: r, ChannelBits: w}
+			if c.Validate() != nil {
+				continue
+			}
+			if s := c.SlowdownPercent(); s > worst {
+				worst = s
+			}
+		}
+	}
+	return worst
+}
+
+// AreaTable renders §4.5's crosspoint area overhead per channel width.
+func AreaTable() *stats.Table {
+	t := stats.NewTable("§4.5: SSVC crosspoint area overhead (modelled)",
+		"channel(bits)", "overhead(%)")
+	for _, w := range Table2Widths {
+		c := hwmodel.TimingConfig{Radix: 8, ChannelBits: w}
+		t.AddRow(w, fmt.Sprintf("%.1f", c.AreaOverheadPercent()))
+	}
+	return t
+}
+
+// LanesTable renders §4.4's scalability analysis: lanes per configuration
+// and the maximum thermometer resolution with all three classes enabled.
+func LanesTable() *stats.Table {
+	t := stats.NewTable("§4.4: arbitration lanes (busWidth/radix) and GB thermometer levels with BE+GL enabled",
+		"radix", "channel(bits)", "lanes", "GB levels", "max sig bits")
+	for _, w := range Table2Widths {
+		for _, r := range Table2Radices {
+			p, err := core.PlanLanes(w, r, true, true)
+			if err != nil {
+				t.AddRow(fmt.Sprintf("%dx%d", r, r), w, w/r, "-", "unsupported")
+				continue
+			}
+			t.AddRow(fmt.Sprintf("%dx%d", r, r), w, p.Lanes, p.GBLanes, p.MaxSigBits())
+		}
+	}
+	return t
+}
+
+// EnergyTable renders the modelled SSVC energy overhead per packet for
+// the paper's configurations, anchored to the Swizzle Switch silicon's
+// 3.4 Tb/s/W ([15]: ~0.294 pJ/bit moved).
+func EnergyTable() *stats.Table {
+	t := stats.NewTable("Energy (modelled): SSVC arbitration overhead per packet, anchored to [15]",
+		"channel(bits)", "packet(flits)", "base pJ/packet", "QoS pJ/packet (8 requesters)", "overhead(%)")
+	for _, w := range Table2Widths {
+		for _, l := range []int{2, 8, 16} {
+			c := hwmodel.EnergyConfig{ChannelBits: w, PacketFlits: l, Requesters: 8}
+			t.AddRow(w, l,
+				fmt.Sprintf("%.0f", c.BaseEnergyPerPacketPJ()),
+				fmt.Sprintf("%.0f", c.QoSEnergyPerPacketPJ()),
+				fmt.Sprintf("%.1f", c.OverheadPercent()))
+		}
+	}
+	return t
+}

@@ -1,0 +1,173 @@
+package hwmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable1Storage(t *testing.T) {
+	// Table 1's exact arithmetic for a 64x64 switch with 512-bit buses.
+	c := Table1Config()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.FlitBytes(); got != 64 {
+		t.Fatalf("flit bytes = %d, want 64", got)
+	}
+	if got := c.BEBufferBytes(); got != 256 {
+		t.Fatalf("BE buffer = %d B, want 256", got)
+	}
+	if got := c.GBBufferBytes(); got != 16384 {
+		t.Fatalf("GB buffer = %d B, want 16384", got)
+	}
+	if got := c.GLBufferBytes(); got != 256 {
+		t.Fatalf("GL buffer = %d B, want 256", got)
+	}
+	// Total buffering for all 64 inputs: 1,056 KB.
+	if got := c.TotalBufferBytes(); got != 1056*1024 {
+		t.Fatalf("total buffering = %d B, want %d", got, 1056*1024)
+	}
+	// Per-crosspoint state: auxVC 1.375 B, thermometer 1 B, Vtick 1 B,
+	// LRG 63 bits = 7.875 B.
+	if got := c.LRGBits(); got != 63 {
+		t.Fatalf("LRG bits = %d, want 63", got)
+	}
+	if got := c.CrosspointBytes(); got != 11.25 {
+		t.Fatalf("crosspoint bytes = %g, want 11.25", got)
+	}
+	// 4096 crosspoints: 45 KB.
+	if got := c.TotalCrosspointBytes(); got != 45*1024 {
+		t.Fatalf("crosspoint total = %g B, want %d", got, 45*1024)
+	}
+	// Bottom line: ~1,101 KB.
+	if got := c.TotalBytes() / 1024; got != 1101 {
+		t.Fatalf("total = %g KB, want 1101", got)
+	}
+}
+
+func TestStorageValidate(t *testing.T) {
+	bad := []StorageConfig{
+		{Radix: 1, ChannelBits: 128, AuxVCBits: 1, ThermBits: 1, VtickBits: 1},
+		{Radix: 8, ChannelBits: 100, AuxVCBits: 1, ThermBits: 1, VtickBits: 1},
+		{Radix: 8, ChannelBits: 128, AuxVCBits: 0, ThermBits: 1, VtickBits: 1},
+		{Radix: 8, ChannelBits: 128, AuxVCBits: 1, ThermBits: 1, VtickBits: 1, BEBufferFlits: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestTimingAnchors(t *testing.T) {
+	// Calibration anchor 1: a 64x64, 128-bit Swizzle Switch runs at
+	// about 1.5 GHz.
+	c := TimingConfig{Radix: 64, ChannelBits: 128}
+	if f := c.BaseFrequencyGHz(); math.Abs(f-1.5) > 0.01 {
+		t.Errorf("base frequency 64x64/128 = %.3f GHz, want ~1.5", f)
+	}
+	// Calibration anchor 2: the worst slowdown is 8.4% at 8x8/256-bit.
+	worst := TimingConfig{Radix: 8, ChannelBits: 256}
+	if s := worst.SlowdownPercent(); math.Abs(s-8.4) > 0.1 {
+		t.Errorf("slowdown 8x8/256 = %.2f%%, want ~8.4%%", s)
+	}
+	for _, radix := range []int{8, 16, 32, 64} {
+		for _, width := range []int{128, 256, 512} {
+			if width < radix {
+				continue
+			}
+			cc := TimingConfig{Radix: radix, ChannelBits: width}
+			if err := cc.Validate(); err != nil {
+				t.Fatalf("%dx%d/%d: %v", radix, radix, width, err)
+			}
+			s := cc.SlowdownPercent()
+			if s <= 0 || s > 8.4+0.1 {
+				t.Errorf("slowdown %dx%d/%d = %.2f%%, want in (0, 8.4]", radix, radix, width, s)
+			}
+			if cc.SSVCFrequencyGHz() >= cc.BaseFrequencyGHz() {
+				t.Errorf("SSVC cannot be faster than the base switch at %dx%d/%d", radix, radix, width)
+			}
+		}
+	}
+}
+
+func TestTimingSlowdownShrinksWithRadix(t *testing.T) {
+	// Wider switches hide the mux delay behind a longer base period.
+	prev := math.Inf(1)
+	for _, radix := range []int{8, 16, 32, 64} {
+		s := TimingConfig{Radix: radix, ChannelBits: 256}.SlowdownPercent()
+		if s >= prev {
+			t.Fatalf("slowdown at radix %d (%.2f%%) should be below radix %d (%.2f%%)", radix, s, radix/2, prev)
+		}
+		prev = s
+	}
+}
+
+func TestTimingValidate(t *testing.T) {
+	if err := (TimingConfig{Radix: 1, ChannelBits: 128}).Validate(); err == nil {
+		t.Error("radix 1 accepted")
+	}
+	if err := (TimingConfig{Radix: 8, ChannelBits: 100}).Validate(); err == nil {
+		t.Error("width not multiple of radix accepted")
+	}
+	if err := (TimingConfig{Radix: 64, ChannelBits: 32}).Validate(); err == nil {
+		t.Error("width below radix accepted")
+	}
+}
+
+func TestAreaOverhead(t *testing.T) {
+	// §4.5: ~2% at 128 bits ("the area of a 131-bit channel"), free at
+	// 256 and 512 bits.
+	at128 := TimingConfig{Radix: 8, ChannelBits: 128}.AreaOverheadPercent()
+	if at128 < 2.0 || at128 > 2.5 {
+		t.Errorf("area overhead at 128 bits = %.2f%%, want ~2.3%%", at128)
+	}
+	for _, width := range []int{256, 512} {
+		if got := (TimingConfig{Radix: 8, ChannelBits: width}).AreaOverheadPercent(); got != 0 {
+			t.Errorf("area overhead at %d bits = %.2f%%, want 0", width, got)
+		}
+	}
+}
+
+func TestSupportsThreeClasses(t *testing.T) {
+	// §4.4: a radix-64 switch needs a 256-bit bus for three classes.
+	if (TimingConfig{Radix: 64, ChannelBits: 128}).SupportsThreeClasses() {
+		t.Error("64x64/128 has only 2 lanes; cannot host 3 classes")
+	}
+	if !(TimingConfig{Radix: 64, ChannelBits: 256}).SupportsThreeClasses() {
+		t.Error("64x64/256 has 4 lanes; supports 3 classes")
+	}
+	if !(TimingConfig{Radix: 8, ChannelBits: 128}).SupportsThreeClasses() {
+		t.Error("8x8/128 has 16 lanes; supports 3 classes")
+	}
+}
+
+func TestEnergyModel(t *testing.T) {
+	// The silicon anchor: an 8-flit, 128-bit packet moves 1024 bits at
+	// ~0.294 pJ/bit.
+	c := EnergyConfig{ChannelBits: 128, PacketFlits: 8, Requesters: 8}
+	base := c.BaseEnergyPerPacketPJ()
+	if base < 290 || base > 310 {
+		t.Fatalf("base energy = %.1f pJ, want ~301 (0.294 pJ/bit x 1024 bits)", base)
+	}
+	// The QoS overhead is a sub-20% addition for full contention and
+	// shrinks with packet length and channel width.
+	if ov := c.OverheadPercent(); ov <= 0 || ov > 20 {
+		t.Fatalf("QoS energy overhead %.1f%%, want small and positive", ov)
+	}
+	longer := EnergyConfig{ChannelBits: 128, PacketFlits: 16, Requesters: 8}
+	if longer.OverheadPercent() >= c.OverheadPercent() {
+		t.Error("longer packets must dilute the QoS energy overhead")
+	}
+	wider := EnergyConfig{ChannelBits: 512, PacketFlits: 8, Requesters: 8}
+	if wider.OverheadPercent() >= c.OverheadPercent() {
+		t.Error("wider channels must dilute the QoS energy overhead")
+	}
+	single := EnergyConfig{ChannelBits: 128, PacketFlits: 8, Requesters: 1}
+	if single.QoSEnergyPerPacketPJ() >= c.QoSEnergyPerPacketPJ() {
+		t.Error("fewer requesters must cost less arbitration energy")
+	}
+	if (EnergyConfig{}).OverheadPercent() != 0 {
+		t.Error("degenerate config should report zero overhead")
+	}
+}

@@ -1,0 +1,431 @@
+// Package mesh is a cycle-accurate 2D-mesh network-on-chip used as the
+// multi-hop counterpoint to the paper's single-stage switch.
+//
+// The paper's motivation (§1-§2.1): implementing differentiated bandwidth
+// and latency services in a multi-hop NoC is hard — per-flow state would
+// be needed at every router — whereas a single high-radix crossbar can
+// hold all QoS state at its crosspoints. This package provides the
+// honest baseline for that argument: a mesh of input-buffered routers
+// with dimension-order (XY) routing, whole-packet (virtual cut-through)
+// switching with downstream buffer reservation, a one-cycle arbitration
+// overhead per hop (matching the switch model), and a pluggable per-port
+// arbiter. Router arbiters see input *ports*, not flows, so even a
+// weighted scheme cannot enforce an individual flow's end-to-end
+// reservation once flows merge — which is exactly what the motivation
+// experiment demonstrates.
+package mesh
+
+import (
+	"fmt"
+
+	"swizzleqos/internal/arb"
+	"swizzleqos/internal/noc"
+	"swizzleqos/internal/traffic"
+)
+
+// Port indexes a router's five ports.
+type Port int
+
+// Router ports: the local terminal plus the four mesh directions.
+const (
+	Local Port = iota
+	North      // -y
+	South      // +y
+	East       // +x
+	West       // -x
+	numPorts
+)
+
+// String returns the port name.
+func (p Port) String() string {
+	switch p {
+	case Local:
+		return "local"
+	case North:
+		return "north"
+	case South:
+		return "south"
+	case East:
+		return "east"
+	case West:
+		return "west"
+	}
+	return fmt.Sprintf("Port(%d)", int(p))
+}
+
+// Config describes the mesh geometry and its routers.
+type Config struct {
+	// Width and Height give a Width x Height mesh; node IDs are
+	// y*Width + x, used as packet sources and destinations.
+	Width, Height int
+	// BufferFlits is each router input port's buffer capacity.
+	BufferFlits int
+	// NewArbiter builds one arbiter per router output port over the
+	// five input ports; nil defaults to LRG.
+	NewArbiter func() arb.Arbiter
+}
+
+// Validate reports a descriptive error for malformed configurations.
+func (c Config) Validate() error {
+	if c.Width < 1 || c.Height < 1 || c.Width*c.Height < 2 {
+		return fmt.Errorf("mesh: %dx%d is not a mesh", c.Width, c.Height)
+	}
+	if c.BufferFlits < 1 {
+		return fmt.Errorf("mesh: buffer capacity %d must be positive", c.BufferFlits)
+	}
+	return nil
+}
+
+// buffer is a packet FIFO with flit capacity and downstream reservation
+// accounting (a granted packet's space is reserved at its next hop before
+// it starts moving, making the cut-through transfer safe).
+type buffer struct {
+	capFlits int
+	flits    int
+	reserved int
+	pkts     []*noc.Packet
+	head     int
+}
+
+func (b *buffer) canReserve(length int) bool { return b.flits+b.reserved+length <= b.capFlits }
+func (b *buffer) reserve(length int)         { b.reserved += length }
+
+func (b *buffer) commit(p *noc.Packet) {
+	b.reserved -= p.Length
+	b.pkts = append(b.pkts, p)
+	b.flits += p.Length
+}
+
+// admit pushes a freshly injected packet (no prior reservation).
+func (b *buffer) admit(p *noc.Packet) bool {
+	if !b.canReserve(p.Length) {
+		return false
+	}
+	b.pkts = append(b.pkts, p)
+	b.flits += p.Length
+	return true
+}
+
+func (b *buffer) headPkt() *noc.Packet {
+	if b.head >= len(b.pkts) {
+		return nil
+	}
+	return b.pkts[b.head]
+}
+
+func (b *buffer) pop() *noc.Packet {
+	p := b.pkts[b.head]
+	b.pkts[b.head] = nil
+	b.head++
+	b.flits -= p.Length
+	if b.head > 32 && b.head*2 >= len(b.pkts) {
+		n := copy(b.pkts, b.pkts[b.head:])
+		for i := n; i < len(b.pkts); i++ {
+			b.pkts[i] = nil
+		}
+		b.pkts = b.pkts[:n]
+		b.head = 0
+	}
+	return p
+}
+
+// transmission is an in-flight packet on one router output.
+type transmission struct {
+	pkt       *noc.Packet
+	from      Port
+	remaining int
+}
+
+// router is one mesh node.
+type router struct {
+	x, y int
+	in   [numPorts]*buffer
+	out  [numPorts]*transmission
+	arbs [numPorts]arb.Arbiter
+	// inBusy marks input ports whose buffer read port is occupied by an
+	// in-flight transfer.
+	inBusy [numPorts]bool
+	// cooldown marks outputs that moved their final flit this cycle;
+	// they spend the next cycle arbitrating, giving the same one-cycle
+	// arbitration overhead per hop as the single-stage switch model.
+	cooldown [numPorts]bool
+}
+
+// flowState binds a flow to its source queue.
+type flowState struct {
+	flow  traffic.Flow
+	queue []*noc.Packet
+	head  int
+}
+
+func (f *flowState) queued() int { return len(f.queue) - f.head }
+
+// Mesh is the simulator. Drive it with Step/Run; observe deliveries with
+// OnDeliver. Not safe for concurrent use.
+type Mesh struct {
+	cfg     Config
+	routers []*router
+	flows   []*flowState
+	now     uint64
+
+	onDeliver func(*noc.Packet)
+
+	// Counters for tests and reporting.
+	Injected  uint64
+	Admitted  uint64
+	Delivered uint64
+}
+
+// New builds a mesh.
+func New(cfg Config) (*Mesh, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	newArb := cfg.NewArbiter
+	if newArb == nil {
+		newArb = func() arb.Arbiter { return arb.NewLRG(int(numPorts)) }
+	}
+	m := &Mesh{cfg: cfg}
+	for y := 0; y < cfg.Height; y++ {
+		for x := 0; x < cfg.Width; x++ {
+			r := &router{x: x, y: y}
+			for p := Port(0); p < numPorts; p++ {
+				r.in[p] = &buffer{capFlits: cfg.BufferFlits}
+				r.arbs[p] = newArb()
+			}
+			m.routers = append(m.routers, r)
+		}
+	}
+	return m, nil
+}
+
+// Nodes returns the number of terminals (Width * Height).
+func (m *Mesh) Nodes() int { return m.cfg.Width * m.cfg.Height }
+
+// Now returns the current cycle.
+func (m *Mesh) Now() uint64 { return m.now }
+
+// Diameter returns the mesh diameter in hops.
+func (m *Mesh) Diameter() int { return m.cfg.Width + m.cfg.Height - 2 }
+
+// HopCount returns the XY route length between two nodes.
+func (m *Mesh) HopCount(src, dst int) int {
+	sx, sy := src%m.cfg.Width, src/m.cfg.Width
+	dx, dy := dst%m.cfg.Width, dst/m.cfg.Width
+	return abs(sx-dx) + abs(sy-dy)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// AddFlow attaches a flow; Src and Dst are node IDs.
+func (m *Mesh) AddFlow(f traffic.Flow) error {
+	if f.Spec.Src < 0 || f.Spec.Src >= m.Nodes() || f.Spec.Dst < 0 || f.Spec.Dst >= m.Nodes() {
+		return fmt.Errorf("mesh: flow %d->%d outside a %d-node mesh", f.Spec.Src, f.Spec.Dst, m.Nodes())
+	}
+	if f.Spec.Src == f.Spec.Dst {
+		return fmt.Errorf("mesh: flow %d->%d routes to itself", f.Spec.Src, f.Spec.Dst)
+	}
+	if f.Gen == nil {
+		return fmt.Errorf("mesh: flow %d->%d has no generator", f.Spec.Src, f.Spec.Dst)
+	}
+	m.flows = append(m.flows, &flowState{flow: f})
+	return nil
+}
+
+// OnDeliver registers a delivery observer.
+func (m *Mesh) OnDeliver(fn func(*noc.Packet)) { m.onDeliver = fn }
+
+// routeDir returns the output port a packet takes at router r under
+// dimension-order routing: X first, then Y, then eject.
+func (m *Mesh) routeDir(r *router, dst int) Port {
+	dx, dy := dst%m.cfg.Width, dst/m.cfg.Width
+	switch {
+	case dx > r.x:
+		return East
+	case dx < r.x:
+		return West
+	case dy > r.y:
+		return South
+	case dy < r.y:
+		return North
+	default:
+		return Local
+	}
+}
+
+// neighbor returns the router reached through out, or nil at the edge.
+func (m *Mesh) neighbor(r *router, out Port) *router {
+	x, y := r.x, r.y
+	switch out {
+	case North:
+		y--
+	case South:
+		y++
+	case East:
+		x++
+	case West:
+		x--
+	default:
+		return nil
+	}
+	if x < 0 || x >= m.cfg.Width || y < 0 || y >= m.cfg.Height {
+		return nil
+	}
+	return m.routers[y*m.cfg.Width+x]
+}
+
+// entryPort returns the port through which traffic from `out` of the
+// upstream router enters the neighbor.
+func entryPort(out Port) Port {
+	switch out {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	}
+	return Local
+}
+
+// Step advances one cycle: injection, in-flight transfers, then per-output
+// arbitration at every router.
+func (m *Mesh) Step() {
+	now := m.now
+	m.inject(now)
+	m.transfer(now)
+	m.arbitrate(now)
+	for _, r := range m.routers {
+		for p := Port(0); p < numPorts; p++ {
+			r.arbs[p].Tick(now)
+		}
+	}
+	m.now++
+}
+
+// Run advances n cycles.
+func (m *Mesh) Run(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		m.Step()
+	}
+}
+
+func (m *Mesh) inject(now uint64) {
+	for _, fs := range m.flows {
+		if p := fs.flow.Gen.Tick(now, fs.queued()); p != nil {
+			fs.queue = append(fs.queue, p)
+			m.Injected++
+		}
+		if fs.head >= len(fs.queue) {
+			continue
+		}
+		p := fs.queue[fs.head]
+		r := m.routers[p.Src]
+		if r.in[Local].admit(p) {
+			p.EnqueuedAt = now
+			fs.queue[fs.head] = nil
+			fs.head++
+			m.Admitted++
+		}
+	}
+}
+
+// transfer advances every busy output channel one flit; completions move
+// the packet to the reserved downstream buffer or deliver it locally.
+func (m *Mesh) transfer(now uint64) {
+	for _, r := range m.routers {
+		for out := Port(0); out < numPorts; out++ {
+			tx := r.out[out]
+			if tx == nil {
+				continue
+			}
+			tx.remaining--
+			if tx.remaining > 0 {
+				continue
+			}
+			r.inBusy[tx.from] = false
+			r.out[out] = nil
+			r.cooldown[out] = true
+			if out == Local {
+				tx.pkt.DeliveredAt = now
+				m.Delivered++
+				if m.onDeliver != nil {
+					m.onDeliver(tx.pkt)
+				}
+				continue
+			}
+			next := m.neighbor(r, out)
+			next.in[entryPort(out)].commit(tx.pkt)
+		}
+	}
+}
+
+// arbitrate grants idle outputs. An output whose transmission completed
+// this cycle is cooling down and spends the cycle on arbitration only, so
+// every hop pays the one-cycle arbitration overhead of the switch model
+// (L-flit packets occupy a link for L+1 cycles).
+func (m *Mesh) arbitrate(now uint64) {
+	reqs := make([]arb.Request, 0, numPorts)
+	for _, r := range m.routers {
+		// Snapshot head packets once per router so one input cannot be
+		// granted by two outputs in the same cycle.
+		var heads [numPorts]*noc.Packet
+		for in := Port(0); in < numPorts; in++ {
+			if !r.inBusy[in] {
+				heads[in] = r.in[in].headPkt()
+			}
+		}
+		for out := Port(0); out < numPorts; out++ {
+			if r.out[out] != nil {
+				continue
+			}
+			if r.cooldown[out] {
+				r.cooldown[out] = false
+				continue
+			}
+			reqs = reqs[:0]
+			for in := Port(0); in < numPorts; in++ {
+				p := heads[in]
+				if p == nil || r.inBusy[in] || m.routeDir(r, p.Dst) != out {
+					continue
+				}
+				if out != Local {
+					next := m.neighbor(r, out)
+					if next == nil || !next.in[entryPort(out)].canReserve(p.Length) {
+						continue
+					}
+				}
+				reqs = append(reqs, arb.Request{Input: int(in), Class: p.Class, Packet: p})
+			}
+			if len(reqs) == 0 {
+				continue
+			}
+			w := r.arbs[out].Arbitrate(now, reqs)
+			if w < 0 {
+				continue
+			}
+			req := reqs[w]
+			in := Port(req.Input)
+			p := r.in[in].pop()
+			if p != req.Packet {
+				panic(fmt.Sprintf("mesh: router (%d,%d) granted packet %d but head is %d", r.x, r.y, req.Packet.ID, p.ID))
+			}
+			if p.GrantedAt == 0 && p.Src == r.y*m.cfg.Width+r.x {
+				p.GrantedAt = now
+			}
+			if out != Local {
+				m.neighbor(r, out).in[entryPort(out)].reserve(p.Length)
+			}
+			r.inBusy[in] = true
+			r.out[out] = &transmission{pkt: p, from: in, remaining: p.Length}
+			r.arbs[out].Granted(now, req)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassString(t *testing.T) {
+	cases := []struct {
+		c    Class
+		want string
+	}{
+		{BestEffort, "BE"},
+		{GuaranteedBandwidth, "GB"},
+		{GuaranteedLatency, "GL"},
+		{Class(9), "Class(9)"},
+	}
+	for _, tc := range cases {
+		if got := tc.c.String(); got != tc.want {
+			t.Errorf("Class(%d).String() = %q, want %q", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestClassValid(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		if !c.Valid() {
+			t.Errorf("class %v should be valid", c)
+		}
+	}
+	if Class(NumClasses).Valid() {
+		t.Errorf("class %d should be invalid", NumClasses)
+	}
+}
+
+func TestClassPriorityOrdering(t *testing.T) {
+	// The paper's priority order: BE < GB < GL. The simulator relies on
+	// the numeric ordering of the constants.
+	if !(BestEffort < GuaranteedBandwidth && GuaranteedBandwidth < GuaranteedLatency) {
+		t.Fatal("class constants must be ordered BE < GB < GL")
+	}
+}
+
+func TestFlowSpecValidate(t *testing.T) {
+	valid := FlowSpec{Src: 0, Dst: 7, Class: GuaranteedBandwidth, Rate: 0.4, PacketLength: 8}
+	if err := valid.Validate(8); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*FlowSpec)
+	}{
+		{"src negative", func(f *FlowSpec) { f.Src = -1 }},
+		{"src too large", func(f *FlowSpec) { f.Src = 8 }},
+		{"dst negative", func(f *FlowSpec) { f.Dst = -1 }},
+		{"dst too large", func(f *FlowSpec) { f.Dst = 8 }},
+		{"bad class", func(f *FlowSpec) { f.Class = Class(5) }},
+		{"zero length", func(f *FlowSpec) { f.PacketLength = 0 }},
+		{"gb zero rate", func(f *FlowSpec) { f.Rate = 0 }},
+		{"gb negative rate", func(f *FlowSpec) { f.Rate = -0.1 }},
+		{"gb rate above one", func(f *FlowSpec) { f.Rate = 1.5 }},
+		{"be with rate", func(f *FlowSpec) { f.Class = BestEffort; f.Rate = 0.2 }},
+	}
+	for _, tc := range cases {
+		f := valid
+		tc.mut(&f)
+		if err := f.Validate(8); err == nil {
+			t.Errorf("%s: expected error, got nil", tc.name)
+		}
+	}
+}
+
+func TestFlowSpecValidateBestEffort(t *testing.T) {
+	f := FlowSpec{Src: 1, Dst: 2, Class: BestEffort, PacketLength: 4}
+	if err := f.Validate(4); err != nil {
+		t.Fatalf("best-effort spec rejected: %v", err)
+	}
+}
+
+func TestVtick(t *testing.T) {
+	cases := []struct {
+		rate float64
+		len  int
+		want uint64
+	}{
+		// Figure 4's reserved fractions with 8-flit packets.
+		{0.40, 8, 20},
+		{0.20, 8, 40},
+		{0.10, 8, 80},
+		{0.05, 8, 160},
+		// Full rate: one packet per packet-time.
+		{1.0, 8, 8},
+		// Single-flit packets at full rate.
+		{1.0, 1, 1},
+		// Rounding: 8/0.3 = 26.67 -> 27.
+		{0.3, 8, 27},
+		// Unreserved.
+		{0, 8, 0},
+	}
+	for _, tc := range cases {
+		f := FlowSpec{Rate: tc.rate, PacketLength: tc.len}
+		if got := f.Vtick(); got != tc.want {
+			t.Errorf("Vtick(rate=%g, len=%d) = %d, want %d", tc.rate, tc.len, got, tc.want)
+		}
+	}
+}
+
+func TestVtickNeverZeroForReservedFlows(t *testing.T) {
+	// Property: any flow with a positive rate gets a positive Vtick, so
+	// its virtual clock always advances on transmission.
+	f := func(rate float64, length uint8) bool {
+		r := rate
+		if r < 0 {
+			r = -r
+		}
+		r = 0.001 + r/(r+1) // squeeze into (0.001, 1.001)
+		if r > 1 {
+			r = 1
+		}
+		l := int(length%64) + 1
+		spec := FlowSpec{Rate: r, PacketLength: l}
+		return spec.Vtick() >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPacketLatencies(t *testing.T) {
+	p := &Packet{CreatedAt: 10, EnqueuedAt: 14, GrantedAt: 30, DeliveredAt: 39}
+	if got := p.TotalLatency(); got != 29 {
+		t.Errorf("TotalLatency = %d, want 29", got)
+	}
+	if got := p.NetworkLatency(); got != 25 {
+		t.Errorf("NetworkLatency = %d, want 25", got)
+	}
+	if got := p.WaitingTime(); got != 16 {
+		t.Errorf("WaitingTime = %d, want 16", got)
+	}
+}

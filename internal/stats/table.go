@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table renders fixed-width ASCII tables for the experiment harness, so
+// `ssvc-bench` and the benchmarks print the paper's tables and figure
+// series in a readable, diffable form.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v. Rows shorter than the
+// header are padded with empty cells.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = formatCell(cells[i])
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatCell(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return fmt.Sprintf("%.4g", x)
+	case float32:
+		return fmt.Sprintf("%.4g", x)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for i, wd := range widths {
+		if i > 0 {
+			total += 2
+		}
+		total += wd
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// RenderCSV writes the table as RFC 4180 CSV (header row first, no
+// title), for plotting the regenerated figures.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(t.rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }

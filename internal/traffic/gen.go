@@ -1,0 +1,230 @@
+// Package traffic generates the synthetic workloads the paper's
+// experiments are driven by: Bernoulli and bursty on/off injection at a
+// target rate, periodic and trace-driven injection for time-critical
+// messages, and backlogged sources for saturation measurements.
+//
+// Generators are open-loop: the switch owns an unbounded source queue per
+// flow, and accepted throughput is measured at the output, following
+// standard interconnection-network methodology.
+package traffic
+
+import (
+	"fmt"
+
+	"swizzleqos/internal/noc"
+)
+
+// Sequence allocates unique packet IDs. The zero value is ready to use.
+// It is not safe for concurrent use; the simulator is single-threaded like
+// the hardware it models.
+type Sequence struct{ next uint64 }
+
+// Next returns a fresh packet ID.
+func (s *Sequence) Next() uint64 {
+	s.next++
+	return s.next
+}
+
+// Generator produces a flow's packets. Tick is called exactly once per
+// cycle with the flow's current source-queue depth (in packets) and
+// returns a packet created this cycle, or nil.
+type Generator interface {
+	Tick(now uint64, queued int) *noc.Packet
+}
+
+// Flow couples a traffic contract with the process generating its packets.
+type Flow struct {
+	Spec noc.FlowSpec
+	Gen  Generator
+}
+
+func newPacket(seq *Sequence, spec noc.FlowSpec, now uint64) *noc.Packet {
+	return &noc.Packet{
+		ID:        seq.Next(),
+		Src:       spec.Src,
+		Dst:       spec.Dst,
+		Class:     spec.Class,
+		Length:    spec.PacketLength,
+		CreatedAt: now,
+	}
+}
+
+// Bernoulli injects packets independently each cycle with probability
+// rate/PacketLength, for a long-run offered load of rate flits per cycle.
+type Bernoulli struct {
+	spec noc.FlowSpec
+	seq  *Sequence
+	rng  *RNG
+	p    float64
+}
+
+// NewBernoulli returns a Bernoulli source offering rate flits/cycle. It
+// panics if the implied per-cycle probability exceeds 1 or the spec is
+// malformed in a way that matters here.
+func NewBernoulli(seq *Sequence, spec noc.FlowSpec, rate float64, seed uint64) *Bernoulli {
+	if spec.PacketLength < 1 {
+		panic(fmt.Sprintf("traffic: packet length %d < 1", spec.PacketLength))
+	}
+	p := rate / float64(spec.PacketLength)
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("traffic: rate %g with %d-flit packets needs per-cycle probability %g outside [0,1]",
+			rate, spec.PacketLength, p))
+	}
+	return &Bernoulli{spec: spec, seq: seq, rng: NewRNG(seed), p: p}
+}
+
+// Tick implements Generator.
+func (g *Bernoulli) Tick(now uint64, queued int) *noc.Packet {
+	if !g.rng.Bernoulli(g.p) {
+		return nil
+	}
+	return newPacket(g.seq, g.spec, now)
+}
+
+// Periodic injects one packet every interval cycles, starting at offset.
+// It models isochronous traffic and the infrequent time-critical messages
+// of the guaranteed-latency class.
+type Periodic struct {
+	spec     noc.FlowSpec
+	seq      *Sequence
+	interval uint64
+	offset   uint64
+}
+
+// NewPeriodic returns a periodic source. interval must be positive.
+func NewPeriodic(seq *Sequence, spec noc.FlowSpec, interval, offset uint64) *Periodic {
+	if interval == 0 {
+		panic("traffic: periodic interval must be positive")
+	}
+	return &Periodic{spec: spec, seq: seq, interval: interval, offset: offset}
+}
+
+// Tick implements Generator.
+func (g *Periodic) Tick(now uint64, queued int) *noc.Packet {
+	if now < g.offset || (now-g.offset)%g.interval != 0 {
+		return nil
+	}
+	return newPacket(g.seq, g.spec, now)
+}
+
+// Bursty is a two-state on/off (interrupted Bernoulli) source: while ON it
+// emits packets back to back (one per PacketLength cycles); OFF periods are
+// sized so the long-run offered load equals the target rate. Figure 5's
+// latency-fairness results call out bursty injection explicitly.
+type Bursty struct {
+	spec noc.FlowSpec
+	seq  *Sequence
+	rng  *RNG
+
+	on        bool
+	nextEmit  uint64
+	exitProb  float64 // per-packet probability of ending a burst
+	enterProb float64 // per-cycle probability of starting a burst
+}
+
+// NewBursty returns a bursty source with the given long-run rate in
+// flits/cycle and mean burst length in packets.
+func NewBursty(seq *Sequence, spec noc.FlowSpec, rate float64, meanBurstPackets float64, seed uint64) *Bursty {
+	if rate <= 0 || rate > 1 {
+		panic(fmt.Sprintf("traffic: bursty rate %g outside (0,1]", rate))
+	}
+	if meanBurstPackets < 1 {
+		panic(fmt.Sprintf("traffic: mean burst %g < 1 packet", meanBurstPackets))
+	}
+	l := float64(spec.PacketLength)
+	// Long-run load: on-time = B*L cycles per burst; mean off-time
+	// chosen so that on/(on+off) = rate.
+	meanOff := meanBurstPackets * l * (1 - rate) / rate
+	enter := 1.0
+	if meanOff > 0 {
+		enter = 1 / meanOff
+	}
+	if enter > 1 {
+		enter = 1
+	}
+	return &Bursty{
+		spec:      spec,
+		seq:       seq,
+		rng:       NewRNG(seed),
+		exitProb:  1 / meanBurstPackets,
+		enterProb: enter,
+	}
+}
+
+// Tick implements Generator.
+func (g *Bursty) Tick(now uint64, queued int) *noc.Packet {
+	if !g.on {
+		if !g.rng.Bernoulli(g.enterProb) {
+			return nil
+		}
+		g.on = true
+		g.nextEmit = now
+	}
+	if now < g.nextEmit {
+		return nil
+	}
+	pkt := newPacket(g.seq, g.spec, now)
+	g.nextEmit = now + uint64(g.spec.PacketLength)
+	if g.rng.Bernoulli(g.exitProb) {
+		g.on = false
+	}
+	return pkt
+}
+
+// Backlogged keeps the flow's source queue topped up so the input always
+// has traffic to offer — an infinite-demand source used to measure
+// saturation throughput.
+type Backlogged struct {
+	spec  noc.FlowSpec
+	seq   *Sequence
+	depth int
+}
+
+// NewBacklogged returns an infinite-demand source that maintains up to
+// depth packets (at least 1) in the source queue.
+func NewBacklogged(seq *Sequence, spec noc.FlowSpec, depth int) *Backlogged {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Backlogged{spec: spec, seq: seq, depth: depth}
+}
+
+// Tick implements Generator.
+func (g *Backlogged) Tick(now uint64, queued int) *noc.Packet {
+	if queued >= g.depth {
+		return nil
+	}
+	return newPacket(g.seq, g.spec, now)
+}
+
+// Trace injects packets at an explicit, sorted list of cycles. It is used
+// by the guaranteed-latency bound experiments to place adversarial bursts.
+type Trace struct {
+	spec  noc.FlowSpec
+	seq   *Sequence
+	times []uint64
+	pos   int
+}
+
+// NewTrace returns a trace-driven source; times must be non-decreasing.
+func NewTrace(seq *Sequence, spec noc.FlowSpec, times []uint64) *Trace {
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			panic(fmt.Sprintf("traffic: trace times out of order at %d: %d < %d", i, times[i], times[i-1]))
+		}
+	}
+	return &Trace{spec: spec, seq: seq, times: append([]uint64(nil), times...)}
+}
+
+// Tick implements Generator. Multiple packets stamped with the same cycle
+// are injected on consecutive Ticks.
+func (g *Trace) Tick(now uint64, queued int) *noc.Packet {
+	if g.pos >= len(g.times) || g.times[g.pos] > now {
+		return nil
+	}
+	g.pos++
+	return newPacket(g.seq, g.spec, now)
+}
+
+// Done reports whether a trace source has injected all its packets.
+func (g *Trace) Done() bool { return g.pos >= len(g.times) }

@@ -1,0 +1,270 @@
+package swizzleqos
+
+import (
+	"fmt"
+
+	"swizzleqos/internal/noc"
+	"swizzleqos/internal/stats"
+	"swizzleqos/internal/switchsim"
+	"swizzleqos/internal/traffic"
+)
+
+// InjectionKind names a workload generator family.
+type InjectionKind int
+
+const (
+	// InjectBernoulli draws an independent injection decision each
+	// cycle, offering Rate flits/cycle on average.
+	InjectBernoulli InjectionKind = iota
+	// InjectBursty is an on/off source: back-to-back packets in bursts
+	// of MeanBurst packets on average, at a long-run load of Rate.
+	InjectBursty
+	// InjectPeriodic emits one packet every Interval cycles starting at
+	// Offset.
+	InjectPeriodic
+	// InjectBacklogged keeps Depth packets queued at all times — an
+	// infinite-demand source for saturation studies.
+	InjectBacklogged
+	// InjectTrace replays an explicit list of injection cycles.
+	InjectTrace
+)
+
+// Injection describes how a flow's packets are generated. Construct
+// values with the Inject helpers for readable call sites.
+type Injection struct {
+	Kind      InjectionKind
+	Rate      float64  // Bernoulli, Bursty: offered flits/cycle
+	MeanBurst float64  // Bursty: average packets per burst
+	Interval  uint64   // Periodic
+	Offset    uint64   // Periodic
+	Depth     int      // Backlogged
+	Times     []uint64 // Trace
+	Seed      uint64   // Bernoulli, Bursty
+}
+
+// injectors groups the Injection constructors; use the package-level
+// Inject variable: swizzleqos.Inject.Bernoulli(0.2, 1).
+type injectors struct{}
+
+// Inject provides constructors for the Injection kinds.
+var Inject injectors
+
+// Bernoulli offers rate flits/cycle with independent per-cycle draws.
+func (injectors) Bernoulli(rate float64, seed uint64) Injection {
+	return Injection{Kind: InjectBernoulli, Rate: rate, Seed: seed}
+}
+
+// Bursty offers rate flits/cycle in bursts of meanBurst packets.
+func (injectors) Bursty(rate, meanBurst float64, seed uint64) Injection {
+	return Injection{Kind: InjectBursty, Rate: rate, MeanBurst: meanBurst, Seed: seed}
+}
+
+// Periodic emits one packet every interval cycles, starting at offset.
+func (injectors) Periodic(interval, offset uint64) Injection {
+	return Injection{Kind: InjectPeriodic, Interval: interval, Offset: offset}
+}
+
+// Backlogged keeps depth packets queued at all times.
+func (injectors) Backlogged(depth int) Injection {
+	return Injection{Kind: InjectBacklogged, Depth: depth}
+}
+
+// Trace replays packets at the given (sorted) cycles.
+func (injectors) Trace(times ...uint64) Injection {
+	return Injection{Kind: InjectTrace, Times: times}
+}
+
+// Workload couples a flow's contract with its injection process.
+type Workload struct {
+	Spec   FlowSpec
+	Inject Injection
+}
+
+// FlowKey identifies a flow in a Report.
+type FlowKey = stats.FlowKey
+
+// FlowStats holds a flow's measured statistics.
+type FlowStats = stats.FlowStats
+
+// Network is a QoS-enabled switch plus its attached workloads. It is not
+// safe for concurrent use.
+type Network struct {
+	cfg Config
+	sw  *switchsim.Switch
+	col *stats.Collector
+	seq traffic.Sequence
+
+	onDeliver func(*Packet)
+}
+
+// New builds a network from a configuration and its workloads. The flow
+// set is fixed at construction because SSVC's per-crosspoint Vtick
+// registers are programmed from the reservations.
+func New(cfg Config, workloads ...Workload) (*Network, error) {
+	if len(workloads) == 0 {
+		return nil, fmt.Errorf("swizzleqos: at least one workload is required")
+	}
+	specs := make([]noc.FlowSpec, len(workloads))
+	reserved := make(map[int]float64)
+	enableGL := cfg.GL.Rate > 0
+	for i, w := range workloads {
+		if err := w.Spec.Validate(cfg.Radix); err != nil {
+			return nil, err
+		}
+		specs[i] = w.Spec
+		switch w.Spec.Class {
+		case noc.GuaranteedBandwidth:
+			reserved[w.Spec.Dst] += w.Spec.Rate
+		case noc.GuaranteedLatency:
+			enableGL = true
+		}
+	}
+	// §3.3: per output, the GB reservations plus the GL reservation must
+	// fit within the channel.
+	for out, sum := range reserved {
+		if sum+cfg.GL.Rate > 1 {
+			return nil, fmt.Errorf("swizzleqos: output %d oversubscribed: GB reservations %.2f + GL %.2f exceed the channel",
+				out, sum, cfg.GL.Rate)
+		}
+	}
+	if err := cfg.fillDefaults(enableGL); err != nil {
+		return nil, err
+	}
+	factory, err := cfg.arbFactory(specs)
+	if err != nil {
+		return nil, err
+	}
+	sw, err := switchsim.New(switchsim.Config{
+		Radix:          cfg.Radix,
+		BEBufferFlits:  cfg.BEBufferFlits,
+		GLBufferFlits:  cfg.GLBufferFlits,
+		GBBufferFlits:  cfg.GBBufferFlits,
+		PacketChaining: cfg.PacketChaining,
+	}, factory)
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{cfg: cfg, sw: sw}
+	for _, w := range workloads {
+		gen, err := n.generator(w)
+		if err != nil {
+			return nil, err
+		}
+		if err := sw.AddFlow(traffic.Flow{Spec: w.Spec, Gen: gen}); err != nil {
+			return nil, err
+		}
+	}
+	sw.OnDeliver(func(p *noc.Packet) {
+		if n.col != nil {
+			n.col.OnDeliver(p)
+		}
+		if n.onDeliver != nil {
+			n.onDeliver(p)
+		}
+	})
+	return n, nil
+}
+
+func (n *Network) generator(w Workload) (traffic.Generator, error) {
+	switch w.Inject.Kind {
+	case InjectBernoulli:
+		return traffic.NewBernoulli(&n.seq, w.Spec, w.Inject.Rate, w.Inject.Seed+1), nil
+	case InjectBursty:
+		return traffic.NewBursty(&n.seq, w.Spec, w.Inject.Rate, w.Inject.MeanBurst, w.Inject.Seed+1), nil
+	case InjectPeriodic:
+		return traffic.NewPeriodic(&n.seq, w.Spec, w.Inject.Interval, w.Inject.Offset), nil
+	case InjectBacklogged:
+		return traffic.NewBacklogged(&n.seq, w.Spec, w.Inject.Depth), nil
+	case InjectTrace:
+		return traffic.NewTrace(&n.seq, w.Spec, w.Inject.Times), nil
+	}
+	return nil, fmt.Errorf("swizzleqos: unknown injection kind %d", int(w.Inject.Kind))
+}
+
+// Config returns the (default-filled) configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Now returns the current simulation cycle.
+func (n *Network) Now() uint64 { return n.sw.Now() }
+
+// Run advances the simulation by the given number of cycles.
+func (n *Network) Run(cycles uint64) { n.sw.Run(cycles) }
+
+// OnDeliver registers an observer called for every delivered packet.
+func (n *Network) OnDeliver(fn func(*Packet)) { n.onDeliver = fn }
+
+// StartMeasurement begins (or restarts) the statistics window at the
+// current cycle, discarding anything recorded before.
+func (n *Network) StartMeasurement() {
+	n.col = stats.NewCollector(n.sw.Now(), 0)
+}
+
+// Report snapshots the measurement window, which keeps accumulating if
+// the simulation continues (call Report again for an updated view). It
+// returns nil if StartMeasurement was never called.
+func (n *Network) Report() *Report {
+	if n.col == nil {
+		return nil
+	}
+	n.col.End = n.sw.Now()
+	return &Report{col: n.col, radix: n.cfg.Radix}
+}
+
+// Report is a read view over one measurement window.
+type Report struct {
+	col   *stats.Collector
+	radix int
+}
+
+// Window returns the measurement window length in cycles.
+func (r *Report) Window() uint64 { return r.col.Window() }
+
+// Flows returns the measured flow keys in deterministic order.
+func (r *Report) Flows() []FlowKey { return r.col.Keys() }
+
+// Flow returns one flow's statistics, or nil if it delivered nothing.
+func (r *Report) Flow(k FlowKey) *FlowStats { return r.col.Flow(k) }
+
+// Throughput returns a flow's accepted throughput in flits/cycle.
+func (r *Report) Throughput(k FlowKey) float64 { return r.col.Throughput(k) }
+
+// OutputThroughput returns an output port's accepted flits/cycle.
+func (r *Report) OutputThroughput(dst int) float64 { return r.col.OutputThroughput(dst) }
+
+// TotalPackets returns the packets delivered in the window.
+func (r *Report) TotalPackets() uint64 { return r.col.TotalPackets() }
+
+// Table renders the per-flow statistics as a fixed-width table.
+func (r *Report) Table() string {
+	t := stats.NewTable(
+		fmt.Sprintf("per-flow statistics over %d cycles", r.Window()),
+		"flow", "packets", "flits/cycle", "mean lat", "max lat", "mean wait", "max wait")
+	for _, k := range r.col.Keys() {
+		f := r.col.Flow(k)
+		t.AddRow(k.String(), f.Packets,
+			fmt.Sprintf("%.4f", r.col.Throughput(k)),
+			fmt.Sprintf("%.1f", f.MeanLatency()),
+			f.LatMax,
+			fmt.Sprintf("%.1f", f.MeanWait()),
+			f.WaitMax)
+	}
+	return t.String()
+}
+
+// Series samples per-flow throughput in fixed windows; see StartSeries.
+type Series = stats.Series
+
+// StartSeries attaches a time-series sampler with the given window length
+// in cycles, recording per-flow accepted throughput from now on. It is
+// independent of StartMeasurement and may run alongside it.
+func (n *Network) StartSeries(windowCycles uint64) *Series {
+	s := stats.NewSeries(windowCycles)
+	prev := n.onDeliver
+	n.onDeliver = func(p *Packet) {
+		s.OnDeliver(p)
+		if prev != nil {
+			prev(p)
+		}
+	}
+	return s
+}
