@@ -2,15 +2,24 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt bench experiments verify examples cover fuzz
+.PHONY: all check build test race vet fmt bench experiments verify examples cover fuzz
 
 all: build vet test
+
+# Full local gate: build, vet, tests, and the race detector over the
+# parallel sweep engine and everything layered on it.
+check: build vet test race
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# The sweep runner fans simulations across goroutines; keep the race
+# detector on the whole module, not just the runner package.
+race:
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
@@ -19,8 +28,9 @@ fmt:
 	gofmt -l .
 
 # One benchmark per paper table/figure; headline numbers as metrics.
+# -run=^$ skips the unit tests so only benchmarks execute.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
 # Regenerate every table and figure at full length (EXPERIMENTS.md).
 experiments:

@@ -5,7 +5,13 @@
 // Usage:
 //
 //	ssvc-bench [-exp all|fig4a|fig4b|fig5|adherence|table1|table2|area|lanes|energy|glbound|glbursts|chaining|fixedpriority|static|sigbits|motivation|scale64|convergence|decoupling|gsf|compose|pvc]
-//	           [-quick] [-csv] [-cycles N] [-warmup N] [-seed N]
+//	           [-quick] [-csv] [-cycles N] [-warmup N] [-seed N] [-workers N]
+//	           [-cpuprofile FILE] [-memprofile FILE]
+//
+// Independent sweep points within an experiment run on -workers
+// goroutines (default: GOMAXPROCS); the tables are byte-identical at any
+// worker count. -cpuprofile and -memprofile write pprof profiles of the
+// whole run for `go tool pprof`.
 package main
 
 import (
@@ -13,6 +19,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"swizzleqos/internal/experiments"
@@ -34,9 +42,42 @@ func benchMain(args []string, stdout, stderr io.Writer) int {
 		cycles = fs.Uint64("cycles", 0, "override measurement cycles")
 		warmup = fs.Uint64("warmup", 0, "override warmup cycles")
 		seed   = fs.Uint64("seed", 1, "workload RNG seed")
+
+		workers    = fs.Int("workers", 0, "sweep-point goroutines (0 = GOMAXPROCS, 1 = serial)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "ssvc-bench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "ssvc-bench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		// Open up front so a bad path fails before hours of simulation.
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "ssvc-bench:", err)
+			return 1
+		}
+		defer func() {
+			defer f.Close()
+			runtime.GC() // flush final allocation statistics
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(stderr, "ssvc-bench:", err)
+			}
+		}()
 	}
 
 	o := experiments.Full()
@@ -50,6 +91,7 @@ func benchMain(args []string, stdout, stderr io.Writer) int {
 		o.Warmup = *warmup
 	}
 	o.Seed = *seed
+	o.Workers = *workers
 
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*exp, ",") {

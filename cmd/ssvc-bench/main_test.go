@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -34,6 +35,42 @@ func TestBenchMainQuickSimulation(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "chaining") {
 		t.Fatalf("missing chaining table:\n%s", out.String())
+	}
+}
+
+func TestBenchMainWorkersIdenticalOutput(t *testing.T) {
+	args := []string{"-exp", "chaining", "-cycles", "3000", "-warmup", "300"}
+	run := func(workers string) string {
+		var out, errOut strings.Builder
+		a := append([]string{"-workers", workers}, args...)
+		if code := benchMain(a, &out, &errOut); code != 0 {
+			t.Fatalf("workers=%s: exit %d, stderr: %s", workers, code, errOut.String())
+		}
+		return out.String()
+	}
+	serial := run("1")
+	if parallel := run("4"); parallel != serial {
+		t.Fatalf("output differs between -workers 1 and 4:\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+func TestBenchMainProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := dir + "/cpu.pb.gz"
+	mem := dir + "/mem.pb.gz"
+	var out, errOut strings.Builder
+	args := []string{"-exp", "table1", "-cpuprofile", cpu, "-memprofile", mem}
+	if code := benchMain(args, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"swizzleqos/internal/arb"
 	"swizzleqos/internal/noc"
+	"swizzleqos/internal/runner"
 	"swizzleqos/internal/stats"
 	"swizzleqos/internal/switchsim"
 	"swizzleqos/internal/traffic"
@@ -25,17 +26,26 @@ type ChainingOutcome struct {
 // chaining and ~1.0 with it. Short packets suffer most.
 func AblationChaining(o Options) []ChainingOutcome {
 	o = o.withDefaults()
-	var out []ChainingOutcome
-	for _, l := range []int{1, 2, 4, 8, 16} {
-		oc := ChainingOutcome{PacketLen: l, TheoryPlain: float64(l) / float64(l+1)}
-		oc.Plain = chainingRun(l, false, o)
-		oc.Chained = chainingRun(l, true, o)
-		out = append(out, oc)
+	lens := []int{1, 2, 4, 8, 16}
+	// Two independent runs (plain, chained) per packet length, fanned as
+	// one flat job list and reassembled per length.
+	results := runner.MapScratch(o.pool(), 2*len(lens), newSweepScratch,
+		func(sc *sweepScratch, i int) float64 {
+			return chainingRun(sc, lens[i/2], i%2 == 1, o)
+		})
+	out := make([]ChainingOutcome, len(lens))
+	for i, l := range lens {
+		out[i] = ChainingOutcome{
+			PacketLen:   l,
+			TheoryPlain: float64(l) / float64(l+1),
+			Plain:       results[2*i],
+			Chained:     results[2*i+1],
+		}
 	}
 	return out
 }
 
-func chainingRun(packetLen int, chaining bool, o Options) float64 {
+func chainingRun(sc *sweepScratch, packetLen int, chaining bool, o Options) float64 {
 	cfg := fig4Config()
 	cfg.PacketChaining = chaining
 	if cfg.GBBufferFlits < 2*packetLen {
@@ -47,7 +57,7 @@ func chainingRun(packetLen int, chaining bool, o Options) float64 {
 		spec := noc.FlowSpec{Src: i, Dst: 0, Class: noc.BestEffort, PacketLength: packetLen}
 		mustAddFlow(sw, traffic.Flow{Spec: spec, Gen: traffic.NewBacklogged(&seq, spec, 4)})
 	}
-	return runCollected(sw, o).OutputThroughput(0)
+	return sc.runCollected(sw, &seq, o).OutputThroughput(0)
 }
 
 // ChainingTable renders the chaining ablation.
@@ -88,19 +98,25 @@ func AblationFixedPriority(o Options) []FixedPriorityOutcome {
 		for _, s := range specs {
 			mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
 		}
-		col := runCollected(sw, o)
+		col := runCollected(sw, &seq, o)
 		return FixedPriorityOutcome{
 			Scheme:            name,
 			AggressorAccepted: col.Throughput(stats.FlowKey{Src: 0, Dst: 0, Class: noc.GuaranteedBandwidth}),
 			VictimAccepted:    col.Throughput(stats.FlowKey{Src: 1, Dst: 0, Class: noc.GuaranteedBandwidth}),
 		}
 	}
-	fixed := run("FixedPriority[14]", func(int) arb.Arbiter {
-		// Message priority by input: input 0 is the high level.
-		return arb.NewMultiLevel(fig4Radix, func(r arb.Request) int { return -r.Input })
-	})
-	ssvc := run("SSVC", ssvcFactory(fig4Radix, fig4SigBits, 0, specs))
-	return []FixedPriorityOutcome{fixed, ssvc}
+	jobs := []func() FixedPriorityOutcome{
+		func() FixedPriorityOutcome {
+			return run("FixedPriority[14]", func(int) arb.Arbiter {
+				// Message priority by input: input 0 is the high level.
+				return arb.NewMultiLevel(fig4Radix, func(r arb.Request) int { return -r.Input })
+			})
+		},
+		func() FixedPriorityOutcome {
+			return run("SSVC", ssvcFactory(fig4Radix, fig4SigBits, 0, specs))
+		},
+	}
+	return runner.Map(o.pool(), len(jobs), func(i int) FixedPriorityOutcome { return jobs[i]() })
 }
 
 // FixedPriorityTable renders the starvation ablation.
@@ -138,26 +154,31 @@ func AblationStaticSchedulers(o Options) []StaticOutcome {
 		wf[i] = 0.1
 	}
 	capacity := float64(packetLen) / float64(packetLen+1)
-	run := func(name string, factory func(int) arb.Arbiter) StaticOutcome {
+	run := func(sc *sweepScratch, name string, factory func(int) arb.Arbiter) StaticOutcome {
 		sw := mustSwitch(fig4Config(), factory)
 		var seq traffic.Sequence
 		// Only the even inputs offer traffic.
 		for i := 0; i < fig4Radix; i += 2 {
 			mustAddFlow(sw, traffic.Flow{Spec: specs[i], Gen: traffic.NewBacklogged(&seq, specs[i], 4)})
 		}
-		col := runCollected(sw, o)
+		col := sc.runCollected(sw, &seq, o)
 		return StaticOutcome{Scheme: name, Utilisation: col.OutputThroughput(0) / capacity}
 	}
-	return []StaticOutcome{
-		run("TDM", func(int) arb.Arbiter {
-			return arb.NewTDM(arb.UniformTDMTable(fig4Radix, packetLen+1))
-		}),
-		run("WRR(fixed)", func(int) arb.Arbiter { return arb.NewWRR(weights, false) }),
-		run("WRR(work-conserving)", func(int) arb.Arbiter { return arb.NewWRR(weights, true) }),
-		run("DWRR", func(int) arb.Arbiter { return arb.NewDWRR(quanta) }),
-		run("WFQ", func(int) arb.Arbiter { return arb.NewWFQ(wf) }),
-		run("SSVC", ssvcFactory(fig4Radix, fig4SigBits, 0, specs)),
+	schemes := []struct {
+		name    string
+		factory func(int) arb.Arbiter
+	}{
+		{"TDM", func(int) arb.Arbiter { return arb.NewTDM(arb.UniformTDMTable(fig4Radix, packetLen+1)) }},
+		{"WRR(fixed)", func(int) arb.Arbiter { return arb.NewWRR(weights, false) }},
+		{"WRR(work-conserving)", func(int) arb.Arbiter { return arb.NewWRR(weights, true) }},
+		{"DWRR", func(int) arb.Arbiter { return arb.NewDWRR(quanta) }},
+		{"WFQ", func(int) arb.Arbiter { return arb.NewWFQ(wf) }},
+		{"SSVC", ssvcFactory(fig4Radix, fig4SigBits, 0, specs)},
 	}
+	return runner.MapScratch(o.pool(), len(schemes), newSweepScratch,
+		func(sc *sweepScratch, i int) StaticOutcome {
+			return run(sc, schemes[i].name, schemes[i].factory)
+		})
 }
 
 // StaticTable renders the leftover-bandwidth ablation.
@@ -188,24 +209,24 @@ func AblationSigBits(o Options) []SigBitsOutcome {
 	for i, r := range rates {
 		specs[i] = noc.FlowSpec{Src: i, Dst: 0, Class: noc.GuaranteedBandwidth, Rate: r, PacketLength: fig4PacketLen}
 	}
-	var out []SigBitsOutcome
-	for sig := 1; sig <= 6; sig++ {
-		sw := mustSwitch(fig4Config(), ssvcFactory(fig4Radix, sig, 0, specs))
-		var seq traffic.Sequence
-		for _, s := range specs {
-			mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
-		}
-		col := runCollected(sw, o)
-		worst := 1e9
-		for i, r := range rates {
-			ratio := col.Throughput(stats.FlowKey{Src: i, Dst: 0, Class: noc.GuaranteedBandwidth}) / r
-			if ratio < worst {
-				worst = ratio
+	return runner.MapScratch(o.pool(), 6, newSweepScratch,
+		func(sc *sweepScratch, idx int) SigBitsOutcome {
+			sig := idx + 1
+			sw := mustSwitch(fig4Config(), ssvcFactory(fig4Radix, sig, 0, specs))
+			var seq traffic.Sequence
+			for _, s := range specs {
+				mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
 			}
-		}
-		out = append(out, SigBitsOutcome{SigBits: sig, Levels: 1 << sig, WorstRatio: worst})
-	}
-	return out
+			col := sc.runCollected(sw, &seq, o)
+			worst := 1e9
+			for i, r := range rates {
+				ratio := col.Throughput(stats.FlowKey{Src: i, Dst: 0, Class: noc.GuaranteedBandwidth}) / r
+				if ratio < worst {
+					worst = ratio
+				}
+			}
+			return SigBitsOutcome{SigBits: sig, Levels: 1 << sig, WorstRatio: worst}
+		})
 }
 
 // SigBitsTable renders the resolution sweep.

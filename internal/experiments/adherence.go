@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"swizzleqos/internal/noc"
+	"swizzleqos/internal/runner"
 	"swizzleqos/internal/stats"
 	"swizzleqos/internal/traffic"
 )
@@ -31,14 +32,22 @@ type AdherenceResult struct {
 // Adherence draws `combos` random reservation mixes (rates summing to at
 // most 75% of the channel, packet lengths in {4, 8, 16}) with every input
 // saturated, and measures each flow's accepted throughput against its
-// reservation under SSVC.
+// reservation under SSVC. The mixes are drawn serially from one RNG
+// stream — so the parameter sequence is identical at any worker count —
+// and the independent simulations then fan across o.Workers goroutines.
 func Adherence(combos int, o Options) AdherenceResult {
 	o = o.withDefaults()
 	rng := traffic.NewRNG(o.Seed * 0x9E37)
+	mixes := make([]adherenceMix, combos)
+	for c := range mixes {
+		mixes[c] = drawAdherenceMix(rng)
+	}
 	res := AdherenceResult{WorstRatio: 1e9}
-	for c := 0; c < combos; c++ {
-		combo := adherenceCombo(rng, o)
-		res.Combos = append(res.Combos, combo)
+	res.Combos = runner.MapScratch(o.pool(), combos, newSweepScratch,
+		func(sc *sweepScratch, i int) AdherenceCombo {
+			return adherenceCombo(sc, mixes[i], o)
+		})
+	for _, combo := range res.Combos {
 		if combo.WorstRatio < res.WorstRatio {
 			res.WorstRatio = combo.WorstRatio
 		}
@@ -51,13 +60,18 @@ func Adherence(combos int, o Options) AdherenceResult {
 	return res
 }
 
-func adherenceCombo(rng *traffic.RNG, o Options) AdherenceCombo {
+// adherenceMix is one pre-drawn reservation mix: the random inputs to one
+// simulation, fixed before any parallel execution starts.
+type adherenceMix struct {
+	rates []float64
+	lens  []int
+}
+
+func drawAdherenceMix(rng *traffic.RNG) adherenceMix {
 	lens := []int{4, 8, 16}
-	combo := AdherenceCombo{
-		Rates:      make([]float64, fig4Radix),
-		PacketLens: make([]int, fig4Radix),
-		Accepted:   make([]float64, fig4Radix),
-		WorstRatio: 1e9,
+	mix := adherenceMix{
+		rates: make([]float64, fig4Radix),
+		lens:  make([]int, fig4Radix),
 	}
 	// Random positive weights, normalised to a random total load in
 	// [0.5, 0.75] so the reservations always fit within the channel's
@@ -69,10 +83,22 @@ func adherenceCombo(rng *traffic.RNG, o Options) AdherenceCombo {
 		sum += weights[i]
 	}
 	load := 0.5 + 0.25*rng.Float64()
+	for i := range mix.rates {
+		mix.rates[i] = weights[i] / sum * load
+		mix.lens[i] = lens[rng.Intn(len(lens))]
+	}
+	return mix
+}
+
+func adherenceCombo(sc *sweepScratch, mix adherenceMix, o Options) AdherenceCombo {
+	combo := AdherenceCombo{
+		Rates:      append([]float64(nil), mix.rates...),
+		PacketLens: append([]int(nil), mix.lens...),
+		Accepted:   make([]float64, fig4Radix),
+		WorstRatio: 1e9,
+	}
 	specs := make([]noc.FlowSpec, fig4Radix)
 	for i := range specs {
-		combo.Rates[i] = weights[i] / sum * load
-		combo.PacketLens[i] = lens[rng.Intn(len(lens))]
 		specs[i] = noc.FlowSpec{
 			Src: i, Dst: 0,
 			Class:        noc.GuaranteedBandwidth,
@@ -85,7 +111,7 @@ func adherenceCombo(rng *traffic.RNG, o Options) AdherenceCombo {
 	for _, s := range specs {
 		mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
 	}
-	col := runCollected(sw, o)
+	col := sc.runCollected(sw, &seq, o)
 	for i := range specs {
 		combo.Accepted[i] = col.Throughput(stats.FlowKey{Src: i, Dst: 0, Class: noc.GuaranteedBandwidth})
 		combo.TotalAccepted += combo.Accepted[i]

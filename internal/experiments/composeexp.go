@@ -7,6 +7,7 @@ import (
 	"swizzleqos/internal/compose"
 	"swizzleqos/internal/core"
 	"swizzleqos/internal/noc"
+	"swizzleqos/internal/runner"
 	"swizzleqos/internal/stats"
 	"swizzleqos/internal/traffic"
 )
@@ -75,22 +76,20 @@ func ComposeQoS(o Options) []ComposeOutcome {
 		return oc
 	}
 
-	var out []ComposeOutcome
-
 	// Single-stage radix-8 SSVC switch: one crosspoint per flow.
-	{
+	singleStage := func() ComposeOutcome {
 		sw := mustSwitch(fig4Config(), ssvcFactory(fig4Radix, fig4SigBits, 0, specs))
 		var seq traffic.Sequence
 		for _, s := range specs {
 			mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
 		}
-		out = append(out, evaluate("SingleStage radix-8 SSVC", runCollected(sw, o)))
+		return evaluate("SingleStage radix-8 SSVC", runCollected(sw, &seq, o))
 	}
 
 	// Two-level Clos, one uplink per leaf: both of a terminal's flows
 	// share the (terminal, uplink) crosspoint, so the leaf's SSVC can
 	// only be programmed with the aggregate Vtick.
-	{
+	composed := func() ComposeOutcome {
 		topo, err := compose.TwoLevelClos(2, 4, 1)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: %v", err))
@@ -126,9 +125,12 @@ func ComposeQoS(o Options) []ComposeOutcome {
 		col := stats.NewCollector(o.Warmup, o.total())
 		net.OnDeliver(col.OnDeliver)
 		net.Run(o.total())
-		out = append(out, evaluate("Composed 2-level Clos (shared crosspoints)", col))
+		return evaluate("Composed 2-level Clos (shared crosspoints)", col)
 	}
-	return out
+
+	// The two fabrics are independent simulations; fan them out.
+	jobs := []func() ComposeOutcome{singleStage, composed}
+	return runner.Map(o.pool(), len(jobs), func(i int) ComposeOutcome { return jobs[i]() })
 }
 
 // ComposeTable renders the composition comparison.

@@ -5,6 +5,7 @@ import (
 
 	"swizzleqos/internal/arb"
 	"swizzleqos/internal/noc"
+	"swizzleqos/internal/runner"
 	"swizzleqos/internal/stats"
 	"swizzleqos/internal/traffic"
 )
@@ -64,6 +65,7 @@ func Convergence(o Options) []ConvergenceOutcome {
 		}
 		series := stats.NewSeries(windowLen)
 		sw.OnDeliver(series.OnDeliver)
+		sw.OnRelease(seq.Recycle)
 		sw.Run(o.total())
 
 		key := stats.FlowKey{Src: 0, Dst: 0, Class: noc.GuaranteedBandwidth}
@@ -88,10 +90,14 @@ func Convergence(o Options) []ConvergenceOutcome {
 		return oc
 	}
 
-	return []ConvergenceOutcome{
-		run("SSVC", ssvcFactory(fig4Radix, fig4SigBits, 0, specs)),
-		run("LRG", func(int) arb.Arbiter { return arb.NewLRG(fig4Radix) }),
+	// The two schemes are independent simulations; fan them out.
+	jobs := []func() ConvergenceOutcome{
+		func() ConvergenceOutcome { return run("SSVC", ssvcFactory(fig4Radix, fig4SigBits, 0, specs)) },
+		func() ConvergenceOutcome {
+			return run("LRG", func(int) arb.Arbiter { return arb.NewLRG(fig4Radix) })
+		},
 	}
+	return runner.Map(o.pool(), len(jobs), func(i int) ConvergenceOutcome { return jobs[i]() })
 }
 
 // gatedBacklog wraps a generator, suppressing it before cycle from.

@@ -6,6 +6,7 @@ import (
 	"swizzleqos/internal/arb"
 	"swizzleqos/internal/core"
 	"swizzleqos/internal/noc"
+	"swizzleqos/internal/runner"
 	"swizzleqos/internal/stats"
 	"swizzleqos/internal/traffic"
 )
@@ -50,7 +51,7 @@ func AblationDecoupling(o Options) []DecouplingOutcome {
 		for _, s := range specs[1:] {
 			mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
 		}
-		col := runCollected(sw, o)
+		col := runCollected(sw, &seq, o)
 		lat := func(src int) float64 {
 			f := col.Flow(stats.FlowKey{Src: src, Dst: 0, Class: noc.GuaranteedBandwidth})
 			if f == nil {
@@ -76,13 +77,18 @@ func AblationDecoupling(o Options) []DecouplingOutcome {
 		}
 		return arb.NewCCSP(rates, bursts, prios, true)
 	}
-	return []DecouplingOutcome{
-		run("OriginalVC", func(out int) arb.Arbiter {
-			return arb.NewOrigVC(fig4Radix, vticksFor(fig4Radix, specs, out))
-		}),
-		run("SSVC/Reset", ssvcFactoryBits(fig4Radix, fig5CounterBits, fig5SigBits, core.Reset, specs)),
-		run("CCSP[1]", ccspFactory),
+	jobs := []func() DecouplingOutcome{
+		func() DecouplingOutcome {
+			return run("OriginalVC", func(out int) arb.Arbiter {
+				return arb.NewOrigVC(fig4Radix, vticksFor(fig4Radix, specs, out))
+			})
+		},
+		func() DecouplingOutcome {
+			return run("SSVC/Reset", ssvcFactoryBits(fig4Radix, fig5CounterBits, fig5SigBits, core.Reset, specs))
+		},
+		func() DecouplingOutcome { return run("CCSP[1]", ccspFactory) },
 	}
+	return runner.Map(o.pool(), len(jobs), func(i int) DecouplingOutcome { return jobs[i]() })
 }
 
 // DecouplingTable renders the related-work comparison.

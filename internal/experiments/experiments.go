@@ -11,6 +11,7 @@ import (
 	"swizzleqos/internal/arb"
 	"swizzleqos/internal/core"
 	"swizzleqos/internal/noc"
+	"swizzleqos/internal/runner"
 	"swizzleqos/internal/stats"
 	"swizzleqos/internal/switchsim"
 	"swizzleqos/internal/traffic"
@@ -25,6 +26,12 @@ type Options struct {
 	Warmup uint64
 	// Seed perturbs all workload RNG streams.
 	Seed uint64
+	// Workers bounds how many independent sweep points are simulated
+	// concurrently. 0 selects GOMAXPROCS, 1 forces serial execution.
+	// Every sweep point builds its own switch, generators, and
+	// collector from (Seed, point index) alone, so rendered tables are
+	// byte-identical at any worker count (see internal/runner).
+	Workers int
 }
 
 // Quick returns options for a fast, reduced-accuracy run.
@@ -128,11 +135,40 @@ func mustAddFlow(sw *switchsim.Switch, f traffic.Flow) {
 	}
 }
 
+// pool returns the worker pool the options select for fanning
+// independent sweep points.
+func (o Options) pool() *runner.Pool { return runner.New(o.Workers) }
+
 // runCollected drives a configured switch and returns the collected
-// steady-state statistics.
-func runCollected(sw *switchsim.Switch, o Options) *stats.Collector {
+// steady-state statistics. Delivered packets are recycled through seq, so
+// the cycle loop stops allocating once the in-flight population peaks.
+func runCollected(sw *switchsim.Switch, seq *traffic.Sequence, o Options) *stats.Collector {
 	col := stats.NewCollector(o.Warmup, o.total())
 	sw.OnDeliver(col.OnDeliver)
+	sw.OnRelease(seq.Recycle)
 	sw.Run(o.total())
 	return col
+}
+
+// sweepScratch is per-worker reusable state for parallel sweeps: one
+// statistics collector recycled across every sweep point its worker
+// executes, so a long sweep allocates collector state once per worker
+// rather than once per point.
+type sweepScratch struct {
+	col *stats.Collector
+}
+
+func newSweepScratch() *sweepScratch {
+	return &sweepScratch{col: stats.NewCollector(0, 0)}
+}
+
+// runCollected drives sw over the options' measurement window using the
+// scratch collector. The caller must copy results out of the returned
+// collector before its worker starts the next sweep point.
+func (sc *sweepScratch) runCollected(sw *switchsim.Switch, seq *traffic.Sequence, o Options) *stats.Collector {
+	sc.col.Reset(o.Warmup, o.total())
+	sw.OnDeliver(sc.col.OnDeliver)
+	sw.OnRelease(seq.Recycle)
+	sw.Run(o.total())
+	return sc.col
 }

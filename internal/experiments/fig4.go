@@ -5,6 +5,7 @@ import (
 
 	"swizzleqos/internal/arb"
 	"swizzleqos/internal/noc"
+	"swizzleqos/internal/runner"
 	"swizzleqos/internal/stats"
 	"swizzleqos/internal/traffic"
 )
@@ -40,17 +41,20 @@ func Fig4InjectionRates() []float64 {
 // injection rates. Without QoS (LRG) all flows converge to an equal share
 // during congestion; with QoS (SSVC) each flow receives at least its
 // reserved rate and the maximum accepted throughput is 8/9 ~ 0.89
-// flits/cycle.
+// flits/cycle. The injection-rate points are independent simulations and
+// are fanned across o.Workers goroutines.
 func Fig4(qos bool, o Options) Fig4Result {
 	o = o.withDefaults()
 	res := Fig4Result{QoS: qos, Rates: append([]float64(nil), Fig4Rates...)}
-	for _, inj := range Fig4InjectionRates() {
-		res.Points = append(res.Points, fig4Point(qos, inj, o))
-	}
+	rates := Fig4InjectionRates()
+	res.Points = runner.MapScratch(o.pool(), len(rates), newSweepScratch,
+		func(sc *sweepScratch, i int) Fig4Point {
+			return fig4Point(sc, qos, rates[i], o)
+		})
 	return res
 }
 
-func fig4Point(qos bool, inj float64, o Options) Fig4Point {
+func fig4Point(sc *sweepScratch, qos bool, inj float64, o Options) Fig4Point {
 	specs := make([]noc.FlowSpec, fig4Radix)
 	for i, r := range Fig4Rates {
 		specs[i] = noc.FlowSpec{
@@ -72,7 +76,7 @@ func fig4Point(qos bool, inj float64, o Options) Fig4Point {
 		gen := traffic.NewBernoulli(&seq, s, inj, o.Seed+uint64(i)*7919)
 		mustAddFlow(sw, traffic.Flow{Spec: s, Gen: gen})
 	}
-	col := runCollected(sw, o)
+	col := sc.runCollected(sw, &seq, o)
 
 	p := Fig4Point{InjectionRate: inj, PerFlow: make([]float64, fig4Radix)}
 	for i := range specs {

@@ -6,6 +6,7 @@ import (
 	"swizzleqos/internal/arb"
 	"swizzleqos/internal/core"
 	"swizzleqos/internal/noc"
+	"swizzleqos/internal/runner"
 	"swizzleqos/internal/stats"
 	"swizzleqos/internal/traffic"
 )
@@ -49,16 +50,20 @@ func Fig5(o Options) Fig5Result {
 	for i, a := range Fig5Allocations {
 		res.Points[i] = Fig5Point{AllocationPct: a, MeanLatency: make(map[string]float64)}
 	}
-	for _, policy := range Fig5Policies {
-		lat := fig5Run(policy, o)
+	// The four policy curves are independent simulations; fan them out.
+	lats := runner.MapScratch(o.pool(), len(Fig5Policies), newSweepScratch,
+		func(sc *sweepScratch, i int) []float64 {
+			return fig5Run(sc, Fig5Policies[i], o)
+		})
+	for pi, policy := range Fig5Policies {
 		for i := range res.Points {
-			res.Points[i].MeanLatency[policy] = lat[i]
+			res.Points[i].MeanLatency[policy] = lats[pi][i]
 		}
 	}
 	return res
 }
 
-func fig5Run(policy string, o Options) []float64 {
+func fig5Run(sc *sweepScratch, policy string, o Options) []float64 {
 	specs := make([]noc.FlowSpec, fig4Radix)
 	for i, a := range Fig5Allocations {
 		specs[i] = noc.FlowSpec{
@@ -88,7 +93,7 @@ func fig5Run(policy string, o Options) []float64 {
 	for _, s := range specs {
 		mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
 	}
-	col := runCollected(sw, o)
+	col := sc.runCollected(sw, &seq, o)
 	out := make([]float64, len(specs))
 	for i := range specs {
 		f := col.Flow(stats.FlowKey{Src: i, Dst: 0, Class: noc.GuaranteedBandwidth})

@@ -8,6 +8,7 @@ import (
 	"swizzleqos/internal/core"
 	"swizzleqos/internal/glbound"
 	"swizzleqos/internal/noc"
+	"swizzleqos/internal/runner"
 	"swizzleqos/internal/stats"
 	"swizzleqos/internal/traffic"
 )
@@ -54,11 +55,12 @@ func GLBoundScenarios() []GLScenario {
 // packet ever waits longer than tau_GL = lmax + NGL*(b + b/lmin).
 func GLBound(o Options) GLBoundResult {
 	o = o.withDefaults()
-	var res GLBoundResult
-	for _, sc := range GLBoundScenarios() {
-		res.Outcomes = append(res.Outcomes, glBoundRun(sc, o))
+	scenarios := GLBoundScenarios()
+	return GLBoundResult{
+		Outcomes: runner.Map(o.pool(), len(scenarios), func(i int) GLOutcome {
+			return glBoundRun(scenarios[i], o)
+		}),
 	}
-	return res
 }
 
 func glBoundRun(sc GLScenario, o Options) GLOutcome {
@@ -120,8 +122,15 @@ func glBoundRun(sc GLScenario, o Options) GLOutcome {
 	if gap < 2000 {
 		gap = 2000
 	}
-	for tm := o.Warmup; tm < o.total()-gap; tm += gap {
-		burstTimes = append(burstTimes, tm)
+	// Guard the subtraction: at very short runs gap can exceed the total,
+	// and o.total()-gap would wrap around as uint64.
+	if o.total() > gap {
+		for tm := o.Warmup; tm < o.total()-gap; tm += gap {
+			burstTimes = append(burstTimes, tm)
+		}
+	}
+	if len(burstTimes) == 0 {
+		burstTimes = append(burstTimes, o.Warmup)
 	}
 	for i := 0; i < sc.NGL; i++ {
 		spec := noc.FlowSpec{
@@ -148,6 +157,7 @@ func glBoundRun(sc GLScenario, o Options) GLOutcome {
 			out.MeasuredWait = w
 		}
 	})
+	sw.OnRelease(seq.Recycle)
 	sw.Run(o.total())
 	out.Holds = float64(out.MeasuredWait) <= out.PredictedWait
 	return out

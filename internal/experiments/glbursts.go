@@ -133,6 +133,10 @@ func GLBursts(o Options) GLBurstsResult {
 			worst[p.Src] = w
 		}
 	})
+	// A single simulation validates all four constraints at once (they
+	// must burst simultaneously), so there is nothing to fan out here —
+	// but the allocation-free loop still applies via packet recycling.
+	sw.OnRelease(seq.Recycle)
 	sw.Run(o.total())
 
 	for i, b := range budgets {

@@ -6,6 +6,7 @@ import (
 	"swizzleqos/internal/arb"
 	"swizzleqos/internal/gsf"
 	"swizzleqos/internal/noc"
+	"swizzleqos/internal/runner"
 	"swizzleqos/internal/stats"
 	"swizzleqos/internal/switchsim"
 	"swizzleqos/internal/traffic"
@@ -55,6 +56,7 @@ func AblationGSF(o Options) []GSFOutcome {
 				ctl.Delivered(p)
 			}
 		})
+		sw.OnRelease(seq.Recycle)
 		sw.Run(o.total())
 		oc := GSFOutcome{Scheme: name, WorstRatio: 1e9}
 		var total float64
@@ -73,10 +75,15 @@ func AblationGSF(o Options) []GSFOutcome {
 		return oc
 	}
 
-	out := []GSFOutcome{
-		run("SSVC", fig4Config(), ssvcFactory(fig4Radix, fig4SigBits, 0, specs), nil),
-	}
-	for _, barrier := range []uint64{0, 256, 512, 1024} {
+	// Job 0 is the SSVC reference; jobs 1..4 are GSF at increasing
+	// barrier latencies. Each job builds its own controller and switch,
+	// so the five simulations fan out independently.
+	barriers := []uint64{0, 256, 512, 1024}
+	return runner.Map(o.pool(), 1+len(barriers), func(i int) GSFOutcome {
+		if i == 0 {
+			return run("SSVC", fig4Config(), ssvcFactory(fig4Radix, fig4SigBits, 0, specs), nil)
+		}
+		barrier := barriers[i-1]
 		// Frame capacity 320 keeps every budget a whole number of
 		// 8-flit packets (16..96 flits); a single-frame window makes
 		// the barrier latency visible — with a deep window, admission
@@ -90,11 +97,9 @@ func AblationGSF(o Options) []GSFOutcome {
 		})
 		cfg := fig4Config()
 		cfg.AdmissionGate = ctl.Admit
-		oc := run(fmt.Sprintf("GSF(barrier=%d)", barrier), cfg,
+		return run(fmt.Sprintf("GSF(barrier=%d)", barrier), cfg,
 			func(int) arb.Arbiter { return gsf.NewArbiter(fig4Radix, ctl) }, ctl)
-		out = append(out, oc)
-	}
-	return out
+	})
 }
 
 // GSFTable renders the comparison.

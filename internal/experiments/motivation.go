@@ -6,6 +6,7 @@ import (
 	"swizzleqos/internal/arb"
 	"swizzleqos/internal/mesh"
 	"swizzleqos/internal/noc"
+	"swizzleqos/internal/runner"
 	"swizzleqos/internal/stats"
 	"swizzleqos/internal/switchsim"
 	"swizzleqos/internal/traffic"
@@ -86,10 +87,8 @@ func Motivation(o Options) []MotivationOutcome {
 		return oc
 	}
 
-	var results []MotivationOutcome
-
 	// Single-stage Swizzle Switch with SSVC.
-	{
+	swizzleRun := func() MotivationOutcome {
 		flows := specs()
 		sw := mustSwitch(switchsim.Config{
 			Radix:         nodes,
@@ -101,11 +100,11 @@ func Motivation(o Options) []MotivationOutcome {
 		for _, s := range flows {
 			mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
 		}
-		results = append(results, outcome("SwizzleSwitch+SSVC", runCollected(sw, o)))
+		return outcome("SwizzleSwitch+SSVC", runCollected(sw, &seq, o))
 	}
 
 	// 4x4 mesh variants.
-	meshRun := func(name string, newArb func() arb.Arbiter) {
+	meshRun := func(name string, newArb func() arb.Arbiter) MotivationOutcome {
 		m, err := mesh.New(mesh.Config{Width: 4, Height: 4, BufferFlits: fig4BufFlits, NewArbiter: newArb})
 		if err != nil {
 			panic(fmt.Sprintf("experiments: %v", err))
@@ -119,16 +118,23 @@ func Motivation(o Options) []MotivationOutcome {
 		col := stats.NewCollector(o.Warmup, o.total())
 		m.OnDeliver(col.OnDeliver)
 		m.Run(o.total())
-		results = append(results, outcome(name, col))
+		return outcome(name, col)
 	}
-	meshRun("Mesh+LRG", nil)
-	meshRun("Mesh+WRR(static ports)", func() arb.Arbiter {
-		// The best a designer can do without per-flow state: weight the
-		// through ports (which aggregate several flows) above the local
-		// injection port.
-		return arb.NewWRR([]int{1 * pktLen, 4 * pktLen, 4 * pktLen, 4 * pktLen, 4 * pktLen}, true)
-	})
-	return results
+
+	// The three systems are independent simulations; fan them out.
+	jobs := []func() MotivationOutcome{
+		swizzleRun,
+		func() MotivationOutcome { return meshRun("Mesh+LRG", nil) },
+		func() MotivationOutcome {
+			return meshRun("Mesh+WRR(static ports)", func() arb.Arbiter {
+				// The best a designer can do without per-flow state:
+				// weight the through ports (which aggregate several
+				// flows) above the local injection port.
+				return arb.NewWRR([]int{1 * pktLen, 4 * pktLen, 4 * pktLen, 4 * pktLen, 4 * pktLen}, true)
+			})
+		},
+	}
+	return runner.Map(o.pool(), len(jobs), func(i int) MotivationOutcome { return jobs[i]() })
 }
 
 // MotivationTable renders the comparison.

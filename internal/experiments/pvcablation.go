@@ -6,6 +6,7 @@ import (
 	"swizzleqos/internal/arb"
 	"swizzleqos/internal/core"
 	"swizzleqos/internal/noc"
+	"swizzleqos/internal/runner"
 	"swizzleqos/internal/stats"
 	"swizzleqos/internal/switchsim"
 	"swizzleqos/internal/traffic"
@@ -64,7 +65,7 @@ func AblationPVC(o Options) []PVCOutcome {
 			mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
 		}
 		mustAddFlow(sw, traffic.Flow{Spec: urgentSpec, Gen: traffic.NewPeriodic(&seq, urgentSpec, 701, 17)})
-		col := runCollected(sw, o)
+		col := runCollected(sw, &seq, o)
 		oc := PVCOutcome{Scheme: name}
 		if f := col.Flow(stats.FlowKey{Src: urgentSpec.Src, Dst: 0, Class: urgentSpec.Class}); f != nil {
 			oc.UrgentMean = f.MeanNetworkLatency()
@@ -88,23 +89,31 @@ func AblationPVC(o Options) []PVCOutcome {
 	urgentGL.Class = noc.GuaranteedLatency
 	urgentGL.Rate = 0.05
 
-	return []PVCOutcome{
-		run("OrigVC(no preemption)", plainCfg, func(out int) arb.Arbiter {
-			return arb.NewOrigVC(fig4Radix, vticks(out))
-		}, urgent),
-		run("PVC(threshold=64)", preemptCfg, func(out int) arb.Arbiter {
-			return arb.NewPVC(fig4Radix, vticks(out), 64)
-		}, urgent),
-		run("SSVC+GL", plainCfg, func(out int) arb.Arbiter {
-			return core.NewSSVC(core.Config{
-				Radix: fig4Radix, CounterBits: counterBits, SigBits: fig4SigBits,
-				Policy: core.SubtractRealTime, Vticks: vticks(out),
-				EnableGL: true,
-				GLVtick:  noc.FlowSpec{Rate: urgentGL.Rate, PacketLength: urgentLen}.Vtick(),
-				GLBurst:  2,
-			})
-		}, urgentGL),
+	// The three schemes are independent simulations; fan them out.
+	jobs := []func() PVCOutcome{
+		func() PVCOutcome {
+			return run("OrigVC(no preemption)", plainCfg, func(out int) arb.Arbiter {
+				return arb.NewOrigVC(fig4Radix, vticks(out))
+			}, urgent)
+		},
+		func() PVCOutcome {
+			return run("PVC(threshold=64)", preemptCfg, func(out int) arb.Arbiter {
+				return arb.NewPVC(fig4Radix, vticks(out), 64)
+			}, urgent)
+		},
+		func() PVCOutcome {
+			return run("SSVC+GL", plainCfg, func(out int) arb.Arbiter {
+				return core.NewSSVC(core.Config{
+					Radix: fig4Radix, CounterBits: counterBits, SigBits: fig4SigBits,
+					Policy: core.SubtractRealTime, Vticks: vticks(out),
+					EnableGL: true,
+					GLVtick:  noc.FlowSpec{Rate: urgentGL.Rate, PacketLength: urgentLen}.Vtick(),
+					GLBurst:  2,
+				})
+			}, urgentGL)
+		},
 	}
+	return runner.Map(o.pool(), len(jobs), func(i int) PVCOutcome { return jobs[i]() })
 }
 
 // PVCTable renders the preemption comparison.

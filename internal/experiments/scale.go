@@ -115,6 +115,10 @@ func Scale64(o Options) ScaleResult {
 			}
 		}
 	})
+	// One radix-64 switch is a single sequential simulation (cycles are
+	// causally ordered), so the parallel runner does not apply; packet
+	// recycling keeps its 64-output cycle loop allocation-free instead.
+	sw.OnRelease(seq.Recycle)
 	sw.Run(o.total())
 
 	for _, s := range specs[:res.HotspotFlows] {

@@ -1,0 +1,158 @@
+package runner
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		p := New(workers)
+		got := Map(p, 100, func(i int) int { return i * i })
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: got %d results, want 100", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapRunsEveryIndexOnce(t *testing.T) {
+	var counts [257]atomic.Int64
+	p := New(8)
+	Map(p, len(counts), func(i int) struct{} {
+		counts[i].Add(1)
+		return struct{}{}
+	})
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times, want 1", i, c)
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	p := New(4)
+	if got := Map(p, 0, func(i int) int { return i }); got != nil {
+		t.Fatalf("n=0: got %v, want nil", got)
+	}
+	if got := Map(p, 1, func(i int) int { return 42 }); len(got) != 1 || got[0] != 42 {
+		t.Fatalf("n=1: got %v, want [42]", got)
+	}
+}
+
+func TestNewClampsWorkers(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Fatal("New(0) must select at least one worker")
+	}
+	if New(-3).Workers() < 1 {
+		t.Fatal("New(-3) must select at least one worker")
+	}
+	if got := New(7).Workers(); got != 7 {
+		t.Fatalf("New(7).Workers() = %d, want 7", got)
+	}
+}
+
+// TestMapScratchIsolation checks that scratch state is created at most
+// once per worker and never shared across workers mid-flight.
+func TestMapScratchIsolation(t *testing.T) {
+	type scratch struct {
+		id   int64
+		busy atomic.Bool
+	}
+	var created atomic.Int64
+	const workers, jobs = 4, 200
+	p := New(workers)
+	MapScratch(p, jobs, func() *scratch {
+		return &scratch{id: created.Add(1)}
+	}, func(s *scratch, i int) struct{} {
+		if !s.busy.CompareAndSwap(false, true) {
+			t.Error("scratch used by two jobs concurrently")
+		}
+		s.busy.Store(false)
+		return struct{}{}
+	})
+	if c := created.Load(); c < 1 || c > workers {
+		t.Fatalf("created %d scratch values, want 1..%d", c, workers)
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				if !strings.Contains(string2(r), "boom") {
+					t.Fatalf("workers=%d: panic %v does not mention original cause", workers, r)
+				}
+			}()
+			Map(p, 16, func(i int) int {
+				if i == 7 {
+					panic("boom")
+				}
+				return i
+			})
+		}()
+	}
+}
+
+func string2(v any) string {
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return ""
+}
+
+func TestDeriveSeed(t *testing.T) {
+	seen := map[uint64]int{}
+	for i := 0; i < 1000; i++ {
+		s := DeriveSeed(1, i)
+		if s == 0 {
+			t.Fatalf("DeriveSeed(1, %d) = 0", i)
+		}
+		if j, dup := seen[s]; dup {
+			t.Fatalf("DeriveSeed collision: indices %d and %d", j, i)
+		}
+		seen[s] = i
+	}
+	if DeriveSeed(1, 5) != DeriveSeed(1, 5) {
+		t.Fatal("DeriveSeed is not deterministic")
+	}
+	if DeriveSeed(1, 5) == DeriveSeed(2, 5) {
+		t.Fatal("DeriveSeed ignores the base seed")
+	}
+}
+
+// TestMapConcurrentStress is the -race smoke test: many pools running
+// overlapping Maps from concurrent goroutines, with jobs that hammer the
+// shared result slice from every worker.
+func TestMapConcurrentStress(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := New(8)
+			for rep := 0; rep < 5; rep++ {
+				sum := 0
+				for _, v := range Map(p, 64, func(i int) int { return g*1000 + i }) {
+					sum += v
+				}
+				want := 64*g*1000 + 63*64/2
+				if sum != want {
+					t.Errorf("goroutine %d rep %d: sum %d, want %d", g, rep, sum, want)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"swizzleqos/internal/noc"
@@ -100,6 +101,10 @@ type Collector struct {
 	End    uint64
 
 	flows map[FlowKey]*FlowStats
+	// free recycles FlowStats structs across Reset calls, so a worker
+	// reusing one collector for a whole sweep stops allocating once its
+	// flow population peaks.
+	free []*FlowStats
 }
 
 // NewCollector returns a collector measuring cycles [warmup, end). end 0
@@ -107,6 +112,19 @@ type Collector struct {
 // window length for throughput computation.
 func NewCollector(warmup, end uint64) *Collector {
 	return &Collector{Warmup: warmup, End: end, flows: make(map[FlowKey]*FlowStats)}
+}
+
+// Reset clears the collector for a new measurement window, retaining its
+// allocations (the flow map and per-flow structs) for reuse. Results read
+// from the collector before Reset must have been copied out — FlowStats
+// pointers obtained earlier are recycled.
+func (c *Collector) Reset(warmup, end uint64) {
+	c.Warmup, c.End = warmup, end
+	for k, f := range c.flows {
+		delete(c.flows, k)
+		*f = FlowStats{LatMin: math.MaxUint64}
+		c.free = append(c.free, f)
+	}
 }
 
 // Close fixes the window end for throughput computations when End was 0.
@@ -133,7 +151,11 @@ func (c *Collector) OnDeliver(p *noc.Packet) {
 	k := KeyOf(p)
 	f := c.flows[k]
 	if f == nil {
-		f = &FlowStats{LatMin: math.MaxUint64}
+		if n := len(c.free); n > 0 {
+			f, c.free = c.free[n-1], c.free[:n-1]
+		} else {
+			f = &FlowStats{LatMin: math.MaxUint64}
+		}
 		c.flows[k] = f
 	}
 	lat := p.TotalLatency()
@@ -155,14 +177,7 @@ func (c *Collector) OnDeliver(p *noc.Packet) {
 	f.hist[bitLen(lat)]++
 }
 
-func bitLen(v uint64) int {
-	n := 0
-	for v != 0 {
-		v >>= 1
-		n++
-	}
-	return n
-}
+func bitLen(v uint64) int { return bits.Len64(v) }
 
 // Flow returns the statistics for a flow, or nil if it delivered nothing
 // in the window.

@@ -12,13 +12,13 @@ import (
 
 // benchSwitch builds a saturated radix-N switch with one GB flow per
 // input, uniformly spread across outputs.
-func benchSwitch(b *testing.B, radix int, newArb func(int) arb.Arbiter) *Switch {
+func benchSwitch(b *testing.B, radix int, newArb func(int) arb.Arbiter) (*Switch, *traffic.Sequence) {
 	b.Helper()
 	sw, err := New(Config{Radix: radix, BEBufferFlits: 16, GLBufferFlits: 16, GBBufferFlits: 16}, newArb)
 	if err != nil {
 		b.Fatal(err)
 	}
-	var seq traffic.Sequence
+	seq := new(traffic.Sequence)
 	for i := 0; i < radix; i++ {
 		spec := noc.FlowSpec{
 			Src: i, Dst: (i * 7) % radix,
@@ -26,11 +26,11 @@ func benchSwitch(b *testing.B, radix int, newArb func(int) arb.Arbiter) *Switch 
 			Rate:         0.5,
 			PacketLength: 8,
 		}
-		if err := sw.AddFlow(traffic.Flow{Spec: spec, Gen: traffic.NewBacklogged(&seq, spec, 4)}); err != nil {
+		if err := sw.AddFlow(traffic.Flow{Spec: spec, Gen: traffic.NewBacklogged(seq, spec, 4)}); err != nil {
 			b.Fatal(err)
 		}
 	}
-	return sw
+	return sw, seq
 }
 
 // BenchmarkSwitchCycle measures simulation speed (cycles/second) for
@@ -52,12 +52,40 @@ func BenchmarkSwitchCycle(b *testing.B) {
 		}
 		for _, name := range []string{"LRG", "SSVC"} {
 			b.Run(fmt.Sprintf("radix%d/%s", radix, name), func(b *testing.B) {
-				sw := benchSwitch(b, radix, arbs[name])
+				sw, _ := benchSwitch(b, radix, arbs[name])
 				sw.Run(1000) // fill pipelines
+				b.ReportAllocs()
 				b.ResetTimer()
 				sw.Run(uint64(b.N))
 				b.ReportMetric(float64(sw.Delivered)/float64(sw.Now()), "pkts/cycle")
 			})
 		}
+	}
+}
+
+// BenchmarkSwitchCycleRecycled is the steady-state configuration the
+// experiments layer runs in: delivered packets are handed back to the
+// generator pool via OnRelease, so the cycle loop should report zero
+// allocations per cycle once the pipelines and free lists are warm.
+func BenchmarkSwitchCycleRecycled(b *testing.B) {
+	for _, radix := range []int{8, 16, 32, 64} {
+		vticks := make([]uint64, radix)
+		for i := range vticks {
+			vticks[i] = 16
+		}
+		b.Run(fmt.Sprintf("radix%d/SSVC", radix), func(b *testing.B) {
+			sw, seq := benchSwitch(b, radix, func(int) arb.Arbiter {
+				return core.NewSSVC(core.Config{
+					Radix: radix, CounterBits: 12, SigBits: 4,
+					Policy: core.SubtractRealTime, Vticks: vticks,
+				})
+			})
+			sw.OnRelease(seq.Recycle)
+			sw.Run(1000) // fill pipelines and prime the free lists
+			b.ReportAllocs()
+			b.ResetTimer()
+			sw.Run(uint64(b.N))
+			b.ReportMetric(float64(sw.Delivered)/float64(sw.Now()), "pkts/cycle")
+		})
 	}
 }

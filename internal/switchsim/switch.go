@@ -69,10 +69,15 @@ type transmission struct {
 	remaining int
 }
 
-// outputPort is one output channel: its arbiter and channel state.
+// outputPort is one output channel: its arbiter and channel state. The
+// obs and pre fields cache the arbiter's optional-interface assertions at
+// construction time so the per-cycle loop never pays for a dynamic type
+// assertion (admit runs once per input per cycle; see New).
 type outputPort struct {
 	id  int
 	arb arb.Arbiter
+	obs arb.ArrivalObserver // non-nil iff arb observes arrivals
+	pre arb.Preemptor       // non-nil iff arb can preempt
 	tx  *transmission
 }
 
@@ -120,9 +125,10 @@ type Switch struct {
 
 	now       uint64
 	onDeliver func(*noc.Packet)
+	onRelease func(*noc.Packet)
 
-	reqs    []request     // scratch: current request per input
-	arbReqs []arb.Request // scratch: requests handed to one arbitration
+	offers  [][]arb.Request // scratch: this cycle's offers, bucketed by destination output
+	arbReqs []arb.Request   // scratch: requests handed to one arbitration
 	txFree  []*transmission
 
 	// Counters for tests and reporting.
@@ -151,8 +157,14 @@ func New(cfg Config, newArb func(output int) arb.Arbiter) (*Switch, error) {
 		outputs: make([]*outputPort, cfg.Radix),
 		byInput: make([][]int, cfg.Radix),
 		admitRR: make([]int, cfg.Radix),
-		reqs:    make([]request, cfg.Radix),
+		offers:  make([][]arb.Request, cfg.Radix),
 		arbReqs: make([]arb.Request, 0, cfg.Radix),
+		txFree:  make([]*transmission, 0, cfg.Radix),
+	}
+	// Pre-seed the transmission free list (one in-flight packet per
+	// output is the maximum) so the steady-state loop never allocates.
+	for i := 0; i < cfg.Radix; i++ {
+		s.txFree = append(s.txFree, new(transmission))
 	}
 	for i := range s.inputs {
 		in := &inputPort{
@@ -171,7 +183,10 @@ func New(cfg Config, newArb func(output int) arb.Arbiter) (*Switch, error) {
 		if a == nil {
 			return nil, fmt.Errorf("switchsim: arbiter factory returned nil for output %d", o)
 		}
-		s.outputs[o] = &outputPort{id: o, arb: a}
+		op := &outputPort{id: o, arb: a}
+		op.obs, _ = a.(arb.ArrivalObserver)
+		op.pre, _ = a.(arb.Preemptor)
+		s.outputs[o] = op
 	}
 	return s, nil
 }
@@ -201,6 +216,13 @@ func (s *Switch) AddFlow(f traffic.Flow) error {
 // OnDeliver registers a callback invoked for every fully delivered packet,
 // after its DeliveredAt timestamp is set.
 func (s *Switch) OnDeliver(fn func(*noc.Packet)) { s.onDeliver = fn }
+
+// OnRelease registers a callback invoked after the delivery observer has
+// seen a packet and the switch holds no further reference to it. Wiring
+// it to traffic.Sequence.Recycle makes the steady-state cycle loop
+// allocation-free: delivered packets are reused by subsequent generation.
+// The caller guarantees nothing retains the pointer past delivery.
+func (s *Switch) OnRelease(fn func(*noc.Packet)) { s.onRelease = fn }
 
 // SourceQueueLen returns flow index f's current source-queue depth in
 // packets, for tests.
@@ -271,7 +293,7 @@ func (s *Switch) admit(now uint64) {
 			p.EnqueuedAt = now
 			buf.Push(p)
 			s.Admitted++
-			if obs, ok := s.outputs[p.Dst].arb.(arb.ArrivalObserver); ok {
+			if obs := s.outputs[p.Dst].obs; obs != nil {
 				obs.PacketArrived(now, p)
 			}
 			s.admitRR[i] = (s.admitRR[i] + k + 1) % n
@@ -288,18 +310,22 @@ func (s *Switch) serveOutputs(now uint64) {
 	// Snapshot each input's offer before any grants this cycle, so an
 	// input freed by a completion at one output cannot be granted at
 	// another in the same cycle (its channel is still draining the last
-	// flit).
-	offers := s.reqs[:0]
+	// flit). Offers are bucketed by destination up front: each output
+	// then sees only its own requesters, replacing the per-output scan
+	// over all offers (O(radix^2) per cycle) with one pass (O(radix)).
+	for o := range s.offers {
+		s.offers[o] = s.offers[o][:0]
+	}
 	for _, in := range s.inputs {
 		if r, ok := in.currentRequest(); ok {
-			offers = append(offers, r)
+			s.offers[r.dst] = append(s.offers[r.dst], r.req)
 		}
 	}
 
 	for _, out := range s.outputs {
 		if out.tx != nil {
-			if s.cfg.Preemption {
-				if s.tryPreempt(out, now, offers) {
+			if s.cfg.Preemption && out.pre != nil {
+				if s.tryPreempt(out, now) {
 					continue
 				}
 			}
@@ -307,11 +333,13 @@ func (s *Switch) serveOutputs(now uint64) {
 			continue
 		}
 		// The scratch slice is reused across outputs and cycles;
-		// arbiters must not retain it past the Arbitrate call.
+		// arbiters must not retain it past the Arbitrate call. Inputs
+		// granted at an earlier output this cycle are busy again and
+		// filtered here.
 		reqs := s.arbReqs[:0]
-		for _, r := range offers {
-			if r.dst == out.id && !s.inputs[r.req.Input].busy {
-				reqs = append(reqs, r.req)
+		for _, r := range s.offers[out.id] {
+			if !s.inputs[r.Input].busy {
+				reqs = append(reqs, r)
 			}
 		}
 		if len(reqs) == 0 {
@@ -331,15 +359,12 @@ func (s *Switch) serveOutputs(now uint64) {
 // packet; on preemption the challenger is granted immediately (the
 // preemption cycle doubles as its arbitration cycle) and the victim is
 // NACKed to the head of its queue for full retransmission.
-func (s *Switch) tryPreempt(out *outputPort, now uint64, offers []request) bool {
-	pre, ok := out.arb.(arb.Preemptor)
-	if !ok {
-		return false
-	}
+func (s *Switch) tryPreempt(out *outputPort, now uint64) bool {
+	pre := out.pre
 	reqs := s.arbReqs[:0]
-	for _, r := range offers {
-		if r.dst == out.id && !s.inputs[r.req.Input].busy {
-			reqs = append(reqs, r.req)
+	for _, r := range s.offers[out.id] {
+		if !s.inputs[r.Input].busy {
+			reqs = append(reqs, r)
 		}
 	}
 	if len(reqs) == 0 {
@@ -380,6 +405,9 @@ func (s *Switch) transfer(out *outputPort, now uint64) {
 	s.Delivered++
 	if s.onDeliver != nil {
 		s.onDeliver(pkt)
+	}
+	if s.onRelease != nil {
+		s.onRelease(pkt)
 	}
 	if s.cfg.PacketChaining {
 		s.tryChain(out, now)

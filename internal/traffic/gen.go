@@ -14,15 +14,42 @@ import (
 	"swizzleqos/internal/noc"
 )
 
-// Sequence allocates unique packet IDs. The zero value is ready to use.
-// It is not safe for concurrent use; the simulator is single-threaded like
-// the hardware it models.
-type Sequence struct{ next uint64 }
+// Sequence allocates unique packet IDs and, optionally, recycles packet
+// structs: packets returned through Recycle back subsequent allocations,
+// making steady-state generation allocation-free. The zero value is ready
+// to use. It is not safe for concurrent use; each simulated switch is
+// single-threaded like the hardware it models, and parallel sweeps give
+// every switch its own Sequence.
+type Sequence struct {
+	next uint64
+	free []*noc.Packet
+}
 
 // Next returns a fresh packet ID.
 func (s *Sequence) Next() uint64 {
 	s.next++
 	return s.next
+}
+
+// Recycle hands a retired packet back for reuse. The caller guarantees no
+// other component still holds the pointer (the switch's OnRelease hook
+// fires only after the delivery observer has returned).
+func (s *Sequence) Recycle(p *noc.Packet) {
+	if p != nil {
+		s.free = append(s.free, p)
+	}
+}
+
+// take returns a packet struct to initialise: recycled if available,
+// freshly allocated otherwise.
+func (s *Sequence) take() *noc.Packet {
+	if n := len(s.free); n > 0 {
+		p := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return p
+	}
+	return new(noc.Packet)
 }
 
 // Generator produces a flow's packets. Tick is called exactly once per
@@ -39,7 +66,10 @@ type Flow struct {
 }
 
 func newPacket(seq *Sequence, spec noc.FlowSpec, now uint64) *noc.Packet {
-	return &noc.Packet{
+	p := seq.take()
+	// Full struct reset: a recycled packet must not leak stamps or
+	// timestamps from its previous life.
+	*p = noc.Packet{
 		ID:        seq.Next(),
 		Src:       spec.Src,
 		Dst:       spec.Dst,
@@ -47,6 +77,7 @@ func newPacket(seq *Sequence, spec noc.FlowSpec, now uint64) *noc.Packet {
 		Length:    spec.PacketLength,
 		CreatedAt: now,
 	}
+	return p
 }
 
 // Bernoulli injects packets independently each cycle with probability
