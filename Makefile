@@ -6,9 +6,9 @@ GO ?= go
 
 all: build vet test
 
-# Full local gate: build, vet, tests, and the race detector over the
-# parallel sweep engine and everything layered on it.
-check: build vet test race
+# Full local gate: build, vet, formatting, tests, and the race detector
+# over the parallel sweep engine and everything layered on it.
+check: build vet fmt test race
 
 build:
 	$(GO) build ./...
@@ -24,8 +24,13 @@ race:
 vet:
 	$(GO) vet ./...
 
+# gofmt -l exits 0 even when files need formatting; fail explicitly so
+# `make check` gates on formatting.
 fmt:
-	gofmt -l .
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 # One benchmark per paper table/figure; headline numbers as metrics.
 # -run=^$ skips the unit tests so only benchmarks execute.
@@ -55,4 +60,5 @@ cover:
 fuzz:
 	$(GO) test ./internal/core/ -fuzz FuzzSSVCGrantSequence -fuzztime 30s
 	$(GO) test ./internal/core/ -fuzz FuzzThermRoundTrip -fuzztime 30s
+	$(GO) test ./internal/fabric/ -fuzz FuzzBufferInvariants -fuzztime 30s
 	$(GO) test ./cmd/ssvc-sim/ -fuzz FuzzScenarioParse -fuzztime 30s

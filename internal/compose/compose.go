@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"swizzleqos/internal/arb"
+	"swizzleqos/internal/fabric"
 	"swizzleqos/internal/noc"
 	"swizzleqos/internal/traffic"
 )
@@ -135,75 +136,19 @@ func TwoLevelClos(leaves, terminalsPerLeaf, uplinks int) (Topology, error) {
 	return topo, nil
 }
 
-// buffer is a packet FIFO with flit capacity and reservation accounting
-// (same discipline as the mesh).
-type buffer struct {
-	capFlits int
-	flits    int
-	reserved int
-	pkts     []*noc.Packet
-	head     int
-}
-
-func (b *buffer) canReserve(l int) bool { return b.flits+b.reserved+l <= b.capFlits }
-func (b *buffer) reserve(l int)         { b.reserved += l }
-func (b *buffer) commit(p *noc.Packet) {
-	b.reserved -= p.Length
-	b.pkts = append(b.pkts, p)
-	b.flits += p.Length
-}
-func (b *buffer) admit(p *noc.Packet) bool {
-	if !b.canReserve(p.Length) {
-		return false
-	}
-	b.pkts = append(b.pkts, p)
-	b.flits += p.Length
-	return true
-}
-func (b *buffer) headPkt() *noc.Packet {
-	if b.head >= len(b.pkts) {
-		return nil
-	}
-	return b.pkts[b.head]
-}
-func (b *buffer) pop() *noc.Packet {
-	p := b.pkts[b.head]
-	b.pkts[b.head] = nil
-	b.head++
-	b.flits -= p.Length
-	if b.head > 32 && b.head*2 >= len(b.pkts) {
-		n := copy(b.pkts, b.pkts[b.head:])
-		for i := n; i < len(b.pkts); i++ {
-			b.pkts[i] = nil
-		}
-		b.pkts = b.pkts[:n]
-		b.head = 0
-	}
-	return p
-}
-
-type transmission struct {
-	pkt       *noc.Packet
-	from      int
-	remaining int
-}
-
+// node is one crossbar in the composition. The hasNext/next pair is the
+// Links map flattened into dense per-port tables so the per-cycle loops
+// never hash a PortRef.
 type node struct {
 	id       int
-	in       []*buffer
-	out      []*transmission
+	in       []*fabric.Buffer
+	out      []*fabric.Transmission
 	cooldown []bool
 	inBusy   []bool
 	arbs     []arb.Arbiter
+	next     []PortRef // downstream input for each output port...
+	hasNext  []bool    // ...valid where true; otherwise the port ejects
 }
-
-type flowState struct {
-	flow  traffic.Flow
-	queue []*noc.Packet
-	head  int
-}
-
-func (f *flowState) queued() int { return len(f.queue) - f.head }
 
 // Config sizes a composed network.
 type Config struct {
@@ -215,20 +160,27 @@ type Config struct {
 }
 
 // Network is the composed-switch simulator. Not safe for concurrent use.
+//
+// The embedded fabric.Counters exposes the common utilization counters;
+// Network implements fabric.Engine.
 type Network struct {
-	cfg        Config
-	nodes      []*node
-	flows      []*flowState
-	byTerminal map[int][]int // flow indices per source terminal
-	admitRR    map[int]int   // per-terminal admission rotation
-	now        uint64
+	fabric.Counters
+	fabric.Hooks
 
-	onDeliver func(*noc.Packet)
+	cfg     Config
+	nodes   []*node
+	sources *fabric.Sources // one injection group per source terminal
+	now     uint64
 
-	Injected  uint64
-	Admitted  uint64
-	Delivered uint64
+	arbReqs []arb.Request // scratch: requests handed to one arbitration
+	heads   []*noc.Packet // scratch: per-node head snapshot
+	routes  []int         // scratch: cached Route(node, head.Dst) per head
+	txPool  fabric.TxPool
 }
+
+// Network is driven through the shared engine interface by the
+// experiments layer.
+var _ fabric.Engine = (*Network)(nil)
 
 // New builds a composed network.
 func New(cfg Config) (*Network, error) {
@@ -242,19 +194,36 @@ func New(cfg Config) (*Network, error) {
 	if newArb == nil {
 		newArb = func(_, _, ports int) arb.Arbiter { return arb.NewLRG(ports) }
 	}
-	net := &Network{cfg: cfg, byTerminal: make(map[int][]int), admitRR: make(map[int]int)}
+	net := &Network{
+		cfg:     cfg,
+		sources: fabric.NewSources(len(cfg.Topology.Terminals)),
+	}
+	maxPorts, totalPorts := 0, 0
+	for _, p := range cfg.Topology.Ports {
+		if p > maxPorts {
+			maxPorts = p
+		}
+		totalPorts += p
+	}
+	net.arbReqs = make([]arb.Request, 0, maxPorts)
+	net.heads = make([]*noc.Packet, maxPorts)
+	net.routes = make([]int, maxPorts)
+	net.txPool.Preload(totalPorts)
 	for id, ports := range cfg.Topology.Ports {
 		n := &node{
 			id:       id,
-			in:       make([]*buffer, ports),
-			out:      make([]*transmission, ports),
+			in:       make([]*fabric.Buffer, ports),
+			out:      make([]*fabric.Transmission, ports),
 			cooldown: make([]bool, ports),
 			inBusy:   make([]bool, ports),
 			arbs:     make([]arb.Arbiter, ports),
+			next:     make([]PortRef, ports),
+			hasNext:  make([]bool, ports),
 		}
 		for p := 0; p < ports; p++ {
-			n.in[p] = &buffer{capFlits: cfg.BufferFlits}
+			n.in[p] = fabric.NewBuffer(cfg.BufferFlits)
 			n.arbs[p] = newArb(id, p, ports)
+			n.next[p], n.hasNext[p] = cfg.Topology.Links[PortRef{Node: id, Port: p}]
 		}
 		net.nodes = append(net.nodes, n)
 	}
@@ -268,7 +237,7 @@ func (n *Network) Terminals() int { return len(n.cfg.Topology.Terminals) }
 func (n *Network) Now() uint64 { return n.now }
 
 // AddFlow attaches a flow between terminals (Spec.Src/Dst are terminal
-// IDs).
+// IDs). Flows sharing a source terminal share one injection group.
 func (n *Network) AddFlow(f traffic.Flow) error {
 	if f.Spec.Src < 0 || f.Spec.Src >= n.Terminals() || f.Spec.Dst < 0 || f.Spec.Dst >= n.Terminals() {
 		return fmt.Errorf("compose: flow %d->%d outside %d terminals", f.Spec.Src, f.Spec.Dst, n.Terminals())
@@ -279,13 +248,9 @@ func (n *Network) AddFlow(f traffic.Flow) error {
 	if f.Gen == nil {
 		return fmt.Errorf("compose: flow %d->%d has no generator", f.Spec.Src, f.Spec.Dst)
 	}
-	n.flows = append(n.flows, &flowState{flow: f})
-	n.byTerminal[f.Spec.Src] = append(n.byTerminal[f.Spec.Src], len(n.flows)-1)
+	n.sources.Add(f, f.Spec.Src)
 	return nil
 }
-
-// OnDeliver registers a delivery observer.
-func (n *Network) OnDeliver(fn func(*noc.Packet)) { n.onDeliver = fn }
 
 // Step advances one cycle.
 func (n *Network) Step() {
@@ -312,32 +277,18 @@ func (n *Network) Run(cycles uint64) {
 // terminal per cycle, rotating across the terminal's flows so that
 // co-located flows share the injection port fairly.
 func (n *Network) inject(now uint64) {
-	for _, fs := range n.flows {
-		if p := fs.flow.Gen.Tick(now, fs.queued()); p != nil {
-			fs.queue = append(fs.queue, p)
-			n.Injected++
+	n.Injected += n.sources.Generate(now)
+	try := func(p *noc.Packet) bool {
+		at := n.cfg.Topology.Terminals[p.Src]
+		if !n.nodes[at.Node].in[at.Port].Admit(p) {
+			return false
 		}
+		p.EnqueuedAt = now
+		n.Admitted++
+		return true
 	}
-	for term, idxs := range n.byTerminal {
-		count := len(idxs)
-		for k := 0; k < count; k++ {
-			fi := idxs[(n.admitRR[term]+k)%count]
-			fs := n.flows[fi]
-			if fs.head >= len(fs.queue) {
-				continue
-			}
-			p := fs.queue[fs.head]
-			at := n.cfg.Topology.Terminals[p.Src]
-			if !n.nodes[at.Node].in[at.Port].admit(p) {
-				continue
-			}
-			p.EnqueuedAt = now
-			fs.queue[fs.head] = nil
-			fs.head++
-			n.Admitted++
-			n.admitRR[term] = (n.admitRR[term] + k + 1) % count
-			break
-		}
+	for term := 0; term < n.sources.Groups(); term++ {
+		n.sources.AdmitGroup(term, try)
 	}
 }
 
@@ -348,37 +299,45 @@ func (n *Network) transfer(now uint64) {
 			if tx == nil {
 				continue
 			}
-			tx.remaining--
-			if tx.remaining > 0 {
+			n.DataCycles++
+			tx.Remaining--
+			if tx.Remaining > 0 {
 				continue
 			}
-			nd.inBusy[tx.from] = false
+			pkt := tx.Pkt
+			nd.inBusy[tx.Input] = false
 			nd.out[port] = nil
 			nd.cooldown[port] = true
-			from := PortRef{Node: nd.id, Port: port}
-			if next, ok := n.cfg.Topology.Links[from]; ok {
-				n.nodes[next.Node].in[next.Port].commit(tx.pkt)
+			n.txPool.Put(tx)
+			if nd.hasNext[port] {
+				next := nd.next[port]
+				n.nodes[next.Node].in[next.Port].Commit(pkt)
 				continue
 			}
 			// No link: this port is a terminal ejection.
-			tx.pkt.DeliveredAt = now
+			pkt.DeliveredAt = now
 			n.Delivered++
-			if n.onDeliver != nil {
-				n.onDeliver(tx.pkt)
-			}
+			n.Deliver(pkt)
 		}
 	}
 }
 
 func (n *Network) arbitrate(now uint64) {
-	reqs := make([]arb.Request, 0, 8)
 	for _, nd := range n.nodes {
-		var heads []*noc.Packet
+		// Snapshot head packets once per node so one input cannot be
+		// granted by two outputs in the same cycle, and cache each
+		// head's route (Route is pure, so once per cycle suffices).
+		ports := len(nd.in)
+		heads := n.heads[:ports]
+		routes := n.routes[:ports]
 		for port := range nd.in {
+			heads[port] = nil
 			if nd.inBusy[port] {
-				heads = append(heads, nil)
-			} else {
-				heads = append(heads, nd.in[port].headPkt())
+				continue
+			}
+			if p := nd.in[port].Head(); p != nil {
+				heads[port] = p
+				routes[port] = n.cfg.Topology.Route(nd.id, p.Dst)
 			}
 		}
 		for out := range nd.out {
@@ -389,38 +348,42 @@ func (n *Network) arbitrate(now uint64) {
 				nd.cooldown[out] = false
 				continue
 			}
-			reqs = reqs[:0]
+			reqs := n.arbReqs[:0]
 			for in, p := range heads {
-				if p == nil || n.cfg.Topology.Route(nd.id, p.Dst) != out {
+				if p == nil || routes[in] != out {
 					continue
 				}
-				if next, ok := n.cfg.Topology.Links[PortRef{Node: nd.id, Port: out}]; ok {
-					if !n.nodes[next.Node].in[next.Port].canReserve(p.Length) {
+				if nd.hasNext[out] {
+					next := nd.next[out]
+					if !n.nodes[next.Node].in[next.Port].CanAccept(p.Length) {
 						continue
 					}
 				}
 				reqs = append(reqs, arb.Request{Input: in, Class: p.Class, Packet: p})
 			}
 			if len(reqs) == 0 {
+				n.IdleCycles++
 				continue
 			}
+			n.ArbCycles++
 			w := nd.arbs[out].Arbitrate(now, reqs)
 			if w < 0 {
 				continue
 			}
 			req := reqs[w]
-			p := nd.in[req.Input].pop()
+			p := nd.in[req.Input].Pop()
 			if p != req.Packet {
 				panic(fmt.Sprintf("compose: node %d granted packet %d but head is %d", nd.id, req.Packet.ID, p.ID))
 			}
 			if p.GrantedAt == 0 {
 				p.GrantedAt = now
 			}
-			if next, ok := n.cfg.Topology.Links[PortRef{Node: nd.id, Port: out}]; ok {
-				n.nodes[next.Node].in[next.Port].reserve(p.Length)
+			if nd.hasNext[out] {
+				next := nd.next[out]
+				n.nodes[next.Node].in[next.Port].Reserve(p.Length)
 			}
 			nd.inBusy[req.Input] = true
-			nd.out[out] = &transmission{pkt: p, from: req.Input, remaining: p.Length}
+			nd.out[out] = n.txPool.Get(p, req.Input)
 			nd.arbs[out].Granted(now, req)
 		}
 	}

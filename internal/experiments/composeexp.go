@@ -118,14 +118,9 @@ func ComposeQoS(o Options) []ComposeOutcome {
 		}
 		var seq traffic.Sequence
 		for _, s := range specs {
-			if err := net.AddFlow(traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)}); err != nil {
-				panic(fmt.Sprintf("experiments: %v", err))
-			}
+			mustAddFlow(net, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
 		}
-		col := stats.NewCollector(o.Warmup, o.total())
-		net.OnDeliver(col.OnDeliver)
-		net.Run(o.total())
-		return evaluate("Composed 2-level Clos (shared crosspoints)", col)
+		return evaluate("Composed 2-level Clos (shared crosspoints)", runCollected(net, &seq, o))
 	}
 
 	// The two fabrics are independent simulations; fan them out.

@@ -10,6 +10,7 @@ import (
 
 	"swizzleqos/internal/arb"
 	"swizzleqos/internal/core"
+	"swizzleqos/internal/fabric"
 	"swizzleqos/internal/noc"
 	"swizzleqos/internal/runner"
 	"swizzleqos/internal/stats"
@@ -129,8 +130,8 @@ func mustSwitch(cfg switchsim.Config, f func(int) arb.Arbiter) *switchsim.Switch
 	return sw
 }
 
-func mustAddFlow(sw *switchsim.Switch, f traffic.Flow) {
-	if err := sw.AddFlow(f); err != nil {
+func mustAddFlow(e fabric.Engine, f traffic.Flow) {
+	if err := e.AddFlow(f); err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
 	}
 }
@@ -139,14 +140,16 @@ func mustAddFlow(sw *switchsim.Switch, f traffic.Flow) {
 // independent sweep points.
 func (o Options) pool() *runner.Pool { return runner.New(o.Workers) }
 
-// runCollected drives a configured switch and returns the collected
-// steady-state statistics. Delivered packets are recycled through seq, so
-// the cycle loop stops allocating once the in-flight population peaks.
-func runCollected(sw *switchsim.Switch, seq *traffic.Sequence, o Options) *stats.Collector {
+// runCollected drives a configured engine (crossbar, mesh, or composed
+// network — anything implementing fabric.Engine) and returns the
+// collected steady-state statistics. Delivered packets are recycled
+// through seq, so the cycle loop stops allocating once the in-flight
+// population peaks.
+func runCollected(e fabric.Engine, seq *traffic.Sequence, o Options) *stats.Collector {
 	col := stats.NewCollector(o.Warmup, o.total())
-	sw.OnDeliver(col.OnDeliver)
-	sw.OnRelease(seq.Recycle)
-	sw.Run(o.total())
+	e.OnDeliver(col.OnDeliver)
+	e.OnRelease(seq.Recycle)
+	e.Run(o.total())
 	return col
 }
 
@@ -162,13 +165,13 @@ func newSweepScratch() *sweepScratch {
 	return &sweepScratch{col: stats.NewCollector(0, 0)}
 }
 
-// runCollected drives sw over the options' measurement window using the
-// scratch collector. The caller must copy results out of the returned
-// collector before its worker starts the next sweep point.
-func (sc *sweepScratch) runCollected(sw *switchsim.Switch, seq *traffic.Sequence, o Options) *stats.Collector {
+// runCollected drives an engine over the options' measurement window
+// using the scratch collector. The caller must copy results out of the
+// returned collector before its worker starts the next sweep point.
+func (sc *sweepScratch) runCollected(e fabric.Engine, seq *traffic.Sequence, o Options) *stats.Collector {
 	sc.col.Reset(o.Warmup, o.total())
-	sw.OnDeliver(sc.col.OnDeliver)
-	sw.OnRelease(seq.Recycle)
-	sw.Run(o.total())
+	e.OnDeliver(sc.col.OnDeliver)
+	e.OnRelease(seq.Recycle)
+	e.Run(o.total())
 	return sc.col
 }

@@ -9,10 +9,21 @@ import (
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite the golden table files")
 
-// TestGoldenTables pins the exact rendering of the deterministic
-// (simulation-free) tables. Run with -update-golden after an intentional
-// change to the hardware models or the table renderer.
+// goldenOptions pins the simulation-backed goldens' run length and seed.
+// The workloads behind them are fully deterministic (backlogged sources,
+// no RNG), and the runner guarantees byte-identical tables at any worker
+// count, so these tables are a strict regression oracle for the engines.
+func goldenOptions() Options {
+	return Options{Cycles: 20000, Warmup: 2000, Seed: 1, Workers: 2}
+}
+
+// TestGoldenTables pins the exact rendering of the deterministic tables:
+// the simulation-free hardware models plus the mesh motivation and Clos
+// composition experiments (which exercise all three cycle-accurate
+// engines). Run with -update-golden after an intentional change to the
+// hardware models, the engines, or the table renderer.
 func TestGoldenTables(t *testing.T) {
+	o := goldenOptions()
 	cases := []struct {
 		name string
 		got  string
@@ -21,6 +32,8 @@ func TestGoldenTables(t *testing.T) {
 		{"table2.txt", Table2().String()},
 		{"area.txt", AreaTable().String()},
 		{"lanes.txt", LanesTable().String()},
+		{"motivation.txt", MotivationTable(Motivation(o)).String()},
+		{"compose.txt", ComposeTable(ComposeQoS(o)).String()},
 	}
 	for _, tc := range cases {
 		path := filepath.Join("testdata", tc.name)

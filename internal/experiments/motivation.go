@@ -111,14 +111,9 @@ func Motivation(o Options) []MotivationOutcome {
 		}
 		var seq traffic.Sequence
 		for _, s := range specs() {
-			if err := m.AddFlow(traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)}); err != nil {
-				panic(fmt.Sprintf("experiments: %v", err))
-			}
+			mustAddFlow(m, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
 		}
-		col := stats.NewCollector(o.Warmup, o.total())
-		m.OnDeliver(col.OnDeliver)
-		m.Run(o.total())
-		return outcome(name, col)
+		return outcome(name, runCollected(m, &seq, o))
 	}
 
 	// The three systems are independent simulations; fan them out.

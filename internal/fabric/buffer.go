@@ -1,0 +1,120 @@
+package fabric
+
+import "swizzleqos/internal/noc"
+
+// Buffer is a FIFO of whole packets with flit-granular capacity and
+// downstream-reservation accounting. It is the single input-buffer model
+// behind all three engines.
+//
+// Admission is per packet: a packet enters only when the buffer has room
+// for all its flits, which models the conservative whole-packet
+// allocation a wormhole or virtual cut-through input queue needs to
+// avoid deadlocking a grant. Multi-hop engines additionally reserve a
+// packet's space at the next hop before the transfer starts (Reserve at
+// grant time, Commit on the last flit), so an in-flight packet can never
+// be dropped for lack of downstream space; the single-stage crossbar
+// simply never reserves.
+type Buffer struct {
+	capFlits int
+	flits    int
+	reserved int
+	pkts     []*noc.Packet
+	head     int
+}
+
+// NewBuffer returns an empty buffer holding capFlits flits.
+func NewBuffer(capFlits int) *Buffer {
+	return &Buffer{capFlits: capFlits}
+}
+
+// CanAccept reports whether a packet of length flits fits alongside the
+// current occupancy and outstanding reservations.
+func (b *Buffer) CanAccept(length int) bool {
+	return b.flits+b.reserved+length <= b.capFlits
+}
+
+// Reserve sets aside space for an in-flight packet of length flits. The
+// caller must have checked CanAccept.
+func (b *Buffer) Reserve(length int) { b.reserved += length }
+
+// Commit converts a packet's reservation into occupancy when its last
+// flit arrives.
+func (b *Buffer) Commit(p *noc.Packet) {
+	b.reserved -= p.Length
+	b.pkts = append(b.pkts, p)
+	b.flits += p.Length
+}
+
+// Push appends a packet; the caller must have checked CanAccept.
+func (b *Buffer) Push(p *noc.Packet) {
+	b.pkts = append(b.pkts, p)
+	b.flits += p.Length
+}
+
+// Admit pushes a freshly injected packet (no prior reservation) if it
+// fits, reporting whether it was accepted.
+func (b *Buffer) Admit(p *noc.Packet) bool {
+	if !b.CanAccept(p.Length) {
+		return false
+	}
+	b.Push(p)
+	return true
+}
+
+// Head returns the oldest packet without removing it, or nil.
+func (b *Buffer) Head() *noc.Packet {
+	if b.head >= len(b.pkts) {
+		return nil
+	}
+	return b.pkts[b.head]
+}
+
+// Pop removes and returns the oldest packet, or nil.
+func (b *Buffer) Pop() *noc.Packet {
+	if b.head >= len(b.pkts) {
+		return nil
+	}
+	p := b.pkts[b.head]
+	b.pkts[b.head] = nil
+	b.head++
+	b.flits -= p.Length
+	// Compact once the dead prefix dominates, keeping Pop amortised O(1)
+	// without unbounded growth.
+	if b.head > 32 && b.head*2 >= len(b.pkts) {
+		n := copy(b.pkts, b.pkts[b.head:])
+		for i := n; i < len(b.pkts); i++ {
+			b.pkts[i] = nil
+		}
+		b.pkts = b.pkts[:n]
+		b.head = 0
+	}
+	return p
+}
+
+// PushFront re-inserts a packet at the head of the queue — the NACK path
+// of preemptive schemes: the aborted packet retries from the front and
+// may transiently exceed the buffer's capacity (the hardware holds the
+// retransmission at the source until acknowledged).
+func (b *Buffer) PushFront(p *noc.Packet) {
+	if b.head > 0 {
+		b.head--
+		b.pkts[b.head] = p
+	} else {
+		b.pkts = append(b.pkts, nil)
+		copy(b.pkts[1:], b.pkts)
+		b.pkts[0] = p
+	}
+	b.flits += p.Length
+}
+
+// Len returns the number of queued packets.
+func (b *Buffer) Len() int { return len(b.pkts) - b.head }
+
+// Flits returns the occupied capacity in flits.
+func (b *Buffer) Flits() int { return b.flits }
+
+// Reserved returns the flits currently reserved for in-flight packets.
+func (b *Buffer) Reserved() int { return b.reserved }
+
+// Cap returns the buffer capacity in flits.
+func (b *Buffer) Cap() int { return b.capFlits }

@@ -1,0 +1,139 @@
+package fabric
+
+import (
+	"testing"
+
+	"swizzleqos/internal/noc"
+)
+
+func pkt(id uint64, length int) *noc.Packet {
+	return &noc.Packet{ID: id, Length: length}
+}
+
+func TestBufferFIFOAndCapacity(t *testing.T) {
+	b := NewBuffer(10)
+	if !b.CanAccept(10) || b.CanAccept(11) {
+		t.Fatal("capacity accounting wrong on empty buffer")
+	}
+	if !b.Admit(pkt(1, 4)) || !b.Admit(pkt(2, 4)) {
+		t.Fatal("fitting packets rejected")
+	}
+	if b.Admit(pkt(3, 4)) {
+		t.Fatal("overfull admit accepted")
+	}
+	if b.Len() != 2 || b.Flits() != 8 {
+		t.Fatalf("len=%d flits=%d, want 2/8", b.Len(), b.Flits())
+	}
+	if b.Head().ID != 1 || b.Pop().ID != 1 || b.Pop().ID != 2 || b.Pop() != nil {
+		t.Fatal("FIFO order violated")
+	}
+	if b.Flits() != 0 || b.Len() != 0 {
+		t.Fatalf("drained buffer reports flits=%d len=%d", b.Flits(), b.Len())
+	}
+}
+
+func TestBufferReserveCommit(t *testing.T) {
+	b := NewBuffer(10)
+	if !b.CanAccept(6) {
+		t.Fatal("empty buffer rejects 6 flits")
+	}
+	b.Reserve(6)
+	if b.Reserved() != 6 || b.CanAccept(5) {
+		t.Fatal("reservation not counted against capacity")
+	}
+	if !b.Admit(pkt(1, 4)) {
+		t.Fatal("4 flits alongside a 6-flit reservation rejected")
+	}
+	if b.Admit(pkt(2, 1)) {
+		t.Fatal("admit beyond occupancy+reservation accepted")
+	}
+	in := pkt(3, 6)
+	b.Commit(in)
+	if b.Reserved() != 0 || b.Flits() != 10 {
+		t.Fatalf("after commit: reserved=%d flits=%d, want 0/10", b.Reserved(), b.Flits())
+	}
+	if b.Pop().ID != 1 || b.Pop().ID != 3 {
+		t.Fatal("commit broke FIFO order")
+	}
+}
+
+func TestBufferPushFront(t *testing.T) {
+	b := NewBuffer(100)
+	for i := 1; i <= 3; i++ {
+		b.Push(pkt(uint64(i), 2))
+	}
+	got := b.Pop()
+	if got.ID != 1 {
+		t.Fatalf("pop = %d, want 1", got.ID)
+	}
+	// NACK: the popped packet retries from the front.
+	b.PushFront(got)
+	if b.Head().ID != 1 || b.Flits() != 6 {
+		t.Fatalf("head=%d flits=%d after PushFront, want 1/6", b.Head().ID, b.Flits())
+	}
+	for want := uint64(1); want <= 3; want++ {
+		if got := b.Pop(); got.ID != want {
+			t.Fatalf("pop = %d, want %d", got.ID, want)
+		}
+	}
+	// PushFront on an empty, never-popped prefix (head == 0).
+	b2 := NewBuffer(100)
+	b2.Push(pkt(10, 1))
+	b2.PushFront(pkt(9, 1))
+	if b2.Pop().ID != 9 || b2.Pop().ID != 10 {
+		t.Fatal("PushFront at head==0 broke order")
+	}
+}
+
+func TestBufferCompaction(t *testing.T) {
+	b := NewBuffer(1 << 20)
+	var next uint64
+	for round := 0; round < 2000; round++ {
+		next++
+		b.Push(pkt(next, 1))
+		if got := b.Pop(); got.ID != next {
+			t.Fatalf("round %d: pop = %d, want %d", round, got.ID, next)
+		}
+	}
+	if len(b.pkts)-b.head != 0 {
+		t.Fatal("buffer not empty after balanced push/pop")
+	}
+	if cap(b.pkts) > 256 {
+		t.Fatalf("backing array grew to %d entries; compaction failed", cap(b.pkts))
+	}
+}
+
+func TestFlowQueueCompaction(t *testing.T) {
+	var fq FlowQueue
+	var next uint64
+	for round := 0; round < 5000; round++ {
+		next++
+		fq.push(pkt(next, 1))
+		if fq.Queued() != 1 || fq.Peek().ID != next {
+			t.Fatalf("round %d: queued=%d", round, fq.Queued())
+		}
+		if got := fq.Pop(); got.ID != next {
+			t.Fatalf("round %d: pop = %d, want %d", round, got.ID, next)
+		}
+	}
+	if cap(fq.queue) > 512 {
+		t.Fatalf("flow queue grew to %d entries; compaction failed", cap(fq.queue))
+	}
+}
+
+func TestTxPoolReuse(t *testing.T) {
+	var tp TxPool
+	tp.Preload(2)
+	p := pkt(1, 8)
+	tx := tp.Get(p, 3)
+	if tx.Pkt != p || tx.Input != 3 || tx.Remaining != 8 {
+		t.Fatalf("Get filled %+v", tx)
+	}
+	tp.Put(tx)
+	if tx.Pkt != nil {
+		t.Fatal("Put retained the packet pointer")
+	}
+	if again := tp.Get(pkt(2, 1), 0); again != tx {
+		t.Fatal("pool did not reuse the retired transmission")
+	}
+}

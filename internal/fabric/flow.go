@@ -1,0 +1,129 @@
+package fabric
+
+import (
+	"swizzleqos/internal/noc"
+	"swizzleqos/internal/traffic"
+)
+
+// FlowQueue binds one flow to its unbounded source queue. Generators are
+// open-loop: the engine owns the queue and accepted throughput is
+// measured at the output, following standard interconnection-network
+// methodology.
+type FlowQueue struct {
+	Flow  traffic.Flow
+	queue []*noc.Packet
+	head  int
+}
+
+// Queued returns the source-queue depth in packets.
+func (f *FlowQueue) Queued() int { return len(f.queue) - f.head }
+
+// Peek returns the head packet without removing it, or nil.
+func (f *FlowQueue) Peek() *noc.Packet {
+	if f.head >= len(f.queue) {
+		return nil
+	}
+	return f.queue[f.head]
+}
+
+// Pop removes and returns the head packet. The queue compacts in place
+// once the dead prefix dominates, so a long-lived source stays at its
+// peak footprint instead of growing without bound.
+func (f *FlowQueue) Pop() *noc.Packet {
+	p := f.queue[f.head]
+	f.queue[f.head] = nil
+	f.head++
+	if f.head > 64 && f.head*2 >= len(f.queue) {
+		n := copy(f.queue, f.queue[f.head:])
+		for i := n; i < len(f.queue); i++ {
+			f.queue[i] = nil
+		}
+		f.queue = f.queue[:n]
+		f.head = 0
+	}
+	return p
+}
+
+// push appends a generated packet.
+func (f *FlowQueue) push(p *noc.Packet) { f.queue = append(f.queue, p) }
+
+// Sources is the set of flow source queues attached to an engine,
+// grouped by injection point (the input port of the crossbar, the
+// terminal of a composition, or the flow itself when every flow injects
+// independently). Admission rotates round-robin within a group so
+// co-located flows share their injection port fairly.
+type Sources struct {
+	flows  []*FlowQueue
+	groups [][]int // flow indices per group
+	rr     []int   // per-group admission rotation
+}
+
+// NewSources returns a source set with the given number of injection
+// groups.
+func NewSources(groups int) *Sources {
+	return &Sources{groups: make([][]int, groups), rr: make([]int, groups)}
+}
+
+// Add attaches a flow to an injection group and returns its flow index.
+// Validation is the engine's job; Sources only stores.
+func (s *Sources) Add(f traffic.Flow, group int) int {
+	s.flows = append(s.flows, &FlowQueue{Flow: f})
+	s.groups[group] = append(s.groups[group], len(s.flows)-1)
+	return len(s.flows) - 1
+}
+
+// AddOwnGroup grows the group set by one and attaches the flow to the
+// new group — the discipline of engines where every flow injects at its
+// own private point (the mesh's local ports admit one packet per flow
+// per cycle, not one per node).
+func (s *Sources) AddOwnGroup(f traffic.Flow) int {
+	s.groups = append(s.groups, nil)
+	s.rr = append(s.rr, 0)
+	return s.Add(f, len(s.groups)-1)
+}
+
+// Len returns the number of attached flows.
+func (s *Sources) Len() int { return len(s.flows) }
+
+// Groups returns the number of injection groups.
+func (s *Sources) Groups() int { return len(s.groups) }
+
+// Flow returns flow index i's queue.
+func (s *Sources) Flow(i int) *FlowQueue { return s.flows[i] }
+
+// Generate lets every flow's generator emit at most one packet into its
+// source queue and returns the number of packets created this cycle.
+func (s *Sources) Generate(now uint64) uint64 {
+	var injected uint64
+	for _, fq := range s.flows {
+		if p := fq.Flow.Gen.Tick(now, fq.Queued()); p != nil {
+			fq.push(p)
+			injected++
+		}
+	}
+	return injected
+}
+
+// AdmitGroup moves at most one packet from the group's source queues
+// toward the engine, rotating across the group's flows for fairness. try
+// inspects a head packet and, if the engine accepts it (buffer space,
+// admission gates), completes the admission — stamping, buffering,
+// observer notification — and reports success; AdmitGroup then pops the
+// packet and advances the rotation. It returns the admitted packet, or
+// nil if no head was accepted.
+func (s *Sources) AdmitGroup(group int, try func(*noc.Packet) bool) *noc.Packet {
+	idxs := s.groups[group]
+	n := len(idxs)
+	for k := 0; k < n; k++ {
+		fi := idxs[(s.rr[group]+k)%n]
+		fq := s.flows[fi]
+		p := fq.Peek()
+		if p == nil || !try(p) {
+			continue
+		}
+		fq.Pop()
+		s.rr[group] = (s.rr[group] + k + 1) % n
+		return p
+	}
+	return nil
+}

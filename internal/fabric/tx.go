@@ -1,0 +1,48 @@
+package fabric
+
+import "swizzleqos/internal/noc"
+
+// Transmission is an output channel's in-flight packet: the packet, the
+// input (port index) it is draining from, and the flits still to move.
+type Transmission struct {
+	Pkt       *noc.Packet
+	Input     int
+	Remaining int
+}
+
+// TxPool is a free list of Transmission structs. Grant paths take from
+// the pool and completion paths return to it, so the steady-state cycle
+// loop never allocates a transmission: the pool's population settles at
+// the engine's peak in-flight count (at most one per output channel).
+// The zero value is ready to use.
+type TxPool struct {
+	free []*Transmission
+}
+
+// Preload seeds the pool with n transmissions so even the first grants
+// allocate nothing. Pass the engine's output-channel count.
+func (tp *TxPool) Preload(n int) {
+	for i := 0; i < n; i++ {
+		tp.free = append(tp.free, new(Transmission))
+	}
+}
+
+// Get returns a transmission for a granted packet, reusing a retired
+// struct when one is available.
+func (tp *TxPool) Get(pkt *noc.Packet, input int) *Transmission {
+	var t *Transmission
+	if n := len(tp.free); n > 0 {
+		t, tp.free = tp.free[n-1], tp.free[:n-1]
+	} else {
+		t = new(Transmission)
+	}
+	t.Pkt, t.Input, t.Remaining = pkt, input, pkt.Length
+	return t
+}
+
+// Put retires a completed (or aborted) transmission. The packet pointer
+// is cleared so the pool never delays packet recycling.
+func (tp *TxPool) Put(t *Transmission) {
+	t.Pkt = nil
+	tp.free = append(tp.free, t)
+}

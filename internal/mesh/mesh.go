@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"swizzleqos/internal/arb"
+	"swizzleqos/internal/fabric"
 	"swizzleqos/internal/noc"
 	"swizzleqos/internal/traffic"
 )
@@ -76,71 +77,13 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// buffer is a packet FIFO with flit capacity and downstream reservation
-// accounting (a granted packet's space is reserved at its next hop before
-// it starts moving, making the cut-through transfer safe).
-type buffer struct {
-	capFlits int
-	flits    int
-	reserved int
-	pkts     []*noc.Packet
-	head     int
-}
-
-func (b *buffer) canReserve(length int) bool { return b.flits+b.reserved+length <= b.capFlits }
-func (b *buffer) reserve(length int)         { b.reserved += length }
-
-func (b *buffer) commit(p *noc.Packet) {
-	b.reserved -= p.Length
-	b.pkts = append(b.pkts, p)
-	b.flits += p.Length
-}
-
-// admit pushes a freshly injected packet (no prior reservation).
-func (b *buffer) admit(p *noc.Packet) bool {
-	if !b.canReserve(p.Length) {
-		return false
-	}
-	b.pkts = append(b.pkts, p)
-	b.flits += p.Length
-	return true
-}
-
-func (b *buffer) headPkt() *noc.Packet {
-	if b.head >= len(b.pkts) {
-		return nil
-	}
-	return b.pkts[b.head]
-}
-
-func (b *buffer) pop() *noc.Packet {
-	p := b.pkts[b.head]
-	b.pkts[b.head] = nil
-	b.head++
-	b.flits -= p.Length
-	if b.head > 32 && b.head*2 >= len(b.pkts) {
-		n := copy(b.pkts, b.pkts[b.head:])
-		for i := n; i < len(b.pkts); i++ {
-			b.pkts[i] = nil
-		}
-		b.pkts = b.pkts[:n]
-		b.head = 0
-	}
-	return p
-}
-
-// transmission is an in-flight packet on one router output.
-type transmission struct {
-	pkt       *noc.Packet
-	from      Port
-	remaining int
-}
-
-// router is one mesh node.
+// router is one mesh node. Input buffers carry the downstream reservation
+// accounting of virtual cut-through: a granted packet's space is reserved
+// at its next hop before it starts moving, making the transfer safe.
 type router struct {
 	x, y int
-	in   [numPorts]*buffer
-	out  [numPorts]*transmission
+	in   [numPorts]*fabric.Buffer
+	out  [numPorts]*fabric.Transmission
 	arbs [numPorts]arb.Arbiter
 	// inBusy marks input ports whose buffer read port is occupied by an
 	// in-flight transfer.
@@ -151,30 +94,27 @@ type router struct {
 	cooldown [numPorts]bool
 }
 
-// flowState binds a flow to its source queue.
-type flowState struct {
-	flow  traffic.Flow
-	queue []*noc.Packet
-	head  int
-}
-
-func (f *flowState) queued() int { return len(f.queue) - f.head }
-
 // Mesh is the simulator. Drive it with Step/Run; observe deliveries with
-// OnDeliver. Not safe for concurrent use.
+// OnDeliver (and recycle with OnRelease). Not safe for concurrent use.
+//
+// The embedded fabric.Counters exposes the common utilization counters;
+// Mesh implements fabric.Engine.
 type Mesh struct {
+	fabric.Counters
+	fabric.Hooks
+
 	cfg     Config
 	routers []*router
-	flows   []*flowState
+	sources *fabric.Sources // one injection group per flow
 	now     uint64
 
-	onDeliver func(*noc.Packet)
-
-	// Counters for tests and reporting.
-	Injected  uint64
-	Admitted  uint64
-	Delivered uint64
+	arbReqs []arb.Request // scratch: requests handed to one arbitration
+	txPool  fabric.TxPool
 }
+
+// Mesh is driven through the shared engine interface by the experiments
+// layer.
+var _ fabric.Engine = (*Mesh)(nil)
 
 // New builds a mesh.
 func New(cfg Config) (*Mesh, error) {
@@ -185,12 +125,17 @@ func New(cfg Config) (*Mesh, error) {
 	if newArb == nil {
 		newArb = func() arb.Arbiter { return arb.NewLRG(int(numPorts)) }
 	}
-	m := &Mesh{cfg: cfg}
+	m := &Mesh{
+		cfg:     cfg,
+		sources: fabric.NewSources(0),
+		arbReqs: make([]arb.Request, 0, numPorts),
+	}
+	m.txPool.Preload(cfg.Width * cfg.Height * int(numPorts))
 	for y := 0; y < cfg.Height; y++ {
 		for x := 0; x < cfg.Width; x++ {
 			r := &router{x: x, y: y}
 			for p := Port(0); p < numPorts; p++ {
-				r.in[p] = &buffer{capFlits: cfg.BufferFlits}
+				r.in[p] = fabric.NewBuffer(cfg.BufferFlits)
 				r.arbs[p] = newArb()
 			}
 			m.routers = append(m.routers, r)
@@ -222,7 +167,9 @@ func abs(v int) int {
 	return v
 }
 
-// AddFlow attaches a flow; Src and Dst are node IDs.
+// AddFlow attaches a flow; Src and Dst are node IDs. Every flow gets its
+// own injection group: the mesh's local ports admit one packet per flow
+// per cycle, not one per node.
 func (m *Mesh) AddFlow(f traffic.Flow) error {
 	if f.Spec.Src < 0 || f.Spec.Src >= m.Nodes() || f.Spec.Dst < 0 || f.Spec.Dst >= m.Nodes() {
 		return fmt.Errorf("mesh: flow %d->%d outside a %d-node mesh", f.Spec.Src, f.Spec.Dst, m.Nodes())
@@ -233,12 +180,9 @@ func (m *Mesh) AddFlow(f traffic.Flow) error {
 	if f.Gen == nil {
 		return fmt.Errorf("mesh: flow %d->%d has no generator", f.Spec.Src, f.Spec.Dst)
 	}
-	m.flows = append(m.flows, &flowState{flow: f})
+	m.sources.AddOwnGroup(f)
 	return nil
 }
-
-// OnDeliver registers a delivery observer.
-func (m *Mesh) OnDeliver(fn func(*noc.Packet)) { m.onDeliver = fn }
 
 // routeDir returns the output port a packet takes at router r under
 // dimension-order routing: X first, then Y, then eject.
@@ -318,22 +262,17 @@ func (m *Mesh) Run(n uint64) {
 }
 
 func (m *Mesh) inject(now uint64) {
-	for _, fs := range m.flows {
-		if p := fs.flow.Gen.Tick(now, fs.queued()); p != nil {
-			fs.queue = append(fs.queue, p)
-			m.Injected++
+	m.Injected += m.sources.Generate(now)
+	try := func(p *noc.Packet) bool {
+		if !m.routers[p.Src].in[Local].Admit(p) {
+			return false
 		}
-		if fs.head >= len(fs.queue) {
-			continue
-		}
-		p := fs.queue[fs.head]
-		r := m.routers[p.Src]
-		if r.in[Local].admit(p) {
-			p.EnqueuedAt = now
-			fs.queue[fs.head] = nil
-			fs.head++
-			m.Admitted++
-		}
+		p.EnqueuedAt = now
+		m.Admitted++
+		return true
+	}
+	for g := 0; g < m.sources.Groups(); g++ {
+		m.sources.AdmitGroup(g, try)
 	}
 }
 
@@ -346,23 +285,24 @@ func (m *Mesh) transfer(now uint64) {
 			if tx == nil {
 				continue
 			}
-			tx.remaining--
-			if tx.remaining > 0 {
+			m.DataCycles++
+			tx.Remaining--
+			if tx.Remaining > 0 {
 				continue
 			}
-			r.inBusy[tx.from] = false
+			pkt := tx.Pkt
+			r.inBusy[tx.Input] = false
 			r.out[out] = nil
 			r.cooldown[out] = true
+			m.txPool.Put(tx)
 			if out == Local {
-				tx.pkt.DeliveredAt = now
+				pkt.DeliveredAt = now
 				m.Delivered++
-				if m.onDeliver != nil {
-					m.onDeliver(tx.pkt)
-				}
+				m.Deliver(pkt)
 				continue
 			}
 			next := m.neighbor(r, out)
-			next.in[entryPort(out)].commit(tx.pkt)
+			next.in[entryPort(out)].Commit(pkt)
 		}
 	}
 }
@@ -372,14 +312,13 @@ func (m *Mesh) transfer(now uint64) {
 // every hop pays the one-cycle arbitration overhead of the switch model
 // (L-flit packets occupy a link for L+1 cycles).
 func (m *Mesh) arbitrate(now uint64) {
-	reqs := make([]arb.Request, 0, numPorts)
 	for _, r := range m.routers {
 		// Snapshot head packets once per router so one input cannot be
 		// granted by two outputs in the same cycle.
 		var heads [numPorts]*noc.Packet
 		for in := Port(0); in < numPorts; in++ {
 			if !r.inBusy[in] {
-				heads[in] = r.in[in].headPkt()
+				heads[in] = r.in[in].Head()
 			}
 		}
 		for out := Port(0); out < numPorts; out++ {
@@ -390,7 +329,7 @@ func (m *Mesh) arbitrate(now uint64) {
 				r.cooldown[out] = false
 				continue
 			}
-			reqs = reqs[:0]
+			reqs := m.arbReqs[:0]
 			for in := Port(0); in < numPorts; in++ {
 				p := heads[in]
 				if p == nil || r.inBusy[in] || m.routeDir(r, p.Dst) != out {
@@ -398,22 +337,24 @@ func (m *Mesh) arbitrate(now uint64) {
 				}
 				if out != Local {
 					next := m.neighbor(r, out)
-					if next == nil || !next.in[entryPort(out)].canReserve(p.Length) {
+					if next == nil || !next.in[entryPort(out)].CanAccept(p.Length) {
 						continue
 					}
 				}
 				reqs = append(reqs, arb.Request{Input: int(in), Class: p.Class, Packet: p})
 			}
 			if len(reqs) == 0 {
+				m.IdleCycles++
 				continue
 			}
+			m.ArbCycles++
 			w := r.arbs[out].Arbitrate(now, reqs)
 			if w < 0 {
 				continue
 			}
 			req := reqs[w]
 			in := Port(req.Input)
-			p := r.in[in].pop()
+			p := r.in[in].Pop()
 			if p != req.Packet {
 				panic(fmt.Sprintf("mesh: router (%d,%d) granted packet %d but head is %d", r.x, r.y, req.Packet.ID, p.ID))
 			}
@@ -421,10 +362,10 @@ func (m *Mesh) arbitrate(now uint64) {
 				p.GrantedAt = now
 			}
 			if out != Local {
-				m.neighbor(r, out).in[entryPort(out)].reserve(p.Length)
+				m.neighbor(r, out).in[entryPort(out)].Reserve(p.Length)
 			}
 			r.inBusy[in] = true
-			r.out[out] = &transmission{pkt: p, from: in, remaining: p.Length}
+			r.out[out] = m.txPool.Get(p, int(in))
 			r.arbs[out].Granted(now, req)
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"swizzleqos/internal/arb"
+	"swizzleqos/internal/fabric"
 	"swizzleqos/internal/noc"
 	"swizzleqos/internal/traffic"
 )
@@ -11,11 +12,11 @@ import (
 // inputPort holds one input's buffering and channel state.
 type inputPort struct {
 	id   int
-	be   *packetBuffer
-	gl   *packetBuffer
-	gb   []*packetBuffer // one virtual output queue per output
-	busy bool            // transmitting a granted packet
-	gbRR int             // round-robin pointer over GB queues
+	be   *fabric.Buffer
+	gl   *fabric.Buffer
+	gb   []*fabric.Buffer // one virtual output queue per output
+	busy bool             // transmitting a granted packet
+	gbRR int              // round-robin pointer over GB queues
 }
 
 // request is the single (output, class, packet) offer an input makes in a
@@ -51,7 +52,7 @@ func (in *inputPort) currentRequest() (request, bool) {
 
 // bufferFor returns the buffer a packet of the given class/destination
 // occupies at this input.
-func (in *inputPort) bufferFor(class noc.Class, dst int) *packetBuffer {
+func (in *inputPort) bufferFor(class noc.Class, dst int) *fabric.Buffer {
 	switch class {
 	case noc.GuaranteedLatency:
 		return in.gl
@@ -60,13 +61,6 @@ func (in *inputPort) bufferFor(class noc.Class, dst int) *packetBuffer {
 	default:
 		return in.be
 	}
-}
-
-// transmission is an output channel's in-flight packet.
-type transmission struct {
-	pkt       *noc.Packet
-	input     int
-	remaining int
 }
 
 // outputPort is one output channel: its arbiter and channel state. The
@@ -78,70 +72,41 @@ type outputPort struct {
 	arb arb.Arbiter
 	obs arb.ArrivalObserver // non-nil iff arb observes arrivals
 	pre arb.Preemptor       // non-nil iff arb can preempt
-	tx  *transmission
-}
-
-// flowState binds a flow to its unbounded source queue.
-type flowState struct {
-	flow  traffic.Flow
-	queue []*noc.Packet
-	head  int
-}
-
-func (f *flowState) queued() int { return len(f.queue) - f.head }
-
-func (f *flowState) peek() *noc.Packet {
-	if f.head >= len(f.queue) {
-		return nil
-	}
-	return f.queue[f.head]
-}
-
-func (f *flowState) pop() *noc.Packet {
-	p := f.queue[f.head]
-	f.queue[f.head] = nil
-	f.head++
-	if f.head > 64 && f.head*2 >= len(f.queue) {
-		n := copy(f.queue, f.queue[f.head:])
-		for i := n; i < len(f.queue); i++ {
-			f.queue[i] = nil
-		}
-		f.queue = f.queue[:n]
-		f.head = 0
-	}
-	return p
+	tx  *fabric.Transmission
 }
 
 // Switch is the cycle-accurate crossbar simulator. Create one with New,
 // attach flows with AddFlow and a delivery observer with OnDeliver, then
 // drive it with Step or Run. It is not safe for concurrent use.
+//
+// The embedded fabric.Counters exposes the common utilization counters
+// (Injected, Admitted, Delivered, ArbCycles, IdleCycles, DataCycles);
+// the embedded fabric.Hooks provides OnDeliver/OnRelease. Switch
+// implements fabric.Engine.
 type Switch struct {
+	fabric.Counters
+	fabric.Hooks
+
 	cfg     Config
 	inputs  []*inputPort
 	outputs []*outputPort
-	flows   []*flowState
-	byInput [][]int // flow indices per input, for per-input admission
-	admitRR []int   // per-input rotation over its flows
+	sources *fabric.Sources // flow source queues, grouped by input port
 
-	now       uint64
-	onDeliver func(*noc.Packet)
-	onRelease func(*noc.Packet)
+	now uint64
 
 	offers  [][]arb.Request // scratch: this cycle's offers, bucketed by destination output
 	arbReqs []arb.Request   // scratch: requests handed to one arbitration
-	txFree  []*transmission
+	txPool  fabric.TxPool
 
-	// Counters for tests and reporting.
-	Injected    uint64 // packets created by generators
-	Admitted    uint64 // packets that entered an input buffer
-	Delivered   uint64 // packets fully transmitted
-	ArbCycles   uint64 // output-cycles spent arbitrating (with requests)
-	IdleCycles  uint64 // output-cycles with no requests and no data
-	DataCycles  uint64 // output-cycles moving a flit
+	// Crossbar-specific counters, alongside the embedded common block.
 	Chained     uint64 // packets granted by chaining (no arbitration cycle)
 	Preempted   uint64 // in-flight packets aborted by a Preemptor
 	WastedFlits uint64 // flits discarded by preemptions
 }
+
+// Switch is driven through the shared engine interface by the
+// experiments layer.
+var _ fabric.Engine = (*Switch)(nil)
 
 // New builds a switch; newArb constructs the arbiter for each output port.
 func New(cfg Config, newArb func(output int) arb.Arbiter) (*Switch, error) {
@@ -155,26 +120,22 @@ func New(cfg Config, newArb func(output int) arb.Arbiter) (*Switch, error) {
 		cfg:     cfg,
 		inputs:  make([]*inputPort, cfg.Radix),
 		outputs: make([]*outputPort, cfg.Radix),
-		byInput: make([][]int, cfg.Radix),
-		admitRR: make([]int, cfg.Radix),
+		sources: fabric.NewSources(cfg.Radix),
 		offers:  make([][]arb.Request, cfg.Radix),
 		arbReqs: make([]arb.Request, 0, cfg.Radix),
-		txFree:  make([]*transmission, 0, cfg.Radix),
 	}
 	// Pre-seed the transmission free list (one in-flight packet per
 	// output is the maximum) so the steady-state loop never allocates.
-	for i := 0; i < cfg.Radix; i++ {
-		s.txFree = append(s.txFree, new(transmission))
-	}
+	s.txPool.Preload(cfg.Radix)
 	for i := range s.inputs {
 		in := &inputPort{
 			id: i,
-			be: newPacketBuffer(cfg.BEBufferFlits),
-			gl: newPacketBuffer(cfg.GLBufferFlits),
-			gb: make([]*packetBuffer, cfg.Radix),
+			be: fabric.NewBuffer(cfg.BEBufferFlits),
+			gl: fabric.NewBuffer(cfg.GLBufferFlits),
+			gb: make([]*fabric.Buffer, cfg.Radix),
 		}
 		for o := range in.gb {
-			in.gb[o] = newPacketBuffer(cfg.GBBufferFlits)
+			in.gb[o] = fabric.NewBuffer(cfg.GBBufferFlits)
 		}
 		s.inputs[i] = in
 	}
@@ -208,25 +169,13 @@ func (s *Switch) AddFlow(f traffic.Flow) error {
 	if f.Gen == nil {
 		return fmt.Errorf("switchsim: flow %d->%d has no generator", f.Spec.Src, f.Spec.Dst)
 	}
-	s.flows = append(s.flows, &flowState{flow: f})
-	s.byInput[f.Spec.Src] = append(s.byInput[f.Spec.Src], len(s.flows)-1)
+	s.sources.Add(f, f.Spec.Src)
 	return nil
 }
 
-// OnDeliver registers a callback invoked for every fully delivered packet,
-// after its DeliveredAt timestamp is set.
-func (s *Switch) OnDeliver(fn func(*noc.Packet)) { s.onDeliver = fn }
-
-// OnRelease registers a callback invoked after the delivery observer has
-// seen a packet and the switch holds no further reference to it. Wiring
-// it to traffic.Sequence.Recycle makes the steady-state cycle loop
-// allocation-free: delivered packets are reused by subsequent generation.
-// The caller guarantees nothing retains the pointer past delivery.
-func (s *Switch) OnRelease(fn func(*noc.Packet)) { s.onRelease = fn }
-
 // SourceQueueLen returns flow index f's current source-queue depth in
 // packets, for tests.
-func (s *Switch) SourceQueueLen(f int) int { return s.flows[f].queued() }
+func (s *Switch) SourceQueueLen(f int) int { return s.sources.Flow(f).Queued() }
 
 // BufferOccupancy returns the flit occupancy of the class buffer at input
 // i (for GB, the queue toward output dst).
@@ -238,7 +187,7 @@ func (s *Switch) BufferOccupancy(i int, class noc.Class, dst int) int {
 // channel processing (data or arbitration), then arbiter clock ticks.
 func (s *Switch) Step() {
 	now := s.now
-	s.generate(now)
+	s.Injected += s.sources.Generate(now)
 	s.admit(now)
 	s.serveOutputs(now)
 	for _, out := range s.outputs {
@@ -254,51 +203,29 @@ func (s *Switch) Run(n uint64) {
 	}
 }
 
-// generate lets every flow's generator emit at most one packet into its
-// source queue.
-func (s *Switch) generate(now uint64) {
-	for _, fs := range s.flows {
-		if p := fs.flow.Gen.Tick(now, fs.queued()); p != nil {
-			fs.queue = append(fs.queue, p)
-			s.Injected++
-		}
-	}
-}
-
 // admit moves at most one packet per input from a source queue into the
 // corresponding class buffer, rotating across the input's flows for
-// fairness. Arrival observers (original Virtual Clock, WFQ) stamp the
-// packet here.
+// fairness (fabric.Sources owns the rotation). Arrival observers
+// (original Virtual Clock, WFQ) stamp the packet here.
 func (s *Switch) admit(now uint64) {
-	for i, flowIdxs := range s.byInput {
-		n := len(flowIdxs)
-		if n == 0 {
-			continue
+	try := func(p *noc.Packet) bool {
+		buf := s.inputs[p.Src].bufferFor(p.Class, p.Dst)
+		if !buf.CanAccept(p.Length) {
+			return false
 		}
-		for k := 0; k < n; k++ {
-			fi := flowIdxs[(s.admitRR[i]+k)%n]
-			fs := s.flows[fi]
-			p := fs.peek()
-			if p == nil {
-				continue
-			}
-			buf := s.inputs[i].bufferFor(p.Class, p.Dst)
-			if !buf.CanAccept(p.Length) {
-				continue
-			}
-			if s.cfg.AdmissionGate != nil && !s.cfg.AdmissionGate(now, p) {
-				continue
-			}
-			fs.pop()
-			p.EnqueuedAt = now
-			buf.Push(p)
-			s.Admitted++
-			if obs := s.outputs[p.Dst].obs; obs != nil {
-				obs.PacketArrived(now, p)
-			}
-			s.admitRR[i] = (s.admitRR[i] + k + 1) % n
-			break
+		if s.cfg.AdmissionGate != nil && !s.cfg.AdmissionGate(now, p) {
+			return false
 		}
+		p.EnqueuedAt = now
+		buf.Push(p)
+		s.Admitted++
+		if obs := s.outputs[p.Dst].obs; obs != nil {
+			obs.PacketArrived(now, p)
+		}
+		return true
+	}
+	for i := range s.inputs {
+		s.sources.AdmitGroup(i, try)
 	}
 }
 
@@ -371,18 +298,17 @@ func (s *Switch) tryPreempt(out *outputPort, now uint64) bool {
 		return false
 	}
 	tx := out.tx
-	inflight := arb.Request{Input: tx.input, Class: tx.pkt.Class, Packet: tx.pkt}
+	inflight := arb.Request{Input: tx.Input, Class: tx.Pkt.Class, Packet: tx.Pkt}
 	w := pre.ShouldPreempt(now, inflight, reqs)
 	if w < 0 {
 		return false
 	}
 	s.Preempted++
-	s.WastedFlits += uint64(tx.pkt.Length - tx.remaining)
-	s.inputs[tx.input].busy = false
-	s.inputs[tx.input].bufferFor(tx.pkt.Class, out.id).PushFront(tx.pkt)
+	s.WastedFlits += uint64(tx.Pkt.Length - tx.Remaining)
+	s.inputs[tx.Input].busy = false
+	s.inputs[tx.Input].bufferFor(tx.Pkt.Class, out.id).PushFront(tx.Pkt)
 	out.tx = nil
-	tx.pkt = nil
-	s.txFree = append(s.txFree, tx)
+	s.txPool.Put(tx)
 	s.grant(out, now, reqs[w], false)
 	return true
 }
@@ -392,23 +318,17 @@ func (s *Switch) tryPreempt(out *outputPort, now uint64) bool {
 func (s *Switch) transfer(out *outputPort, now uint64) {
 	s.DataCycles++
 	tx := out.tx
-	tx.remaining--
-	if tx.remaining > 0 {
+	tx.Remaining--
+	if tx.Remaining > 0 {
 		return
 	}
-	pkt := tx.pkt
+	pkt := tx.Pkt
 	pkt.DeliveredAt = now
-	s.inputs[tx.input].busy = false
+	s.inputs[tx.Input].busy = false
 	out.tx = nil
-	tx.pkt = nil
-	s.txFree = append(s.txFree, tx)
+	s.txPool.Put(tx)
 	s.Delivered++
-	if s.onDeliver != nil {
-		s.onDeliver(pkt)
-	}
-	if s.onRelease != nil {
-		s.onRelease(pkt)
-	}
+	s.Deliver(pkt)
 	if s.cfg.PacketChaining {
 		s.tryChain(out, now)
 	}
@@ -454,14 +374,7 @@ func (s *Switch) grant(out *outputPort, now uint64, req arb.Request, chained boo
 	if req.Class == noc.GuaranteedBandwidth {
 		in.gbRR = (out.id + 1) % s.cfg.Radix
 	}
-	var tx *transmission
-	if n := len(s.txFree); n > 0 {
-		tx, s.txFree = s.txFree[n-1], s.txFree[:n-1]
-	} else {
-		tx = new(transmission)
-	}
-	*tx = transmission{pkt: p, input: req.Input, remaining: p.Length}
-	out.tx = tx
+	out.tx = s.txPool.Get(p, req.Input)
 	// The arbiter's bandwidth accounting covers chained packets too:
 	// every transmitted packet advances the flow's virtual clock.
 	out.arb.Granted(now, req)
