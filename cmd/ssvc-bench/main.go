@@ -4,9 +4,13 @@
 //
 // Usage:
 //
-//	ssvc-bench [-exp all|fig4a|fig4b|fig5|adherence|table1|table2|area|lanes|energy|glbound|glbursts|chaining|fixedpriority|static|sigbits|motivation|scale64|convergence|decoupling|gsf|compose|pvc]
-//	           [-quick] [-csv] [-cycles N] [-warmup N] [-seed N] [-workers N]
+//	ssvc-bench [-exp all|fig4a|fig4b|fig5|adherence|table1|table2|area|lanes|energy|glbound|glbursts|chaining|fixedpriority|static|sigbits|motivation|scale64|convergence|decoupling|gsf|compose|pvc|faults]
+//	           [-faults] [-quick] [-csv] [-cycles N] [-warmup N] [-seed N] [-workers N]
 //	           [-cpuprofile FILE] [-memprofile FILE]
+//
+// -faults is shorthand for the fault-injection experiment: alone it runs
+// just that experiment; combined with -exp it adds faults to the
+// selection.
 //
 // Independent sweep points within an experiment run on -workers
 // goroutines (default: GOMAXPROCS); the tables are byte-identical at any
@@ -36,12 +40,13 @@ func benchMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ssvc-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp    = fs.String("exp", "all", "experiment to run (comma separated), or 'all'")
-		quick  = fs.Bool("quick", false, "use short runs (lower accuracy)")
-		asCSV  = fs.Bool("csv", false, "emit CSV instead of aligned tables")
-		cycles = fs.Uint64("cycles", 0, "override measurement cycles")
-		warmup = fs.Uint64("warmup", 0, "override warmup cycles")
-		seed   = fs.Uint64("seed", 1, "workload RNG seed")
+		exp        = fs.String("exp", "all", "experiment to run (comma separated), or 'all'")
+		faultsOnly = fs.Bool("faults", false, "run the fault-injection experiment (adds to -exp if both are given)")
+		quick      = fs.Bool("quick", false, "use short runs (lower accuracy)")
+		asCSV      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		cycles     = fs.Uint64("cycles", 0, "override measurement cycles")
+		warmup     = fs.Uint64("warmup", 0, "override warmup cycles")
+		seed       = fs.Uint64("seed", 1, "workload RNG seed")
 
 		workers    = fs.Int("workers", 0, "sweep-point goroutines (0 = GOMAXPROCS, 1 = serial)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -96,6 +101,18 @@ func benchMain(args []string, stdout, stderr io.Writer) int {
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*exp, ",") {
 		selected[strings.TrimSpace(name)] = true
+	}
+	if *faultsOnly {
+		expSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "exp" {
+				expSet = true
+			}
+		})
+		if !expSet {
+			delete(selected, "all")
+		}
+		selected["faults"] = true
 	}
 	all := selected["all"]
 	want := func(name string) bool { return all || selected[name] }
@@ -191,6 +208,12 @@ func benchMain(args []string, stdout, stderr io.Writer) int {
 	}
 	if want("motivation") {
 		show(experiments.MotivationTable(experiments.Motivation(o)))
+	}
+	if want("faults") {
+		show(experiments.FaultsTable(experiments.Faults(o)))
+		sf, su, fa, se := experiments.FaultSchedule(o)
+		fmt.Fprintf(stdout, "  schedule: output 0 stalled [%d,%d), input 1 fail-stops at cycle %d, settle window ends at %d\n\n",
+			sf, su, fa, se)
 	}
 	if renderErr != nil {
 		fmt.Fprintln(stderr, "ssvc-bench:", renderErr)

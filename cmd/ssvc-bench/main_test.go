@@ -74,6 +74,35 @@ func TestBenchMainProfiles(t *testing.T) {
 	}
 }
 
+func TestBenchMainFaultsShorthand(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := benchMain([]string{"-faults", "-cycles", "5000", "-warmup", "500"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "Fault injection") {
+		t.Fatalf("missing faults table:\n%s", got)
+	}
+	if !strings.Contains(got, "fail-stops at cycle") {
+		t.Fatalf("missing schedule line:\n%s", got)
+	}
+	if strings.Contains(got, "Table 1") {
+		t.Fatalf("-faults alone must not run the full suite:\n%s", got)
+	}
+}
+
+func TestBenchMainFaultsCombinesWithExp(t *testing.T) {
+	var out, errOut strings.Builder
+	args := []string{"-faults", "-exp", "table1", "-cycles", "5000", "-warmup", "500"}
+	if code := benchMain(args, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "Fault injection") || !strings.Contains(got, "Table 1") {
+		t.Fatalf("-faults -exp table1 must run both:\n%s", got)
+	}
+}
+
 func TestBenchMainUnknownExperiment(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := benchMain([]string{"-exp", "nonsense"}, &out, &errOut); code != 2 {

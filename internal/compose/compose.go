@@ -25,6 +25,7 @@ import (
 
 	"swizzleqos/internal/arb"
 	"swizzleqos/internal/fabric"
+	"swizzleqos/internal/faults"
 	"swizzleqos/internal/noc"
 	"swizzleqos/internal/traffic"
 )
@@ -171,6 +172,10 @@ type Network struct {
 	nodes   []*node
 	sources *fabric.Sources // one injection group per source terminal
 	now     uint64
+	err     error // terminal invariant violation; freezes the engine
+
+	faults   *faults.Injector
+	portBase []int // flat fault-port id of each node's port 0
 
 	arbReqs []arb.Request // scratch: requests handed to one arbitration
 	heads   []*noc.Packet // scratch: per-node head snapshot
@@ -209,6 +214,12 @@ func New(cfg Config) (*Network, error) {
 	net.heads = make([]*noc.Packet, maxPorts)
 	net.routes = make([]int, maxPorts)
 	net.txPool.Preload(totalPorts)
+	net.portBase = make([]int, len(cfg.Topology.Ports))
+	base := 0
+	for id, p := range cfg.Topology.Ports {
+		net.portBase[id] = base
+		base += p
+	}
 	for id, ports := range cfg.Topology.Ports {
 		n := &node{
 			id:       id,
@@ -233,6 +244,52 @@ func New(cfg Config) (*Network, error) {
 // Terminals returns the number of attachable endpoints.
 func (n *Network) Terminals() int { return len(n.cfg.Topology.Terminals) }
 
+// Err returns the terminal error that froze the network, or nil.
+func (n *Network) Err() error { return n.err }
+
+// fail records the first invariant violation and freezes the engine.
+func (n *Network) fail(err error) {
+	if n.err == nil {
+		n.err = err
+	}
+}
+
+// SetFaults installs a fault-injection schedule; call before the first
+// Step. Port addressing: an Input fail-stop port is a terminal ID (its
+// injection dies and its queued packets at the attachment port are
+// flushed); stall and output fail-stop ports are flattened (node, output
+// port) ids — node n's port p is PortBase(n)+p. A packet whose static
+// route reaches a dead port is discarded at that node. As with the
+// mesh, there is no per-flow re-reservation in degraded mode: shared
+// crosspoints cannot tell surviving flows apart (§4.4).
+func (n *Network) SetFaults(cfg faults.Config) error {
+	if n.now != 0 {
+		return fmt.Errorf("compose: SetFaults after cycle 0 (now=%d)", n.now)
+	}
+	total := 0
+	for _, p := range n.cfg.Topology.Ports {
+		total += p
+	}
+	if err := cfg.Validate(n.Terminals(), total); err != nil {
+		return err
+	}
+	n.faults = faults.New(cfg)
+	return nil
+}
+
+// FaultTotals returns the injector's fault counters (zero if no schedule
+// is installed).
+func (n *Network) FaultTotals() faults.Counters {
+	if n.faults == nil {
+		return faults.Counters{}
+	}
+	return n.faults.Totals()
+}
+
+// PortBase returns the flat fault-port id of node's port 0 (see
+// SetFaults).
+func (n *Network) PortBase(node int) int { return n.portBase[node] }
+
 // Now returns the current cycle.
 func (n *Network) Now() uint64 { return n.now }
 
@@ -252,9 +309,17 @@ func (n *Network) AddFlow(f traffic.Flow) error {
 	return nil
 }
 
-// Step advances one cycle.
+// Step advances one cycle. After a terminal error, Step is a no-op.
 func (n *Network) Step() {
+	if n.err != nil {
+		return
+	}
 	now := n.now
+	if n.faults != nil {
+		for _, f := range n.faults.BeginCycle(now) {
+			n.applyFailStop(f)
+		}
+	}
 	n.inject(now)
 	n.transfer(now)
 	n.arbitrate(now)
@@ -266,11 +331,69 @@ func (n *Network) Step() {
 	n.now++
 }
 
-// Run advances the given number of cycles.
+// Run advances the given number of cycles, stopping early if the engine
+// fails sick.
 func (n *Network) Run(cycles uint64) {
 	for i := uint64(0); i < cycles; i++ {
+		if n.err != nil {
+			return
+		}
 		n.Step()
 	}
+}
+
+// dropPkt counts and releases a packet discarded by a fault.
+func (n *Network) dropPkt(p *noc.Packet) {
+	n.Dropped++
+	n.Drop(p)
+}
+
+// applyFailStop flushes state referencing a port that just died. Input
+// fail-stops address terminal IDs; output fail-stops address flattened
+// (node, port) ids. Queued packets routing onto a dead port are
+// discarded lazily when they surface at a node's head (see arbitrate).
+func (n *Network) applyFailStop(f faults.FailStop) {
+	if f.Input {
+		at := n.cfg.Topology.Terminals[f.Port]
+		nd := n.nodes[at.Node]
+		nd.in[at.Port].DropWhere(func(*noc.Packet) bool { return true }, n.dropPkt)
+		for out := range nd.out {
+			if tx := nd.out[out]; tx != nil && tx.Input == at.Port {
+				n.abortTx(nd, out)
+			}
+		}
+		nd.inBusy[at.Port] = false
+		return
+	}
+	nd := n.nodes[nodeOf(n.portBase, f.Port)]
+	port := f.Port - n.portBase[nd.id]
+	if nd.out[port] != nil {
+		n.abortTx(nd, port)
+	}
+}
+
+// nodeOf finds the node owning a flat port id given the per-node bases.
+func nodeOf(bases []int, flat int) int {
+	id := len(bases) - 1
+	for id > 0 && bases[id] > flat {
+		id--
+	}
+	return id
+}
+
+// abortTx kills an in-flight transfer on one node output, releasing its
+// downstream reservation and dropping the packet.
+func (n *Network) abortTx(nd *node, out int) {
+	tx := nd.out[out]
+	pkt, from := tx.Pkt, tx.Input
+	nd.inBusy[from] = false
+	nd.out[out] = nil
+	n.txPool.Put(tx)
+	if nd.hasNext[out] {
+		next := nd.next[out]
+		n.nodes[next.Node].in[next.Port].Unreserve(pkt.Length)
+	}
+	n.dropPkt(pkt)
 }
 
 // inject lets every generator emit, then admits at most one packet per
@@ -279,6 +402,12 @@ func (n *Network) Run(cycles uint64) {
 func (n *Network) inject(now uint64) {
 	n.Injected += n.sources.Generate(now)
 	try := func(p *noc.Packet) bool {
+		// A fail-stopped terminal generates into a dead attachment port:
+		// accept and discard so the source queue cannot grow unbounded.
+		if n.faults != nil && n.faults.InputDead(p.Src) {
+			n.dropPkt(p)
+			return true
+		}
 		at := n.cfg.Topology.Terminals[p.Src]
 		if !n.nodes[at.Node].in[at.Port].Admit(p) {
 			return false
@@ -299,16 +428,34 @@ func (n *Network) transfer(now uint64) {
 			if tx == nil {
 				continue
 			}
+			if n.faults != nil && n.faults.StallOutput(now, n.portBase[nd.id]+port) {
+				continue // stalled link: the in-flight transfer freezes
+			}
 			n.DataCycles++
 			tx.Remaining--
 			if tx.Remaining > 0 {
 				continue
 			}
-			pkt := tx.Pkt
-			nd.inBusy[tx.Input] = false
+			pkt, from := tx.Pkt, tx.Input
+			nd.inBusy[from] = false
 			nd.out[port] = nil
 			nd.cooldown[port] = true
 			n.txPool.Put(tx)
+			// Receiver-side modeled CRC check (see internal/faults): a
+			// corrupted hop is NACKed back to the upstream queue head
+			// (reservation released) or dropped once out of retries.
+			if n.faults != nil && n.faults.CorruptArrival(pkt) {
+				if nd.hasNext[port] {
+					next := nd.next[port]
+					n.nodes[next.Node].in[next.Port].Unreserve(pkt.Length)
+				}
+				if n.faults.Retry(now, pkt) {
+					nd.in[from].PushFront(pkt)
+				} else {
+					n.dropPkt(pkt)
+				}
+				continue
+			}
 			if nd.hasNext[port] {
 				next := nd.next[port]
 				n.nodes[next.Node].in[next.Port].Commit(pkt)
@@ -324,6 +471,9 @@ func (n *Network) transfer(now uint64) {
 
 func (n *Network) arbitrate(now uint64) {
 	for _, nd := range n.nodes {
+		if n.err != nil {
+			return
+		}
 		// Snapshot head packets once per node so one input cannot be
 		// granted by two outputs in the same cycle, and cache each
 		// head's route (Route is pure, so once per cycle suffices).
@@ -335,13 +485,25 @@ func (n *Network) arbitrate(now uint64) {
 			if nd.inBusy[port] {
 				continue
 			}
-			if p := nd.in[port].Head(); p != nil {
-				heads[port] = p
-				routes[port] = n.cfg.Topology.Route(nd.id, p.Dst)
+			p := nd.in[port].Head()
+			if p == nil || p.HoldUntil > now {
+				continue // empty, or backing off a retransmission
 			}
+			route := n.cfg.Topology.Route(nd.id, p.Dst)
+			if n.faults != nil && n.faults.OutputDead(n.portBase[nd.id]+route) {
+				// The static route dead-ends here: discard so upstream
+				// buffers keep draining toward the fault point.
+				n.dropPkt(nd.in[port].Pop())
+				continue
+			}
+			heads[port] = p
+			routes[port] = route
 		}
 		for out := range nd.out {
 			if nd.out[out] != nil {
+				continue
+			}
+			if n.faults != nil && (n.faults.OutputDead(n.portBase[nd.id]+out) || n.faults.StallOutput(now, n.portBase[nd.id]+out)) {
 				continue
 			}
 			if nd.cooldown[out] {
@@ -373,7 +535,13 @@ func (n *Network) arbitrate(now uint64) {
 			req := reqs[w]
 			p := nd.in[req.Input].Pop()
 			if p != req.Packet {
-				panic(fmt.Sprintf("compose: node %d granted packet %d but head is %d", nd.id, req.Packet.ID, p.ID))
+				head := "empty queue"
+				if p != nil {
+					head = fmt.Sprintf("packet %d", p.ID)
+				}
+				n.fail(fmt.Errorf("compose: cycle %d: node %d granted packet %d but head is %s",
+					now, nd.id, req.Packet.ID, head))
+				return
 			}
 			if p.GrantedAt == 0 {
 				p.GrantedAt = now

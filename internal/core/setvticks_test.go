@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"swizzleqos/internal/arb"
+)
+
+func TestSetVticksRejectsWrongLength(t *testing.T) {
+	s := NewSSVC(testConfig(uniformVticks(8, 300)))
+	if err := s.SetVticks(uniformVticks(3, 300)); err == nil {
+		t.Fatal("short vtick vector accepted")
+	}
+	if err := s.SetVticks(uniformVticks(9, 300)); err == nil {
+		t.Fatal("long vtick vector accepted")
+	}
+}
+
+func TestSetVticksTakesEffectAndPreservesAux(t *testing.T) {
+	s := NewSSVC(testConfig(uniformVticks(8, 300)))
+	s.Granted(0, gbReq(0))
+	if got := s.Aux(0); got != 300 {
+		t.Fatalf("aux = %d, want 300", got)
+	}
+	// Redistribution after a fail-stop: input 0's reservation doubles, so
+	// its Vtick halves. Earned auxVC state must survive the update.
+	vt := uniformVticks(8, 300)
+	vt[0] = 150
+	if err := s.SetVticks(vt); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Aux(0); got != 300 {
+		t.Fatalf("aux disturbed by SetVticks: %d, want 300", got)
+	}
+	s.Granted(0, gbReq(0))
+	if got := s.Aux(0); got != 450 {
+		t.Fatalf("aux = %d, want 450 (ticking at the new rate)", got)
+	}
+}
+
+func TestSetVticksZeroDemotesInput(t *testing.T) {
+	s := NewSSVC(testConfig(uniformVticks(8, 300)))
+	vt := uniformVticks(8, 300)
+	vt[0] = 0 // input 0's flow failed: reservation withdrawn
+	if err := s.SetVticks(vt); err != nil {
+		t.Fatal(err)
+	}
+	reqs := []arb.Request{gbReq(0), gbReq(1)}
+	if w := s.Arbitrate(0, reqs); reqs[w].Input != 1 {
+		t.Fatalf("winner input %d, want 1 (input 0 has no reservation)", reqs[w].Input)
+	}
+}

@@ -143,6 +143,22 @@ func NewSSVC(cfg Config) *SSVC {
 // consumed by the thermometer code).
 func (s *SSVC) Levels() int { return s.levels }
 
+// SetVticks replaces the per-input Vtick vector mid-run. This is the
+// graceful-degradation hook: when an input fail-stops, the bandwidth its
+// flows reserved at this output is redistributed to the surviving GB
+// flows (see faults.Redistribute) by installing the re-derived Vticks.
+// Accumulated auxVC state and the LRG order are preserved — surviving
+// flows keep their earned priority and simply tick at the new rate from
+// the next grant on, exactly as the hardware would after an update of
+// the reservation table.
+func (s *SSVC) SetVticks(vt []uint64) error {
+	if len(vt) != s.cfg.Radix {
+		return fmt.Errorf("core: got %d vticks for radix %d", len(vt), s.cfg.Radix)
+	}
+	copy(s.cfg.Vticks, vt)
+	return nil
+}
+
 // rel returns the real-time clock value relative to the current epoch,
 // clamped to the counter range like the saturating hardware counter.
 func (s *SSVC) rel(now uint64) uint64 {

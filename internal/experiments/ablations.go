@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 
 	"swizzleqos/internal/arb"
@@ -18,6 +19,8 @@ type ChainingOutcome struct {
 	Plain       float64 // accepted flits/cycle
 	Chained     float64
 	TheoryPlain float64 // L/(L+1)
+	// Err joins the terminal errors of the pair of runs, if any froze.
+	Err error
 }
 
 // AblationChaining quantifies the arbitration-cycle loss the paper
@@ -30,7 +33,7 @@ func AblationChaining(o Options) []ChainingOutcome {
 	// Two independent runs (plain, chained) per packet length, fanned as
 	// one flat job list and reassembled per length.
 	results := runner.MapScratch(o.pool(), 2*len(lens), newSweepScratch,
-		func(sc *sweepScratch, i int) float64 {
+		func(sc *sweepScratch, i int) chainingPoint {
 			return chainingRun(sc, lens[i/2], i%2 == 1, o)
 		})
 	out := make([]ChainingOutcome, len(lens))
@@ -38,14 +41,21 @@ func AblationChaining(o Options) []ChainingOutcome {
 		out[i] = ChainingOutcome{
 			PacketLen:   l,
 			TheoryPlain: float64(l) / float64(l+1),
-			Plain:       results[2*i],
-			Chained:     results[2*i+1],
+			Plain:       results[2*i].throughput,
+			Chained:     results[2*i+1].throughput,
+			Err:         errors.Join(results[2*i].err, results[2*i+1].err),
 		}
 	}
 	return out
 }
 
-func chainingRun(sc *sweepScratch, packetLen int, chaining bool, o Options) float64 {
+// chainingPoint is one run's saturated throughput plus its error, if any.
+type chainingPoint struct {
+	throughput float64
+	err        error
+}
+
+func chainingRun(sc *sweepScratch, packetLen int, chaining bool, o Options) chainingPoint {
 	cfg := fig4Config()
 	cfg.PacketChaining = chaining
 	if cfg.GBBufferFlits < 2*packetLen {
@@ -57,7 +67,8 @@ func chainingRun(sc *sweepScratch, packetLen int, chaining bool, o Options) floa
 		spec := noc.FlowSpec{Src: i, Dst: 0, Class: noc.BestEffort, PacketLength: packetLen}
 		mustAddFlow(sw, traffic.Flow{Spec: spec, Gen: traffic.NewBacklogged(&seq, spec, 4)})
 	}
-	return sc.runCollected(sw, &seq, o).OutputThroughput(0)
+	col, err := sc.runCollected(sw, &seq, o)
+	return chainingPoint{throughput: col.OutputThroughput(0), err: err}
 }
 
 // ChainingTable renders the chaining ablation.
@@ -77,6 +88,8 @@ type FixedPriorityOutcome struct {
 	Scheme            string
 	AggressorAccepted float64
 	VictimAccepted    float64
+	// Err is the engine's terminal error if the run froze early.
+	Err error
 }
 
 // AblationFixedPriority reproduces the §2.2 comparison with the prior
@@ -98,11 +111,12 @@ func AblationFixedPriority(o Options) []FixedPriorityOutcome {
 		for _, s := range specs {
 			mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
 		}
-		col := runCollected(sw, &seq, o)
+		col, err := runCollected(sw, &seq, o)
 		return FixedPriorityOutcome{
 			Scheme:            name,
 			AggressorAccepted: col.Throughput(stats.FlowKey{Src: 0, Dst: 0, Class: noc.GuaranteedBandwidth}),
 			VictimAccepted:    col.Throughput(stats.FlowKey{Src: 1, Dst: 0, Class: noc.GuaranteedBandwidth}),
+			Err:               err,
 		}
 	}
 	jobs := []func() FixedPriorityOutcome{
@@ -133,6 +147,8 @@ func FixedPriorityTable(outcomes []FixedPriorityOutcome) *stats.Table {
 type StaticOutcome struct {
 	Scheme      string
 	Utilisation float64 // accepted / effective capacity
+	// Err is the engine's terminal error if the run froze early.
+	Err error
 }
 
 // AblationStaticSchedulers demonstrates §2.2's criticism of static
@@ -161,8 +177,8 @@ func AblationStaticSchedulers(o Options) []StaticOutcome {
 		for i := 0; i < fig4Radix; i += 2 {
 			mustAddFlow(sw, traffic.Flow{Spec: specs[i], Gen: traffic.NewBacklogged(&seq, specs[i], 4)})
 		}
-		col := sc.runCollected(sw, &seq, o)
-		return StaticOutcome{Scheme: name, Utilisation: col.OutputThroughput(0) / capacity}
+		col, err := sc.runCollected(sw, &seq, o)
+		return StaticOutcome{Scheme: name, Utilisation: col.OutputThroughput(0) / capacity, Err: err}
 	}
 	schemes := []struct {
 		name    string
@@ -197,6 +213,8 @@ type SigBitsOutcome struct {
 	SigBits    int
 	Levels     int
 	WorstRatio float64 // min accepted/reserved across flows
+	// Err is the engine's terminal error if the run froze early.
+	Err error
 }
 
 // AblationSigBits sweeps the number of significant auxVC bits (§4.4: "the
@@ -217,7 +235,7 @@ func AblationSigBits(o Options) []SigBitsOutcome {
 			for _, s := range specs {
 				mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
 			}
-			col := sc.runCollected(sw, &seq, o)
+			col, err := sc.runCollected(sw, &seq, o)
 			worst := 1e9
 			for i, r := range rates {
 				ratio := col.Throughput(stats.FlowKey{Src: i, Dst: 0, Class: noc.GuaranteedBandwidth}) / r
@@ -225,7 +243,7 @@ func AblationSigBits(o Options) []SigBitsOutcome {
 					worst = ratio
 				}
 			}
-			return SigBitsOutcome{SigBits: sig, Levels: 1 << sig, WorstRatio: worst}
+			return SigBitsOutcome{SigBits: sig, Levels: 1 << sig, WorstRatio: worst, Err: err}
 		})
 }
 

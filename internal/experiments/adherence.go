@@ -17,6 +17,8 @@ type AdherenceCombo struct {
 	WorstRatio    float64 // min over flows of accepted/reserved
 	WorstFlow     int
 	TotalAccepted float64
+	// Err is the engine's terminal error if the run froze early.
+	Err error
 }
 
 // AdherenceResult aggregates the §4.2 verification: "We simulated 20
@@ -111,7 +113,8 @@ func adherenceCombo(sc *sweepScratch, mix adherenceMix, o Options) AdherenceComb
 	for _, s := range specs {
 		mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
 	}
-	col := sc.runCollected(sw, &seq, o)
+	col, err := sc.runCollected(sw, &seq, o)
+	combo.Err = err
 	for i := range specs {
 		combo.Accepted[i] = col.Throughput(stats.FlowKey{Src: i, Dst: 0, Class: noc.GuaranteedBandwidth})
 		combo.TotalAccepted += combo.Accepted[i]

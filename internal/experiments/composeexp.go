@@ -20,6 +20,8 @@ type ComposeOutcome struct {
 	AggregateWorst float64 // min accepted/reserved across source aggregates
 	PerFlowHeld    bool
 	AggregateHeld  bool
+	// Err is the engine's terminal error if the run froze early.
+	Err error
 }
 
 // ComposeQoS quantifies §4.4's argument against composing switches:
@@ -56,8 +58,8 @@ func ComposeQoS(o Options) []ComposeOutcome {
 		aggregate[c.src] += c.rate
 	}
 
-	evaluate := func(system string, col *stats.Collector) ComposeOutcome {
-		oc := ComposeOutcome{System: system, PerFlowWorst: 1e9, AggregateWorst: 1e9}
+	evaluate := func(system string, col *stats.Collector, err error) ComposeOutcome {
+		oc := ComposeOutcome{System: system, PerFlowWorst: 1e9, AggregateWorst: 1e9, Err: err}
 		bySrc := map[int]float64{}
 		for _, c := range contracts {
 			got := col.Throughput(stats.FlowKey{Src: c.src, Dst: c.dst, Class: noc.GuaranteedBandwidth})
@@ -83,7 +85,8 @@ func ComposeQoS(o Options) []ComposeOutcome {
 		for _, s := range specs {
 			mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
 		}
-		return evaluate("SingleStage radix-8 SSVC", runCollected(sw, &seq, o))
+		col, err := runCollected(sw, &seq, o)
+		return evaluate("SingleStage radix-8 SSVC", col, err)
 	}
 
 	// Two-level Clos, one uplink per leaf: both of a terminal's flows
@@ -120,7 +123,8 @@ func ComposeQoS(o Options) []ComposeOutcome {
 		for _, s := range specs {
 			mustAddFlow(net, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
 		}
-		return evaluate("Composed 2-level Clos (shared crosspoints)", runCollected(net, &seq, o))
+		col, err := runCollected(net, &seq, o)
+		return evaluate("Composed 2-level Clos (shared crosspoints)", col, err)
 	}
 
 	// The two fabrics are independent simulations; fan them out.

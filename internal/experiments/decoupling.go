@@ -18,6 +18,8 @@ type DecouplingOutcome struct {
 	LowAllocLat  float64 // mean network latency of the compliant 1% flow
 	HighAllocLat float64 // mean network latency of the saturated 40% flow
 	Coupling     float64 // low/high latency ratio; ~1 or below = decoupled
+	// Err is the engine's terminal error if the run froze early.
+	Err error
 }
 
 // AblationDecoupling places the related-work CCSP scheme ([1], §5: it
@@ -51,7 +53,7 @@ func AblationDecoupling(o Options) []DecouplingOutcome {
 		for _, s := range specs[1:] {
 			mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
 		}
-		col := runCollected(sw, &seq, o)
+		col, err := runCollected(sw, &seq, o)
 		lat := func(src int) float64 {
 			f := col.Flow(stats.FlowKey{Src: src, Dst: 0, Class: noc.GuaranteedBandwidth})
 			if f == nil {
@@ -59,7 +61,7 @@ func AblationDecoupling(o Options) []DecouplingOutcome {
 			}
 			return f.MeanNetworkLatency()
 		}
-		oc := DecouplingOutcome{Scheme: name, LowAllocLat: lat(0), HighAllocLat: lat(fig4Radix - 1)}
+		oc := DecouplingOutcome{Scheme: name, LowAllocLat: lat(0), HighAllocLat: lat(fig4Radix - 1), Err: err}
 		if oc.HighAllocLat > 0 {
 			oc.Coupling = oc.LowAllocLat / oc.HighAllocLat
 		}

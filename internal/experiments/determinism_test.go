@@ -26,6 +26,7 @@ func TestWorkersByteIdenticalTables(t *testing.T) {
 		{"glbound", func(o Options) string { return GLBound(o).Table().String() }},
 		{"motivation", func(o Options) string { return MotivationTable(Motivation(o)).String() }},
 		{"static", func(o Options) string { return StaticTable(AblationStaticSchedulers(o)).String() }},
+		{"faults", func(o Options) string { return FaultsTable(Faults(o)).String() }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -140,17 +140,28 @@ func mustAddFlow(e fabric.Engine, f traffic.Flow) {
 // independent sweep points.
 func (o Options) pool() *runner.Pool { return runner.New(o.Workers) }
 
+// engineErr surfaces a sick engine's terminal error: engines freeze
+// with an error instead of panicking on internal invariant violations
+// (see fabric.ErrorReporter), so one corrupted sweep point reports
+// itself instead of killing the whole pool.
+func engineErr(e fabric.Engine) error {
+	if r, ok := e.(fabric.ErrorReporter); ok {
+		return r.Err()
+	}
+	return nil
+}
+
 // runCollected drives a configured engine (crossbar, mesh, or composed
 // network — anything implementing fabric.Engine) and returns the
-// collected steady-state statistics. Delivered packets are recycled
-// through seq, so the cycle loop stops allocating once the in-flight
-// population peaks.
-func runCollected(e fabric.Engine, seq *traffic.Sequence, o Options) *stats.Collector {
+// collected steady-state statistics, plus the engine's terminal error if
+// the run froze early. Delivered packets are recycled through seq, so
+// the cycle loop stops allocating once the in-flight population peaks.
+func runCollected(e fabric.Engine, seq *traffic.Sequence, o Options) (*stats.Collector, error) {
 	col := stats.NewCollector(o.Warmup, o.total())
 	e.OnDeliver(col.OnDeliver)
 	e.OnRelease(seq.Recycle)
 	e.Run(o.total())
-	return col
+	return col, engineErr(e)
 }
 
 // sweepScratch is per-worker reusable state for parallel sweeps: one
@@ -166,12 +177,13 @@ func newSweepScratch() *sweepScratch {
 }
 
 // runCollected drives an engine over the options' measurement window
-// using the scratch collector. The caller must copy results out of the
-// returned collector before its worker starts the next sweep point.
-func (sc *sweepScratch) runCollected(e fabric.Engine, seq *traffic.Sequence, o Options) *stats.Collector {
+// using the scratch collector, returning the engine's terminal error if
+// the run froze early. The caller must copy results out of the returned
+// collector before its worker starts the next sweep point.
+func (sc *sweepScratch) runCollected(e fabric.Engine, seq *traffic.Sequence, o Options) (*stats.Collector, error) {
 	sc.col.Reset(o.Warmup, o.total())
 	e.OnDeliver(sc.col.OnDeliver)
 	e.OnRelease(seq.Recycle)
 	e.Run(o.total())
-	return sc.col
+	return sc.col, engineErr(e)
 }

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"swizzleqos/internal/fabric"
+	"swizzleqos/internal/traffic"
+)
+
+// TestFaultsAcceptance checks the experiment's QoS-degradation contract
+// at reduced run length: under an input fail-stop, every surviving GB
+// flow settles within 5% of its recomputed (post-redistribution)
+// reservation, the degraded GL bound holds, and the injected corruption
+// is visible in the counters.
+func TestFaultsAcceptance(t *testing.T) {
+	o := Options{Cycles: 20000, Warmup: 2000, Seed: 1, Workers: 2}
+	results := Faults(o)
+	if len(results) != 3 {
+		t.Fatalf("got %d outcomes, want one per counter policy", len(results))
+	}
+	var total float64
+	for _, r := range faultGBRates {
+		total += r
+	}
+	for _, oc := range results {
+		if oc.Err != nil {
+			t.Errorf("%s: engine froze: %v", oc.Policy, oc.Err)
+			continue
+		}
+		// The acceptance bar from the issue: post-redistribution
+		// throughput within 5% of the recomputed reservation.
+		if oc.AfterMinAdherence < 0.95 {
+			t.Errorf("%s: after-phase min adherence %.3f < 0.95", oc.Policy, oc.AfterMinAdherence)
+		}
+		if oc.RecoveryCycles < 0 {
+			t.Errorf("%s: surviving flows never recovered", oc.Policy)
+		}
+		if !oc.GLBoundHeld {
+			t.Errorf("%s: GL wait max %d exceeds degraded bound %.0f",
+				oc.Policy, oc.GLWaitMax, oc.GLBound)
+		}
+		if oc.Faults.Corruptions == 0 {
+			t.Errorf("%s: no corruption injected", oc.Policy)
+		}
+		// Redistribution conserves total reserved bandwidth and zeroes
+		// the failed input.
+		var got float64
+		for _, r := range oc.Recomputed {
+			got += r
+		}
+		if math.Abs(got-total) > 1e-9 {
+			t.Errorf("%s: redistributed total %.6f, want %.6f", oc.Policy, got, total)
+		}
+		if oc.Recomputed[faultFailedInput] != 0 {
+			t.Errorf("%s: failed input still holds reservation %.3f",
+				oc.Policy, oc.Recomputed[faultFailedInput])
+		}
+	}
+}
+
+// sickEngine is a minimal fabric.Engine that reports a terminal error,
+// standing in for a frozen simulator.
+type sickEngine struct {
+	fabric.Counters
+	fabric.Hooks
+	err error
+}
+
+func (e *sickEngine) Step()                      {}
+func (e *sickEngine) Run(uint64)                 {}
+func (e *sickEngine) Now() uint64                { return 0 }
+func (e *sickEngine) AddFlow(traffic.Flow) error { return nil }
+func (e *sickEngine) Err() error                 { return e.err }
+
+var _ fabric.Engine = (*sickEngine)(nil)
+var _ fabric.ErrorReporter = (*sickEngine)(nil)
+
+// TestRunCollectedSurfacesEngineError pins the error path every
+// experiment shares: a sick engine's terminal error must come back from
+// runCollected instead of being silently swallowed.
+func TestRunCollectedSurfacesEngineError(t *testing.T) {
+	sick := errors.New("engine froze")
+	var seq traffic.Sequence
+	o := Options{Cycles: 10, Warmup: 1}
+	if _, err := runCollected(&sickEngine{err: sick}, &seq, o); !errors.Is(err, sick) {
+		t.Fatalf("free runCollected returned %v, want the engine error", err)
+	}
+	sc := newSweepScratch()
+	if _, err := sc.runCollected(&sickEngine{err: sick}, &seq, o); !errors.Is(err, sick) {
+		t.Fatalf("scratch runCollected returned %v, want the engine error", err)
+	}
+	if _, err := runCollected(&sickEngine{}, &seq, o); err != nil {
+		t.Fatalf("healthy engine reported %v", err)
+	}
+}

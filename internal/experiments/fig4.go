@@ -17,6 +17,9 @@ type Fig4Point struct {
 	InjectionRate float64
 	PerFlow       []float64
 	Total         float64
+	// Err is the engine's terminal error if this point's simulation
+	// froze early (nil on a healthy run).
+	Err error
 }
 
 // Fig4Result holds one curve family of Figure 4 — either the LRG
@@ -76,9 +79,9 @@ func fig4Point(sc *sweepScratch, qos bool, inj float64, o Options) Fig4Point {
 		gen := traffic.NewBernoulli(&seq, s, inj, o.Seed+uint64(i)*7919)
 		mustAddFlow(sw, traffic.Flow{Spec: s, Gen: gen})
 	}
-	col := sc.runCollected(sw, &seq, o)
+	col, err := sc.runCollected(sw, &seq, o)
 
-	p := Fig4Point{InjectionRate: inj, PerFlow: make([]float64, fig4Radix)}
+	p := Fig4Point{InjectionRate: inj, PerFlow: make([]float64, fig4Radix), Err: err}
 	for i := range specs {
 		p.PerFlow[i] = col.Throughput(stats.FlowKey{Src: i, Dst: 0, Class: noc.GuaranteedBandwidth})
 		p.Total += p.PerFlow[i]

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 
 	"swizzleqos/internal/arb"
@@ -30,6 +31,9 @@ type Fig5Point struct {
 // Fig5Result is the full latency-vs-allocation sweep.
 type Fig5Result struct {
 	Points []Fig5Point
+	// Err joins the terminal errors of any policy runs that froze early
+	// (nil on a healthy sweep).
+	Err error
 }
 
 // Fig5 reproduces Figure 5: eight congested GB flows with reserved rates
@@ -52,18 +56,25 @@ func Fig5(o Options) Fig5Result {
 	}
 	// The four policy curves are independent simulations; fan them out.
 	lats := runner.MapScratch(o.pool(), len(Fig5Policies), newSweepScratch,
-		func(sc *sweepScratch, i int) []float64 {
+		func(sc *sweepScratch, i int) fig5Curve {
 			return fig5Run(sc, Fig5Policies[i], o)
 		})
 	for pi, policy := range Fig5Policies {
 		for i := range res.Points {
-			res.Points[i].MeanLatency[policy] = lats[pi][i]
+			res.Points[i].MeanLatency[policy] = lats[pi].lats[i]
 		}
+		res.Err = errors.Join(res.Err, lats[pi].err)
 	}
 	return res
 }
 
-func fig5Run(sc *sweepScratch, policy string, o Options) []float64 {
+// fig5Curve is one policy's latency column plus its run error, if any.
+type fig5Curve struct {
+	lats []float64
+	err  error
+}
+
+func fig5Run(sc *sweepScratch, policy string, o Options) fig5Curve {
 	specs := make([]noc.FlowSpec, fig4Radix)
 	for i, a := range Fig5Allocations {
 		specs[i] = noc.FlowSpec{
@@ -93,7 +104,7 @@ func fig5Run(sc *sweepScratch, policy string, o Options) []float64 {
 	for _, s := range specs {
 		mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
 	}
-	col := sc.runCollected(sw, &seq, o)
+	col, err := sc.runCollected(sw, &seq, o)
 	out := make([]float64, len(specs))
 	for i := range specs {
 		f := col.Flow(stats.FlowKey{Src: i, Dst: 0, Class: noc.GuaranteedBandwidth})
@@ -101,7 +112,7 @@ func fig5Run(sc *sweepScratch, policy string, o Options) []float64 {
 			out[i] = f.MeanNetworkLatency()
 		}
 	}
-	return out
+	return fig5Curve{lats: out, err: err}
 }
 
 // Table renders the latency matrix, one row per allocation.

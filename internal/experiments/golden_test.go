@@ -34,6 +34,7 @@ func TestGoldenTables(t *testing.T) {
 		{"lanes.txt", LanesTable().String()},
 		{"motivation.txt", MotivationTable(Motivation(o)).String()},
 		{"compose.txt", ComposeTable(ComposeQoS(o)).String()},
+		{"faults.txt", FaultsTable(Faults(o)).String()},
 	}
 	for _, tc := range cases {
 		path := filepath.Join("testdata", tc.name)

@@ -21,6 +21,8 @@ type MotivationOutcome struct {
 	MeetsReservation bool    // the victim's own contract
 	WorstRatio       float64 // min accepted/reserved across all four flows
 	AllMet           bool    // every flow within 2% of its reservation
+	// Err is the engine's terminal error if the run froze early.
+	Err error
 }
 
 // Motivation quantifies the paper's §1-§2.1 argument for a single-stage
@@ -66,12 +68,13 @@ func Motivation(o Options) []MotivationOutcome {
 	}
 
 	victimKey := stats.FlowKey{Src: 0, Dst: victimDst, Class: noc.GuaranteedBandwidth}
-	outcome := func(system string, col *stats.Collector) MotivationOutcome {
+	outcome := func(system string, col *stats.Collector, err error) MotivationOutcome {
 		oc := MotivationOutcome{
 			System:           system,
 			VictimThroughput: col.Throughput(victimKey),
 			VictimReserved:   reserved,
 			WorstRatio:       1e9,
+			Err:              err,
 		}
 		if f := col.Flow(victimKey); f != nil {
 			oc.VictimMeanLat = f.MeanLatency()
@@ -100,7 +103,8 @@ func Motivation(o Options) []MotivationOutcome {
 		for _, s := range flows {
 			mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
 		}
-		return outcome("SwizzleSwitch+SSVC", runCollected(sw, &seq, o))
+		col, err := runCollected(sw, &seq, o)
+		return outcome("SwizzleSwitch+SSVC", col, err)
 	}
 
 	// 4x4 mesh variants.
@@ -113,7 +117,8 @@ func Motivation(o Options) []MotivationOutcome {
 		for _, s := range specs() {
 			mustAddFlow(m, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
 		}
-		return outcome(name, runCollected(m, &seq, o))
+		col, err := runCollected(m, &seq, o)
+		return outcome(name, col, err)
 	}
 
 	// The three systems are independent simulations; fan them out.

@@ -21,6 +21,8 @@ type PVCOutcome struct {
 	Goodput     float64 // delivered flits/cycle at the output
 	Preemptions uint64
 	WastedFlits uint64
+	// Err is the engine's terminal error if the run froze early.
+	Err error
 }
 
 // AblationPVC compares the two ways out of the long-packet blocking
@@ -65,8 +67,8 @@ func AblationPVC(o Options) []PVCOutcome {
 			mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
 		}
 		mustAddFlow(sw, traffic.Flow{Spec: urgentSpec, Gen: traffic.NewPeriodic(&seq, urgentSpec, 701, 17)})
-		col := runCollected(sw, &seq, o)
-		oc := PVCOutcome{Scheme: name}
+		col, err := runCollected(sw, &seq, o)
+		oc := PVCOutcome{Scheme: name, Err: err}
 		if f := col.Flow(stats.FlowKey{Src: urgentSpec.Src, Dst: 0, Class: urgentSpec.Class}); f != nil {
 			oc.UrgentMean = f.MeanNetworkLatency()
 			oc.UrgentMax = f.LatMax

@@ -37,6 +37,12 @@ func (b *Buffer) CanAccept(length int) bool {
 // caller must have checked CanAccept.
 func (b *Buffer) Reserve(length int) { b.reserved += length }
 
+// Unreserve releases a reservation whose transfer was aborted before its
+// last flit arrived — the NACK path of a multi-hop engine: the packet
+// stays (or is re-queued) upstream and the downstream space it had
+// claimed is returned.
+func (b *Buffer) Unreserve(length int) { b.reserved -= length }
+
 // Commit converts a packet's reservation into occupancy when its last
 // flit arrives.
 func (b *Buffer) Commit(p *noc.Packet) {
@@ -105,6 +111,35 @@ func (b *Buffer) PushFront(p *noc.Packet) {
 		b.pkts[0] = p
 	}
 	b.flits += p.Length
+}
+
+// DropWhere removes every queued packet matching pred, invoking onDrop
+// for each removed packet, and returns how many were removed. It filters
+// in place and resets the dead-prefix head index. This is a cold-path
+// operation used when a port fail-stops and the packets parked toward it
+// must be flushed; the steady-state loop never calls it.
+func (b *Buffer) DropWhere(pred func(*noc.Packet) bool, onDrop func(*noc.Packet)) int {
+	kept := 0
+	dropped := 0
+	for i := b.head; i < len(b.pkts); i++ {
+		p := b.pkts[i]
+		if pred(p) {
+			dropped++
+			b.flits -= p.Length
+			if onDrop != nil {
+				onDrop(p)
+			}
+			continue
+		}
+		b.pkts[kept] = p
+		kept++
+	}
+	for i := kept; i < len(b.pkts); i++ {
+		b.pkts[i] = nil
+	}
+	b.pkts = b.pkts[:kept]
+	b.head = 0
+	return dropped
 }
 
 // Len returns the number of queued packets.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"swizzleqos/internal/noc"
+	"swizzleqos/internal/traffic"
 )
 
 func pkt(id uint64, length int) *noc.Packet {
@@ -100,6 +101,93 @@ func TestBufferCompaction(t *testing.T) {
 	}
 	if cap(b.pkts) > 256 {
 		t.Fatalf("backing array grew to %d entries; compaction failed", cap(b.pkts))
+	}
+}
+
+// TestBufferNACKStorm is the retransmission-path property test: under a
+// sustained storm of Pop / PushFront cycles (every in-flight packet
+// NACKed a random number of times before finally succeeding, new
+// packets admitted throughout), flit accounting stays exact against a
+// shadow model and the backing pkts slice stays bounded — the
+// head-index compaction in Pop must keep working when PushFront keeps
+// rewinding the head.
+func TestBufferNACKStorm(t *testing.T) {
+	rng := traffic.NewRNG(42)
+	b := NewBuffer(1 << 20)
+	var shadow []*noc.Packet // reference FIFO
+	shadowFlits := 0
+	var next uint64
+	for round := 0; round < 20000; round++ {
+		// Admit up to 2 fresh packets of random length.
+		for k := 0; k < rng.Intn(3); k++ {
+			next++
+			p := pkt(next, 1+rng.Intn(8))
+			b.Push(p)
+			shadow = append(shadow, p)
+			shadowFlits += p.Length
+		}
+		if len(shadow) == 0 {
+			continue
+		}
+		// Pop the head and NACK it back 0..3 times before letting it go.
+		nacks := rng.Intn(4)
+		for k := 0; k < nacks; k++ {
+			p := b.Pop()
+			if p != shadow[0] {
+				t.Fatalf("round %d: pop = %v, want head %v", round, p.ID, shadow[0].ID)
+			}
+			b.PushFront(p)
+			if b.Head() != p {
+				t.Fatalf("round %d: head after PushFront is not the NACKed packet", round)
+			}
+		}
+		p := b.Pop()
+		if p != shadow[0] {
+			t.Fatalf("round %d: final pop = %v, want %v", round, p.ID, shadow[0].ID)
+		}
+		shadowFlits -= p.Length
+		shadow = shadow[1:]
+		if b.Flits() != shadowFlits {
+			t.Fatalf("round %d: flits = %d, want %d", round, b.Flits(), shadowFlits)
+		}
+		if b.Len() != len(shadow) {
+			t.Fatalf("round %d: len = %d, want %d", round, b.Len(), len(shadow))
+		}
+	}
+	// The live population never exceeded a few packets, so the backing
+	// array must have stayed small: compaction ran despite PushFront
+	// repeatedly rewinding the head index.
+	if cap(b.pkts) > 1024 {
+		t.Fatalf("backing array grew to %d entries under NACK storm; compaction failed", cap(b.pkts))
+	}
+}
+
+// TestBufferDropWhere covers the fail-stop flush path: selective removal
+// keeps flit accounting and FIFO order of the survivors, and resets the
+// dead prefix.
+func TestBufferDropWhere(t *testing.T) {
+	b := NewBuffer(100)
+	for i := 1; i <= 6; i++ {
+		p := pkt(uint64(i), 2)
+		p.Dst = i % 2 // odd IDs -> dst 1, even -> dst 0
+		b.Push(p)
+	}
+	b.Pop() // create a dead prefix (head > 0)
+	var dropped []uint64
+	n := b.DropWhere(
+		func(p *noc.Packet) bool { return p.Dst == 1 },
+		func(p *noc.Packet) { dropped = append(dropped, p.ID) },
+	)
+	if n != 2 || len(dropped) != 2 || dropped[0] != 3 || dropped[1] != 5 {
+		t.Fatalf("DropWhere removed %d %v, want [3 5]", n, dropped)
+	}
+	if b.Len() != 3 || b.Flits() != 6 {
+		t.Fatalf("after drop: len=%d flits=%d, want 3/6", b.Len(), b.Flits())
+	}
+	for _, want := range []uint64{2, 4, 6} {
+		if got := b.Pop(); got.ID != want {
+			t.Fatalf("pop = %d, want %d", got.ID, want)
+		}
 	}
 }
 

@@ -35,6 +35,7 @@ type Counters struct {
 	Injected   uint64 // packets created by generators
 	Admitted   uint64 // packets that entered an input buffer
 	Delivered  uint64 // packets fully transmitted
+	Dropped    uint64 // packets discarded (retry budget exhausted, failed port)
 	ArbCycles  uint64 // output-cycles spent arbitrating (with requests)
 	IdleCycles uint64 // output-cycles with no requests and no data
 	DataCycles uint64 // output-cycles moving a flit
@@ -73,6 +74,18 @@ func (h *Hooks) Deliver(p *noc.Packet) {
 	}
 }
 
+// Drop runs only the release hook for a packet the engine discards
+// without delivering (retry budget exhausted, or destined to a
+// fail-stopped port). The delivery observer never sees dropped packets:
+// they must not contribute to latency or throughput statistics, but
+// their storage is still recycled. The engine must not touch p
+// afterwards.
+func (h *Hooks) Drop(p *noc.Packet) {
+	if h.onRelease != nil {
+		h.onRelease(p)
+	}
+}
+
 // Clockable is the minimal cycle-driven simulation surface: anything
 // that can be stepped one cycle at a time and reports simulated time.
 type Clockable interface {
@@ -98,4 +111,14 @@ type Engine interface {
 	OnRelease(func(*noc.Packet))
 	// Totals returns the engine's common counter block.
 	Totals() Counters
+}
+
+// ErrorReporter is implemented by engines that can fail sick instead of
+// panicking: after an internal invariant violation the engine freezes
+// (Step becomes a no-op) and Err returns the cause. Layers driving an
+// Engine should type-assert for it after Run and surface the error
+// instead of trusting the (partial) counters.
+type ErrorReporter interface {
+	// Err returns the terminal error that halted the engine, or nil.
+	Err() error
 }

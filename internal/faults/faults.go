@@ -1,0 +1,285 @@
+// Package faults is a deterministic, seed-driven fault-injection layer
+// for the fabric engines. It models three fault kinds on top of the
+// shared kernel in internal/fabric:
+//
+//   - Transient flit corruption on a link. A modeled CRC at the receiver
+//     detects the corrupted packet, which is NACKed back onto the head of
+//     its input queue (the existing PushFront preemption path), retried
+//     under a bounded budget with exponential backoff in cycles, and
+//     finally counted as dropped when the budget is exhausted. This is
+//     the closed retransmission loop of Feedback Output Queuing applied
+//     at the link level.
+//
+//   - Output-port stall for a cycle window: the port transmits nothing
+//     and grants nothing while stalled (a transient brown-out — PLL
+//     relock, downstream backpressure).
+//
+//   - Fail-stop of an input or output port for the rest of the run (a
+//     dead link or node, as in the Tiny Tera port-fault model). Engines
+//     flush packets parked toward a dead port and refuse new ones; the
+//     crossbar additionally re-derives its SSVC Vticks so the failed
+//     flows' reserved bandwidth is redistributed to surviving GB flows
+//     (see Redistribute and core.SSVC.SetVticks).
+//
+// An Injector is owned by exactly one engine instance and consumes only
+// its own RNG stream, so parallel sweeps stay byte-identical at any
+// worker count. Every engine fault check is guarded by a nil test: an
+// engine with no injector configured is bit-for-bit identical to one
+// built before this package existed, and allocates nothing extra.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"swizzleqos/internal/noc"
+	"swizzleqos/internal/traffic"
+)
+
+// Default retry/backoff parameters (overridable via Config).
+const (
+	// DefaultMaxRetries is the retransmission budget per packet before a
+	// corrupted packet is dropped.
+	DefaultMaxRetries = 4
+	// DefaultBackoffBase is the first retry delay in cycles; attempt k
+	// waits Base<<(k-1) cycles, capped at DefaultBackoffCap.
+	DefaultBackoffBase = 8
+	// DefaultBackoffCap bounds the exponential backoff delay.
+	DefaultBackoffCap = 512
+)
+
+// StallWindow stalls one output port for the half-open cycle interval
+// [From, Until): while stalled the port neither transmits nor grants.
+type StallWindow struct {
+	Port  int
+	From  uint64
+	Until uint64
+}
+
+// FailStop kills one port at cycle At for the rest of the run. Input
+// selects between the engine's input ports (sources) and output ports
+// (channels). For the multi-hop engines ports are identified by their
+// flattened id (router*portsPerRouter + port).
+type FailStop struct {
+	Input bool
+	Port  int
+	At    uint64
+}
+
+// Config is a complete, declarative fault schedule. The zero value
+// injects nothing.
+type Config struct {
+	// Seed drives the corruption RNG stream. Independent of the
+	// workload seeds: two engines with the same fault seed see the same
+	// corruption decisions regardless of traffic.
+	Seed uint64
+	// CorruptProb is the per-arriving-packet probability that its CRC
+	// check fails and it must be retransmitted. Zero disables corruption.
+	CorruptProb float64
+	// MaxRetries bounds retransmission attempts per packet
+	// (DefaultMaxRetries if zero).
+	MaxRetries int
+	// BackoffBase is the first retry delay in cycles (DefaultBackoffBase
+	// if zero); attempt k backs off BackoffBase<<(k-1) cycles.
+	BackoffBase uint64
+	// BackoffCap caps the backoff delay (DefaultBackoffCap if zero).
+	BackoffCap uint64
+	// Stalls lists output-port stall windows.
+	Stalls []StallWindow
+	// FailStops lists permanent port deaths.
+	FailStops []FailStop
+}
+
+// Counters tallies injected faults and their outcomes.
+type Counters struct {
+	Corruptions     uint64 // CRC failures detected at a receiver
+	Retransmissions uint64 // NACKed packets re-queued for retry
+	Drops           uint64 // packets dropped after exhausting retries
+	StallCycles     uint64 // output-cycles lost to stall windows
+}
+
+// Injector evaluates a Config cycle by cycle for one engine instance.
+// Not safe for concurrent use, like the engines themselves.
+type Injector struct {
+	cfg  Config
+	rng  *traffic.RNG
+	rest []FailStop // pending fail-stops, sorted by At
+	dead map[int]struct{}
+
+	// Counters is exported state; engines surface it via FaultTotals.
+	Counters
+}
+
+// New returns an injector for the given schedule. Fail-stops fire in At
+// order (ties in listed order).
+func New(cfg Config) *Injector {
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	if cfg.BackoffBase == 0 {
+		cfg.BackoffBase = DefaultBackoffBase
+	}
+	if cfg.BackoffCap == 0 {
+		cfg.BackoffCap = DefaultBackoffCap
+	}
+	rest := make([]FailStop, len(cfg.FailStops))
+	copy(rest, cfg.FailStops)
+	sort.SliceStable(rest, func(i, j int) bool { return rest[i].At < rest[j].At })
+	return &Injector{
+		cfg:  cfg,
+		rng:  traffic.NewRNG(cfg.Seed),
+		rest: rest,
+		dead: make(map[int]struct{}, len(rest)),
+	}
+}
+
+// Config returns the schedule the injector was built from (with defaults
+// filled in).
+func (in *Injector) Config() Config { return in.cfg }
+
+// Totals returns a copy of the fault counter block.
+func (in *Injector) Totals() Counters { return in.Counters }
+
+// BeginCycle fires every fail-stop scheduled at or before now, marking
+// the ports dead, and returns the batch that fired this cycle so the
+// engine can flush state for them (buffers, in-flight transmissions,
+// arbiter reservations). The returned slice aliases internal storage and
+// is valid until the next call; in fault-free cycles it is nil and the
+// call does no work and allocates nothing.
+func (in *Injector) BeginCycle(now uint64) []FailStop {
+	if len(in.rest) == 0 || in.rest[0].At > now {
+		return nil
+	}
+	n := 0
+	for n < len(in.rest) && in.rest[n].At <= now {
+		in.dead[key(in.rest[n].Input, in.rest[n].Port)] = struct{}{}
+		n++
+	}
+	fired := in.rest[:n]
+	in.rest = in.rest[n:]
+	return fired
+}
+
+func key(input bool, port int) int {
+	if input {
+		return ^port // inputs map to negative keys, outputs to non-negative
+	}
+	return port
+}
+
+// InputDead reports whether input port p has fail-stopped.
+func (in *Injector) InputDead(p int) bool {
+	_, ok := in.dead[key(true, p)]
+	return ok
+}
+
+// OutputDead reports whether output port p has fail-stopped.
+func (in *Injector) OutputDead(p int) bool {
+	_, ok := in.dead[key(false, p)]
+	return ok
+}
+
+// StallOutput reports whether output port p must stay silent this cycle
+// because a stall window covers now. Each stalled port-cycle is counted
+// exactly once; engines must consult it at most once per port per cycle.
+func (in *Injector) StallOutput(now uint64, port int) bool {
+	for _, w := range in.cfg.Stalls {
+		if w.Port == port && now >= w.From && now < w.Until {
+			in.StallCycles++
+			return true
+		}
+	}
+	return false
+}
+
+// CorruptArrival rolls the CRC check for a packet whose last flit just
+// arrived over a link, returning true when the packet is corrupted and
+// must be NACKed. Consumes one RNG draw per call, so call order must be
+// deterministic (it is: engines iterate ports in fixed order).
+func (in *Injector) CorruptArrival(p *noc.Packet) bool {
+	if in.cfg.CorruptProb <= 0 {
+		return false
+	}
+	if !in.rng.Bernoulli(in.cfg.CorruptProb) {
+		return false
+	}
+	in.Corruptions++
+	return true
+}
+
+// Retry charges one retransmission attempt to a corrupted packet. If the
+// budget allows, it stamps the packet's backoff deadline
+// (now + BackoffBase<<(attempt-1), capped at BackoffCap), counts a
+// retransmission, and returns true: the engine re-queues the packet at
+// the head of its input buffer. Otherwise it counts a drop and returns
+// false: the engine must discard the packet via Hooks.Drop.
+func (in *Injector) Retry(now uint64, p *noc.Packet) bool {
+	p.Retries++
+	if p.Retries > in.cfg.MaxRetries {
+		in.Drops++
+		return false
+	}
+	delay := in.cfg.BackoffBase << (p.Retries - 1)
+	if delay > in.cfg.BackoffCap || delay < in.cfg.BackoffBase {
+		delay = in.cfg.BackoffCap
+	}
+	p.HoldUntil = now + delay
+	in.Retransmissions++
+	return true
+}
+
+// Redistribute implements the graceful-degradation bandwidth rule: the
+// reserved rate of every failed flow is released and shared among the
+// surviving reserved flows in proportion to their own reservations, so
+// the total reserved fraction of the output channel is preserved.
+// rates[i] is flow i's reserved rate; failed reports whether flow i died.
+// Flows with zero rate (best-effort) neither give nor take.
+func Redistribute(rates []float64, failed func(i int) bool) []float64 {
+	out := make([]float64, len(rates))
+	freed := 0.0
+	surviving := 0.0
+	for i, r := range rates {
+		if failed(i) {
+			freed += r
+			continue
+		}
+		surviving += r
+	}
+	if surviving <= 0 {
+		return out // nothing left to absorb the freed bandwidth
+	}
+	scale := 1 + freed/surviving
+	for i, r := range rates {
+		if failed(i) {
+			continue
+		}
+		out[i] = r * scale
+	}
+	return out
+}
+
+// Validate reports a descriptive error for schedules that reference
+// ports outside [0, numIn) x [0, numOut) or malformed windows.
+func (c Config) Validate(numIn, numOut int) error {
+	if c.CorruptProb < 0 || c.CorruptProb > 1 {
+		return fmt.Errorf("faults: corruption probability %g outside [0,1]", c.CorruptProb)
+	}
+	for _, w := range c.Stalls {
+		if w.Port < 0 || w.Port >= numOut {
+			return fmt.Errorf("faults: stall port %d out of range [0,%d)", w.Port, numOut)
+		}
+		if w.Until < w.From {
+			return fmt.Errorf("faults: stall window [%d,%d) inverted", w.From, w.Until)
+		}
+	}
+	for _, f := range c.FailStops {
+		n := numOut
+		if f.Input {
+			n = numIn
+		}
+		if f.Port < 0 || f.Port >= n {
+			return fmt.Errorf("faults: fail-stop port %d out of range [0,%d)", f.Port, n)
+		}
+	}
+	return nil
+}

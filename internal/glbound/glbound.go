@@ -49,6 +49,19 @@ func (p Params) MaxWait() float64 {
 	return float64(p.LMax) + float64(p.NGL)*(float64(p.BufferFlits)+float64(p.BufferFlits)/float64(p.LMin))
 }
 
+// Degrade returns the parameters after `failed` GL-injecting inputs
+// fail-stop: the survivors compete with fewer peers, so the worst-case
+// wait (Eq. 1) tightens — the analytic counterpart of the bandwidth
+// redistribution the SSVC performs for GB flows. It errors if no GL
+// input survives.
+func (p Params) Degrade(failed int) (Params, error) {
+	if failed < 0 || failed >= p.NGL {
+		return Params{}, fmt.Errorf("glbound: %d failed GL inputs leaves none of %d", failed, p.NGL)
+	}
+	p.NGL -= failed
+	return p, nil
+}
+
 // BurstBudget is one flow's admissible GL burst.
 type BurstBudget struct {
 	// Latency is the flow's latency constraint L_n in cycles.

@@ -115,3 +115,32 @@ func TestBurstSizesErrors(t *testing.T) {
 		t.Error("constraint below lmax accepted")
 	}
 }
+
+func TestDegradeTightensBound(t *testing.T) {
+	p := Params{LMax: 8, LMin: 4, NGL: 4, BufferFlits: 16}
+	d, err := p.Degrade(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NGL != 1 {
+		t.Fatalf("degraded NGL = %d, want 1", d.NGL)
+	}
+	if d.MaxWait() >= p.MaxWait() {
+		t.Fatalf("bound did not tighten: %g -> %g", p.MaxWait(), d.MaxWait())
+	}
+	// Zero failures is the identity.
+	same, err := p.Degrade(0)
+	if err != nil || same != p {
+		t.Fatalf("Degrade(0) = (%+v, %v), want identity", same, err)
+	}
+}
+
+func TestDegradeRejectsTotalLoss(t *testing.T) {
+	p := Params{LMax: 8, LMin: 4, NGL: 2, BufferFlits: 16}
+	if _, err := p.Degrade(2); err == nil {
+		t.Fatal("losing every GL input accepted")
+	}
+	if _, err := p.Degrade(-1); err == nil {
+		t.Fatal("negative failure count accepted")
+	}
+}

@@ -1,0 +1,137 @@
+package mesh
+
+import (
+	"testing"
+
+	"swizzleqos/internal/fabric"
+	"swizzleqos/internal/faults"
+	"swizzleqos/internal/noc"
+	"swizzleqos/internal/traffic"
+)
+
+var _ fabric.ErrorReporter = (*Mesh)(nil)
+
+func TestMeshSetFaultsValidation(t *testing.T) {
+	m := mustMesh(t, 4, 4)
+	// 16 nodes, 80 flat link ids.
+	if err := m.SetFaults(faults.Config{FailStops: []faults.FailStop{{Input: true, Port: 16, At: 5}}}); err == nil {
+		t.Fatal("out-of-range node id accepted")
+	}
+	if err := m.SetFaults(faults.Config{Stalls: []faults.StallWindow{{Port: 80, From: 1, Until: 2}}}); err == nil {
+		t.Fatal("out-of-range link id accepted")
+	}
+	m.Step()
+	if err := m.SetFaults(faults.Config{}); err != nil {
+		// SetFaults must be rejected after cycle 0, not silently applied.
+		return
+	}
+	t.Fatal("SetFaults accepted after the first cycle")
+}
+
+func TestMeshFailStopNodeKillsInjection(t *testing.T) {
+	m := mustMesh(t, 4, 4)
+	const failAt = 200
+	if err := m.SetFaults(faults.Config{
+		FailStops: []faults.FailStop{{Input: true, Port: 0, At: failAt}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var seq traffic.Sequence
+	dead := noc.FlowSpec{Src: 0, Dst: 5, Class: noc.BestEffort, PacketLength: 4}
+	alive := noc.FlowSpec{Src: 1, Dst: 5, Class: noc.BestEffort, PacketLength: 4}
+	addFlow(t, m, dead, traffic.NewBacklogged(&seq, dead, 4))
+	addFlow(t, m, alive, traffic.NewBacklogged(&seq, alive, 4))
+	var lastDead uint64
+	aliveAfter := 0
+	m.OnDeliver(func(p *noc.Packet) {
+		switch {
+		case p.Src == 0 && p.DeliveredAt > lastDead:
+			lastDead = p.DeliveredAt
+		case p.Src == 1 && p.DeliveredAt > failAt+50:
+			aliveAfter++
+		}
+	})
+	m.OnRelease(seq.Recycle)
+	m.Run(1500)
+	// Packets already in the network when the node died may still land;
+	// the injection stream itself must stop, so deliveries from node 0
+	// cannot extend past the drain of its in-flight packets.
+	if lastDead >= failAt+200 {
+		t.Fatalf("node 0 still delivering at cycle %d, long after its fail-stop at %d", lastDead, failAt)
+	}
+	if aliveAfter == 0 {
+		t.Fatal("surviving node 1 stopped delivering")
+	}
+	if m.Dropped == 0 {
+		t.Fatal("no drops counted for the dead node's queued packets")
+	}
+}
+
+func TestMeshDeadLinkDropsRoutedTraffic(t *testing.T) {
+	m := mustMesh(t, 4, 4)
+	// Node 0 -> node 3 routes X-first through router 1's East link.
+	deadLink := 1*int(numPorts) + int(East)
+	const failAt = 100
+	if err := m.SetFaults(faults.Config{
+		FailStops: []faults.FailStop{{Input: false, Port: deadLink, At: failAt}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var seq traffic.Sequence
+	// Both flows traverse router 1, but only the crossing one uses its
+	// dead East link; the control flow arrives from node 5 below it.
+	crossing := noc.FlowSpec{Src: 0, Dst: 3, Class: noc.BestEffort, PacketLength: 4}
+	local := noc.FlowSpec{Src: 5, Dst: 1, Class: noc.BestEffort, PacketLength: 4}
+	addFlow(t, m, crossing, traffic.NewBacklogged(&seq, crossing, 4))
+	addFlow(t, m, local, traffic.NewBacklogged(&seq, local, 4))
+	var lastCrossing uint64
+	localAfter := 0
+	m.OnDeliver(func(p *noc.Packet) {
+		switch {
+		case p.Dst == 3 && p.DeliveredAt > lastCrossing:
+			lastCrossing = p.DeliveredAt
+		case p.Dst == 1 && p.DeliveredAt > failAt+50:
+			localAfter++
+		}
+	})
+	m.OnRelease(seq.Recycle)
+	m.Run(1500)
+	// Packets already past router 1 when the link died may still land;
+	// nothing new can enter the dead link, so the flow dries up quickly.
+	if lastCrossing >= failAt+100 {
+		t.Fatalf("flow through the dead link still delivering at cycle %d (link died at %d)",
+			lastCrossing, failAt)
+	}
+	if localAfter == 0 {
+		t.Fatal("flow short of the dead link stopped delivering")
+	}
+	if m.Dropped == 0 {
+		t.Fatal("no drops counted at the dead link")
+	}
+}
+
+func TestMeshStallAndCorruptionCounters(t *testing.T) {
+	m := mustMesh(t, 2, 2)
+	// Stall router 0's East link briefly and corrupt aggressively.
+	stall := faults.StallWindow{Port: 0*int(numPorts) + int(East), From: 60, Until: 90}
+	if err := m.SetFaults(faults.Config{Seed: 5, CorruptProb: 0.2, Stalls: []faults.StallWindow{stall}}); err != nil {
+		t.Fatal(err)
+	}
+	var seq traffic.Sequence
+	spec := noc.FlowSpec{Src: 0, Dst: 3, Class: noc.BestEffort, PacketLength: 4}
+	addFlow(t, m, spec, traffic.NewBacklogged(&seq, spec, 4))
+	delivered := 0
+	m.OnDeliver(func(p *noc.Packet) { delivered++ })
+	m.OnRelease(seq.Recycle)
+	m.Run(2000)
+	c := m.FaultTotals()
+	if delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if c.StallCycles == 0 || c.StallCycles > 30 {
+		t.Fatalf("StallCycles = %d, want in (0,30]", c.StallCycles)
+	}
+	if c.Corruptions == 0 || c.Retransmissions == 0 {
+		t.Fatalf("counters = %+v, want corruptions and retransmissions", c)
+	}
+}

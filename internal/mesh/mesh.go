@@ -20,6 +20,7 @@ import (
 
 	"swizzleqos/internal/arb"
 	"swizzleqos/internal/fabric"
+	"swizzleqos/internal/faults"
 	"swizzleqos/internal/noc"
 	"swizzleqos/internal/traffic"
 )
@@ -107,6 +108,9 @@ type Mesh struct {
 	routers []*router
 	sources *fabric.Sources // one injection group per flow
 	now     uint64
+	err     error // terminal invariant violation; freezes the engine
+
+	faults *faults.Injector
 
 	arbReqs []arb.Request // scratch: requests handed to one arbitration
 	txPool  fabric.TxPool
@@ -146,6 +150,50 @@ func New(cfg Config) (*Mesh, error) {
 
 // Nodes returns the number of terminals (Width * Height).
 func (m *Mesh) Nodes() int { return m.cfg.Width * m.cfg.Height }
+
+// Err returns the terminal error that froze the mesh, or nil.
+func (m *Mesh) Err() error { return m.err }
+
+// fail records the first invariant violation and freezes the engine.
+func (m *Mesh) fail(err error) {
+	if m.err == nil {
+		m.err = err
+	}
+}
+
+// SetFaults installs a fault-injection schedule; call before the first
+// Step. Port addressing in the schedule: an Input fail-stop port is a
+// node ID (the node's injection dies and its locally queued packets are
+// flushed); stall and output fail-stop ports are flattened router link
+// ids, router*5 + direction (see Port constants). A packet whose XY
+// route reaches a dead link is discarded at that router — the mesh has
+// no per-flow state to re-derive, so there is no degraded-mode
+// re-reservation here (that asymmetry versus the crossbar is the
+// paper's architectural point).
+func (m *Mesh) SetFaults(cfg faults.Config) error {
+	if m.now != 0 {
+		return fmt.Errorf("mesh: SetFaults after cycle 0 (now=%d)", m.now)
+	}
+	if err := cfg.Validate(m.Nodes(), len(m.routers)*int(numPorts)); err != nil {
+		return err
+	}
+	m.faults = faults.New(cfg)
+	return nil
+}
+
+// FaultTotals returns the injector's fault counters (zero if no schedule
+// is installed).
+func (m *Mesh) FaultTotals() faults.Counters {
+	if m.faults == nil {
+		return faults.Counters{}
+	}
+	return m.faults.Totals()
+}
+
+// flatPort flattens a router output port to the schedule's id space.
+func (m *Mesh) flatPort(r *router, p Port) int {
+	return (r.y*m.cfg.Width+r.x)*int(numPorts) + int(p)
+}
 
 // Now returns the current cycle.
 func (m *Mesh) Now() uint64 { return m.now }
@@ -239,10 +287,19 @@ func entryPort(out Port) Port {
 	return Local
 }
 
-// Step advances one cycle: injection, in-flight transfers, then per-output
-// arbitration at every router.
+// Step advances one cycle: fault scheduling, injection, in-flight
+// transfers, then per-output arbitration at every router. After a
+// terminal error, Step is a no-op.
 func (m *Mesh) Step() {
+	if m.err != nil {
+		return
+	}
 	now := m.now
+	if m.faults != nil {
+		for _, f := range m.faults.BeginCycle(now) {
+			m.applyFailStop(f)
+		}
+	}
 	m.inject(now)
 	m.transfer(now)
 	m.arbitrate(now)
@@ -254,9 +311,12 @@ func (m *Mesh) Step() {
 	m.now++
 }
 
-// Run advances n cycles.
+// Run advances n cycles, stopping early if the engine fails sick.
 func (m *Mesh) Run(n uint64) {
 	for i := uint64(0); i < n; i++ {
+		if m.err != nil {
+			return
+		}
 		m.Step()
 	}
 }
@@ -264,6 +324,12 @@ func (m *Mesh) Run(n uint64) {
 func (m *Mesh) inject(now uint64) {
 	m.Injected += m.sources.Generate(now)
 	try := func(p *noc.Packet) bool {
+		// A fail-stopped node generates into a dead local port: accept
+		// and discard so the source queue cannot grow without bound.
+		if m.faults != nil && m.faults.InputDead(p.Src) {
+			m.dropPkt(p)
+			return true
+		}
 		if !m.routers[p.Src].in[Local].Admit(p) {
 			return false
 		}
@@ -276,8 +342,58 @@ func (m *Mesh) inject(now uint64) {
 	}
 }
 
+// dropPkt counts and releases a packet discarded by a fault.
+func (m *Mesh) dropPkt(p *noc.Packet) {
+	m.Dropped++
+	m.Drop(p)
+}
+
+// applyFailStop flushes state referencing a port that just died. Input
+// fail-stops address node IDs: local injection queues are flushed and
+// future injections are doomed at admission. Output fail-stops address
+// flattened link ids: an in-flight transfer on the link is aborted (its
+// downstream reservation released) and packets routing onto the dead
+// link are discarded lazily when they reach the router's head.
+func (m *Mesh) applyFailStop(f faults.FailStop) {
+	if f.Input {
+		r := m.routers[f.Port]
+		r.in[Local].DropWhere(func(*noc.Packet) bool { return true }, m.dropPkt)
+		for out := Port(0); out < numPorts; out++ {
+			if tx := r.out[out]; tx != nil && Port(tx.Input) == Local {
+				m.abortTx(r, out)
+			}
+		}
+		r.inBusy[Local] = false
+		return
+	}
+	r := m.routers[f.Port/int(numPorts)]
+	out := Port(f.Port % int(numPorts))
+	if r.out[out] != nil {
+		m.abortTx(r, out)
+	}
+}
+
+// abortTx kills an in-flight transfer on one router output, releasing
+// its downstream reservation and dropping the packet.
+func (m *Mesh) abortTx(r *router, out Port) {
+	tx := r.out[out]
+	pkt := tx.Pkt
+	r.inBusy[tx.Input] = false
+	r.out[out] = nil
+	m.txPool.Put(tx)
+	if out != Local {
+		m.neighbor(r, out).in[entryPort(out)].Unreserve(pkt.Length)
+	}
+	m.dropPkt(pkt)
+}
+
 // transfer advances every busy output channel one flit; completions move
 // the packet to the reserved downstream buffer or deliver it locally.
+// With fault injection enabled, a stalled link freezes its in-flight
+// transfer, and a completed hop runs the receiver's modeled CRC check:
+// a corrupted packet is NACKed back to the head of the upstream input
+// buffer (its downstream reservation released) or dropped once its
+// retry budget is spent.
 func (m *Mesh) transfer(now uint64) {
 	for _, r := range m.routers {
 		for out := Port(0); out < numPorts; out++ {
@@ -285,16 +401,30 @@ func (m *Mesh) transfer(now uint64) {
 			if tx == nil {
 				continue
 			}
+			if m.faults != nil && m.faults.StallOutput(now, m.flatPort(r, out)) {
+				continue
+			}
 			m.DataCycles++
 			tx.Remaining--
 			if tx.Remaining > 0 {
 				continue
 			}
-			pkt := tx.Pkt
-			r.inBusy[tx.Input] = false
+			pkt, from := tx.Pkt, Port(tx.Input)
+			r.inBusy[from] = false
 			r.out[out] = nil
 			r.cooldown[out] = true
 			m.txPool.Put(tx)
+			if m.faults != nil && m.faults.CorruptArrival(pkt) {
+				if out != Local {
+					m.neighbor(r, out).in[entryPort(out)].Unreserve(pkt.Length)
+				}
+				if m.faults.Retry(now, pkt) {
+					r.in[from].PushFront(pkt)
+				} else {
+					m.dropPkt(pkt)
+				}
+				continue
+			}
 			if out == Local {
 				pkt.DeliveredAt = now
 				m.Delivered++
@@ -313,16 +443,34 @@ func (m *Mesh) transfer(now uint64) {
 // (L-flit packets occupy a link for L+1 cycles).
 func (m *Mesh) arbitrate(now uint64) {
 	for _, r := range m.routers {
+		if m.err != nil {
+			return
+		}
 		// Snapshot head packets once per router so one input cannot be
-		// granted by two outputs in the same cycle.
+		// granted by two outputs in the same cycle. A head backing off a
+		// retransmission (HoldUntil > now) sits this cycle out; a head
+		// routing onto a fail-stopped link is discarded here, which keeps
+		// upstream buffers draining toward the fault point.
 		var heads [numPorts]*noc.Packet
 		for in := Port(0); in < numPorts; in++ {
-			if !r.inBusy[in] {
-				heads[in] = r.in[in].Head()
+			if r.inBusy[in] {
+				continue
 			}
+			p := r.in[in].Head()
+			if p == nil || p.HoldUntil > now {
+				continue
+			}
+			if m.faults != nil && m.faults.OutputDead(m.flatPort(r, m.routeDir(r, p.Dst))) {
+				m.dropPkt(r.in[in].Pop())
+				continue
+			}
+			heads[in] = p
 		}
 		for out := Port(0); out < numPorts; out++ {
 			if r.out[out] != nil {
+				continue
+			}
+			if m.faults != nil && (m.faults.OutputDead(m.flatPort(r, out)) || m.faults.StallOutput(now, m.flatPort(r, out))) {
 				continue
 			}
 			if r.cooldown[out] {
@@ -356,7 +504,13 @@ func (m *Mesh) arbitrate(now uint64) {
 			in := Port(req.Input)
 			p := r.in[in].Pop()
 			if p != req.Packet {
-				panic(fmt.Sprintf("mesh: router (%d,%d) granted packet %d but head is %d", r.x, r.y, req.Packet.ID, p.ID))
+				head := "empty queue"
+				if p != nil {
+					head = fmt.Sprintf("packet %d", p.ID)
+				}
+				m.fail(fmt.Errorf("mesh: cycle %d: router (%d,%d) granted packet %d but head is %s",
+					now, r.x, r.y, req.Packet.ID, head))
+				return
 			}
 			if p.GrantedAt == 0 && p.Src == r.y*m.cfg.Width+r.x {
 				p.GrantedAt = now

@@ -66,6 +66,14 @@ type Packet struct {
 	EnqueuedAt  uint64 // cycle the packet entered the input buffer
 	GrantedAt   uint64 // cycle switch arbitration granted the packet
 	DeliveredAt uint64 // cycle the last flit left the output channel
+
+	// Retries counts link-level retransmission attempts after a modeled
+	// CRC failure (see internal/faults). Zero on a clean first delivery.
+	Retries int
+	// HoldUntil is the cycle before which a NACKed packet may not be
+	// re-offered to arbitration (exponential backoff). Zero means the
+	// packet is eligible immediately.
+	HoldUntil uint64
 }
 
 // TotalLatency is the cycles from generation to delivery of the last flit.

@@ -14,9 +14,39 @@ package runner
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// JobPanic is re-raised on the caller when a parallel job panics: it
+// wraps the job's original panic value together with the job index and
+// the stack captured at the panic site, which the re-raise on the
+// calling goroutine would otherwise destroy. Recover-and-inspect code
+// can type-assert for *JobPanic to get at the original value.
+type JobPanic struct {
+	// Index is the job index whose function panicked.
+	Index int
+	// Value is the original value passed to panic.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recover time.
+	Stack []byte
+}
+
+// Error formats the panic with its origin and captured stack, so even an
+// unrecovered crash report shows where the job died.
+func (jp *JobPanic) Error() string {
+	return fmt.Sprintf("runner: job %d panicked: %v\n\njob goroutine stack:\n%s", jp.Index, jp.Value, jp.Stack)
+}
+
+// Unwrap returns the original panic value when it was an error, letting
+// errors.Is/As see through the wrapper.
+func (jp *JobPanic) Unwrap() error {
+	if err, ok := jp.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // Pool is a bounded worker pool for independent jobs. The zero value is
 // not useful; create one with New. A Pool carries no mutable state and may
@@ -40,8 +70,9 @@ func (p *Pool) Workers() int { return p.workers }
 // Map runs fn(i) for every i in [0, n) across the pool's workers and
 // returns the results in index order. fn must not share mutable state
 // across indices. A panic in any job is re-raised on the calling
-// goroutine after all workers have stopped, so callers observe the same
-// failure mode as a serial loop.
+// goroutine after all workers have stopped, wrapped in a *JobPanic that
+// preserves the original value and the stack captured at the panic site
+// (a serial run — workers <= 1 — panics natively, untouched).
 func Map[T any](p *Pool, n int, fn func(i int) T) []T {
 	return MapScratch(p, n, func() struct{} { return struct{}{} },
 		func(_ struct{}, i int) T { return fn(i) })
@@ -73,35 +104,38 @@ func MapScratch[S, T any](p *Pool, n int, newScratch func() S, fn func(s S, i in
 	var (
 		next     atomic.Int64
 		wg       sync.WaitGroup
-		panicMu  sync.Mutex
-		panicked any
+		panicked atomic.Pointer[JobPanic]
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panicMu.Lock()
-					if panicked == nil {
-						panicked = r
-					}
-					panicMu.Unlock()
-				}
-			}()
 			scratch := newScratch()
-			for {
+			for panicked.Load() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				results[i] = fn(scratch, i)
+				// Each job runs under its own recover so the panic can be
+				// tagged with the job index and the stack captured while
+				// the panicking frames are still live; the first failing
+				// job wins and is re-raised after all workers drain.
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicked.CompareAndSwap(nil, &JobPanic{
+								Index: i, Value: r, Stack: debug.Stack(),
+							})
+						}
+					}()
+					results[i] = fn(scratch, i)
+				}()
 			}
 		}()
 	}
 	wg.Wait()
-	if panicked != nil {
-		panic(fmt.Sprintf("runner: job panicked: %v", panicked))
+	if jp := panicked.Load(); jp != nil {
+		panic(jp)
 	}
 	return results
 }

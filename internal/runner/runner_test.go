@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -82,6 +83,10 @@ func TestMapScratchIsolation(t *testing.T) {
 	}
 }
 
+// TestMapPanicPropagates pins the panic contract: a serial run panics
+// natively with the original value, while a parallel run re-raises a
+// *JobPanic preserving the value, the job index, and the stack captured
+// at the panic site (so sweep-point failures stay debuggable).
 func TestMapPanicPropagates(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		p := New(workers)
@@ -91,8 +96,27 @@ func TestMapPanicPropagates(t *testing.T) {
 				if r == nil {
 					t.Fatalf("workers=%d: panic did not propagate", workers)
 				}
-				if !strings.Contains(string2(r), "boom") {
-					t.Fatalf("workers=%d: panic %v does not mention original cause", workers, r)
+				if workers <= 1 {
+					if r != "boom" {
+						t.Fatalf("workers=%d: serial panic value = %v, want the original \"boom\"", workers, r)
+					}
+					return
+				}
+				jp, ok := r.(*JobPanic)
+				if !ok {
+					t.Fatalf("workers=%d: panic value is %T, want *JobPanic", workers, r)
+				}
+				if jp.Value != "boom" {
+					t.Fatalf("workers=%d: JobPanic.Value = %v, want \"boom\"", workers, jp.Value)
+				}
+				if jp.Index != 7 {
+					t.Fatalf("workers=%d: JobPanic.Index = %d, want 7", workers, jp.Index)
+				}
+				if !strings.Contains(string(jp.Stack), "TestMapPanicPropagates") {
+					t.Fatalf("workers=%d: captured stack does not reach the panic site:\n%s", workers, jp.Stack)
+				}
+				if msg := jp.Error(); !strings.Contains(msg, "boom") || !strings.Contains(msg, "job 7") {
+					t.Fatalf("workers=%d: Error() = %q misses value or index", workers, msg)
 				}
 			}()
 			Map(p, 16, func(i int) int {
@@ -105,11 +129,27 @@ func TestMapPanicPropagates(t *testing.T) {
 	}
 }
 
-func string2(v any) string {
-	if s, ok := v.(string); ok {
-		return s
-	}
-	return ""
+// TestJobPanicUnwrap checks errors.As sees through JobPanic to an error
+// panic value.
+func TestJobPanicUnwrap(t *testing.T) {
+	cause := errors.New("cause")
+	p := New(2)
+	defer func() {
+		r := recover()
+		jp, ok := r.(*JobPanic)
+		if !ok {
+			t.Fatalf("panic value is %T, want *JobPanic", r)
+		}
+		if !errors.Is(jp, cause) {
+			t.Fatalf("errors.Is(%v, cause) = false, want true", jp)
+		}
+	}()
+	Map(p, 8, func(i int) int {
+		if i == 3 {
+			panic(cause)
+		}
+		return i
+	})
 }
 
 func TestDeriveSeed(t *testing.T) {

@@ -229,6 +229,18 @@ func (c *Collector) OutputThroughput(dst int) float64 {
 	return float64(flits) / float64(w)
 }
 
+// Adherence returns a flow's guarantee-adherence ratio: accepted
+// throughput over the measurement window divided by its reserved rate in
+// flits per cycle. 1.0 means the reservation was exactly honored; values
+// a little above 1 are normal for a backlogged flow absorbing slack
+// bandwidth. Returns 0 when the reservation is zero.
+func (c *Collector) Adherence(k FlowKey, reserved float64) float64 {
+	if reserved <= 0 {
+		return 0
+	}
+	return c.Throughput(k) / reserved
+}
+
 // TotalPackets returns the number of packets delivered in the window.
 func (c *Collector) TotalPackets() uint64 {
 	var n uint64

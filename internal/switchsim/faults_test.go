@@ -1,0 +1,258 @@
+package switchsim
+
+import (
+	"strings"
+	"testing"
+
+	"swizzleqos/internal/arb"
+	"swizzleqos/internal/fabric"
+	"swizzleqos/internal/faults"
+	"swizzleqos/internal/noc"
+	"swizzleqos/internal/traffic"
+)
+
+// The experiments layer surfaces frozen engines through this interface.
+var _ fabric.ErrorReporter = (*Switch)(nil)
+
+func TestSetFaultsValidation(t *testing.T) {
+	sw, err := New(testConfig(), lrgFactory(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.SetFaults(faults.Config{CorruptProb: 2}); err == nil {
+		t.Fatal("invalid corruption probability accepted")
+	}
+	if err := sw.SetFaults(faults.Config{FailStops: []faults.FailStop{{Port: 9, At: 5}}}); err == nil {
+		t.Fatal("out-of-range fail-stop port accepted")
+	}
+	sw.Step()
+	if err := sw.SetFaults(faults.Config{}); err == nil {
+		t.Fatal("SetFaults accepted after the first cycle")
+	}
+}
+
+func TestFailStopInputKillsFlowAndFiresHook(t *testing.T) {
+	sw, err := New(testConfig(), lrgFactory(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const failAt = 100
+	if err := sw.SetFaults(faults.Config{
+		FailStops: []faults.FailStop{{Input: true, Port: 1, At: failAt}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var hookNow uint64
+	var hookFault faults.FailStop
+	hooks := 0
+	sw.OnFailStop(func(now uint64, f faults.FailStop) {
+		hooks++
+		hookNow, hookFault = now, f
+	})
+	var seq traffic.Sequence
+	for src := 0; src < 2; src++ {
+		spec := noc.FlowSpec{Src: src, Dst: 0, Class: noc.BestEffort, PacketLength: 4}
+		if err := sw.AddFlow(traffic.Flow{Spec: spec, Gen: traffic.NewBacklogged(&seq, spec, 4)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var lastDeadDelivery uint64
+	survivorAfter := 0
+	sw.OnDeliver(func(p *noc.Packet) {
+		switch {
+		case p.Src == 1 && p.DeliveredAt > lastDeadDelivery:
+			lastDeadDelivery = p.DeliveredAt
+		case p.Src == 0 && p.DeliveredAt > failAt:
+			survivorAfter++
+		}
+	})
+	sw.OnRelease(seq.Recycle)
+	sw.Run(1000)
+
+	if hooks != 1 || hookNow != failAt || !hookFault.Input || hookFault.Port != 1 {
+		t.Fatalf("hook fired %d times with (now=%d, %+v), want once at %d for input 1",
+			hooks, hookNow, hookFault, failAt)
+	}
+	// A transfer in flight at the fail-stop is aborted, so the dead
+	// input's last delivery must precede the fault.
+	if lastDeadDelivery >= failAt {
+		t.Fatalf("input 1 delivered at cycle %d, after its fail-stop at %d", lastDeadDelivery, failAt)
+	}
+	if survivorAfter == 0 {
+		t.Fatal("surviving input 0 stopped delivering after the fail-stop")
+	}
+	// Doomed packets (flushed or admitted-then-discarded) are counted.
+	if sw.Dropped == 0 {
+		t.Fatal("no packets counted as dropped despite a dead input")
+	}
+}
+
+func TestFailStopOutputDropsItsTraffic(t *testing.T) {
+	sw, err := New(testConfig(), lrgFactory(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const failAt = 100
+	if err := sw.SetFaults(faults.Config{
+		FailStops: []faults.FailStop{{Input: false, Port: 0, At: failAt}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var seq traffic.Sequence
+	for dst := 0; dst < 2; dst++ {
+		spec := noc.FlowSpec{Src: dst, Dst: dst, Class: noc.BestEffort, PacketLength: 4}
+		if err := sw.AddFlow(traffic.Flow{Spec: spec, Gen: traffic.NewBacklogged(&seq, spec, 4)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var lastDead uint64
+	aliveAfter := 0
+	sw.OnDeliver(func(p *noc.Packet) {
+		switch {
+		case p.Dst == 0 && p.DeliveredAt > lastDead:
+			lastDead = p.DeliveredAt
+		case p.Dst == 1 && p.DeliveredAt > failAt:
+			aliveAfter++
+		}
+	})
+	sw.OnRelease(seq.Recycle)
+	sw.Run(1000)
+	if lastDead >= failAt {
+		t.Fatalf("output 0 delivered at cycle %d, after its fail-stop at %d", lastDead, failAt)
+	}
+	if aliveAfter == 0 {
+		t.Fatal("surviving output 1 stopped delivering")
+	}
+	if sw.Dropped == 0 {
+		t.Fatal("no drops counted for traffic toward the dead output")
+	}
+}
+
+func TestStallWindowFreezesOutput(t *testing.T) {
+	sw, err := New(testConfig(), lrgFactory(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const from, until = 50, 80
+	if err := sw.SetFaults(faults.Config{
+		Stalls: []faults.StallWindow{{Port: 0, From: from, Until: until}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var seq traffic.Sequence
+	spec := noc.FlowSpec{Src: 0, Dst: 0, Class: noc.BestEffort, PacketLength: 4}
+	if err := sw.AddFlow(traffic.Flow{Spec: spec, Gen: traffic.NewBacklogged(&seq, spec, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	sw.OnDeliver(func(p *noc.Packet) {
+		delivered++
+		if p.DeliveredAt >= from && p.DeliveredAt < until {
+			t.Errorf("packet delivered at cycle %d inside the stall window [%d,%d)",
+				p.DeliveredAt, from, until)
+		}
+	})
+	sw.OnRelease(seq.Recycle)
+	sw.Run(300)
+	if delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if got := sw.FaultTotals().StallCycles; got != until-from {
+		t.Fatalf("StallCycles = %d, want %d", got, until-from)
+	}
+}
+
+func TestCorruptionExhaustsRetryBudget(t *testing.T) {
+	sw, err := New(testConfig(), lrgFactory(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every arrival fails its CRC, so every packet burns its full retry
+	// budget and is dropped; nothing is ever delivered.
+	if err := sw.SetFaults(faults.Config{CorruptProb: 1, MaxRetries: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var seq traffic.Sequence
+	spec := noc.FlowSpec{Src: 0, Dst: 0, Class: noc.BestEffort, PacketLength: 4}
+	if err := sw.AddFlow(traffic.Flow{Spec: spec, Gen: traffic.NewBacklogged(&seq, spec, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	sw.OnDeliver(func(p *noc.Packet) { t.Errorf("packet %d delivered despite CorruptProb=1", p.ID) })
+	sw.OnRelease(seq.Recycle)
+	sw.Run(500)
+	c := sw.FaultTotals()
+	if c.Corruptions == 0 || c.Drops == 0 {
+		t.Fatalf("counters = %+v, want corruptions and drops", c)
+	}
+	// Each dropped packet was retransmitted MaxRetries times; at most
+	// one more packet can be mid-retry when the run is cut off.
+	if c.Retransmissions < 2*c.Drops || c.Retransmissions > 2*(c.Drops+1) {
+		t.Fatalf("retransmissions = %d, want 2 per drop (%d drops) plus at most one in-flight packet",
+			c.Retransmissions, c.Drops)
+	}
+	if sw.Delivered != 0 {
+		t.Fatalf("Delivered = %d, want 0", sw.Delivered)
+	}
+}
+
+func TestCorruptionRetriesEventuallyDeliver(t *testing.T) {
+	sw, err := New(testConfig(), lrgFactory(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.SetFaults(faults.Config{Seed: 3, CorruptProb: 0.3, MaxRetries: 10}); err != nil {
+		t.Fatal(err)
+	}
+	var seq traffic.Sequence
+	spec := noc.FlowSpec{Src: 0, Dst: 0, Class: noc.BestEffort, PacketLength: 4}
+	if err := sw.AddFlow(traffic.Flow{Spec: spec, Gen: traffic.NewBacklogged(&seq, spec, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	retried := 0
+	sw.OnDeliver(func(p *noc.Packet) {
+		if p.Retries > 0 {
+			retried++
+		}
+	})
+	sw.OnRelease(seq.Recycle)
+	sw.Run(2000)
+	c := sw.FaultTotals()
+	if sw.Delivered == 0 || c.Retransmissions == 0 {
+		t.Fatalf("Delivered=%d retransmissions=%d, want both positive", sw.Delivered, c.Retransmissions)
+	}
+	if retried == 0 {
+		t.Fatal("no delivered packet carried a retry count")
+	}
+	// Wasted channel time from corrupted transfers is accounted.
+	if sw.WastedFlits == 0 {
+		t.Fatal("corrupted transfers did not waste flits")
+	}
+}
+
+func TestGrantMismatchFreezesEngine(t *testing.T) {
+	sw, err := New(testConfig(), lrgFactory(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := &noc.Packet{ID: 1, Src: 0, Dst: 0, Class: noc.BestEffort, Length: 2}
+	sw.inputs[0].bufferFor(noc.BestEffort, 0).Push(queued)
+	rogue := &noc.Packet{ID: 2, Src: 0, Dst: 0, Class: noc.BestEffort, Length: 2}
+	sw.grant(sw.outputs[0], 0, arb.Request{Input: 0, Class: noc.BestEffort, Packet: rogue}, false)
+
+	err = sw.Err()
+	if err == nil {
+		t.Fatal("grant mismatch did not freeze the engine")
+	}
+	for _, want := range []string{"granted packet 2", "input 0"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+	// A frozen engine stops advancing.
+	before := sw.Now()
+	sw.Step()
+	sw.Run(10)
+	if sw.Now() != before {
+		t.Fatalf("frozen engine advanced from %d to %d", before, sw.Now())
+	}
+}

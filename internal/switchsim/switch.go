@@ -5,6 +5,7 @@ import (
 
 	"swizzleqos/internal/arb"
 	"swizzleqos/internal/fabric"
+	"swizzleqos/internal/faults"
 	"swizzleqos/internal/noc"
 	"swizzleqos/internal/traffic"
 )
@@ -26,25 +27,27 @@ type request struct {
 	req arb.Request
 }
 
-// currentRequest picks the input's offer for this cycle: the
+// currentRequest picks the input's offer for cycle now: the
 // guaranteed-latency head first, then the next non-empty guaranteed-
 // bandwidth queue in round-robin order, then the best-effort head. A busy
-// input offers nothing.
-func (in *inputPort) currentRequest() (request, bool) {
+// input offers nothing. A head sitting out a retransmission backoff
+// (HoldUntil > now, see internal/faults) blocks its own queue but not
+// the input's other queues; HoldUntil is always zero in fault-free runs.
+func (in *inputPort) currentRequest(now uint64) (request, bool) {
 	if in.busy {
 		return request{}, false
 	}
-	if p := in.gl.Head(); p != nil {
+	if p := in.gl.Head(); p != nil && p.HoldUntil <= now {
 		return request{dst: p.Dst, req: arb.Request{Input: in.id, Class: noc.GuaranteedLatency, Packet: p}}, true
 	}
 	n := len(in.gb)
 	for k := 0; k < n; k++ {
 		o := (in.gbRR + k) % n
-		if p := in.gb[o].Head(); p != nil {
+		if p := in.gb[o].Head(); p != nil && p.HoldUntil <= now {
 			return request{dst: o, req: arb.Request{Input: in.id, Class: noc.GuaranteedBandwidth, Packet: p}}, true
 		}
 	}
-	if p := in.be.Head(); p != nil {
+	if p := in.be.Head(); p != nil && p.HoldUntil <= now {
 		return request{dst: p.Dst, req: arb.Request{Input: in.id, Class: noc.BestEffort, Packet: p}}, true
 	}
 	return request{}, false
@@ -93,6 +96,10 @@ type Switch struct {
 	sources *fabric.Sources // flow source queues, grouped by input port
 
 	now uint64
+	err error // terminal invariant violation; freezes the engine
+
+	faults     *faults.Injector
+	onFailStop func(now uint64, f faults.FailStop)
 
 	offers  [][]arb.Request // scratch: this cycle's offers, bucketed by destination output
 	arbReqs []arb.Request   // scratch: requests handed to one arbitration
@@ -161,6 +168,48 @@ func (s *Switch) Now() uint64 { return s.now }
 // Arbiter returns output o's arbiter, for inspection in tests.
 func (s *Switch) Arbiter(o int) arb.Arbiter { return s.outputs[o].arb }
 
+// Err returns the terminal error that froze the switch, or nil. After a
+// non-nil Err, Step is a no-op and Run returns immediately; counters and
+// statistics reflect only the cycles before the failure.
+func (s *Switch) Err() error { return s.err }
+
+// fail records the first invariant violation and freezes the engine.
+func (s *Switch) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// SetFaults installs a fault-injection schedule. It must be called
+// before the first Step; fault-free switches skip every injection check
+// through a single nil test per site.
+func (s *Switch) SetFaults(cfg faults.Config) error {
+	if s.now != 0 {
+		return fmt.Errorf("switchsim: SetFaults after cycle 0 (now=%d)", s.now)
+	}
+	if err := cfg.Validate(s.cfg.Radix, s.cfg.Radix); err != nil {
+		return err
+	}
+	s.faults = faults.New(cfg)
+	return nil
+}
+
+// OnFailStop registers a callback invoked after the switch has applied a
+// fail-stop fault (buffers flushed, in-flight transfer aborted). The
+// graceful-degradation policy lives in this hook: the experiments layer
+// uses it to re-derive SSVC Vticks so surviving flows absorb the failed
+// flows' reservations (core.SSVC.SetVticks).
+func (s *Switch) OnFailStop(fn func(now uint64, f faults.FailStop)) { s.onFailStop = fn }
+
+// FaultTotals returns the injector's fault counters (zero if no schedule
+// is installed).
+func (s *Switch) FaultTotals() faults.Counters {
+	if s.faults == nil {
+		return faults.Counters{}
+	}
+	return s.faults.Totals()
+}
+
 // AddFlow attaches a flow and its generator to the switch.
 func (s *Switch) AddFlow(f traffic.Flow) error {
 	if err := f.Spec.Validate(s.cfg.Radix); err != nil {
@@ -183,10 +232,19 @@ func (s *Switch) BufferOccupancy(i int, class noc.Class, dst int) int {
 	return s.inputs[i].bufferFor(class, dst).Flits()
 }
 
-// Step advances the simulation one cycle: generation, admission, output
-// channel processing (data or arbitration), then arbiter clock ticks.
+// Step advances the simulation one cycle: fault scheduling, generation,
+// admission, output channel processing (data or arbitration), then
+// arbiter clock ticks. After a terminal error, Step is a no-op.
 func (s *Switch) Step() {
+	if s.err != nil {
+		return
+	}
 	now := s.now
+	if s.faults != nil {
+		for _, f := range s.faults.BeginCycle(now) {
+			s.applyFailStop(now, f)
+		}
+	}
 	s.Injected += s.sources.Generate(now)
 	s.admit(now)
 	s.serveOutputs(now)
@@ -196,9 +254,13 @@ func (s *Switch) Step() {
 	s.now++
 }
 
-// Run advances the simulation by n cycles.
+// Run advances the simulation by n cycles, stopping early if the engine
+// fails sick (see Err).
 func (s *Switch) Run(n uint64) {
 	for i := uint64(0); i < n; i++ {
+		if s.err != nil {
+			return
+		}
 		s.Step()
 	}
 }
@@ -209,6 +271,15 @@ func (s *Switch) Run(n uint64) {
 // (original Virtual Clock, WFQ) stamp the packet here.
 func (s *Switch) admit(now uint64) {
 	try := func(p *noc.Packet) bool {
+		// Packets from a fail-stopped input or toward a fail-stopped
+		// output are doomed: accept them out of the source queue and
+		// discard immediately, so no packet bound for a dead port ever
+		// occupies buffer space or pins an input's round-robin offer.
+		if s.faults != nil && (s.faults.InputDead(p.Src) || s.faults.OutputDead(p.Dst)) {
+			s.Dropped++
+			s.Drop(p)
+			return true
+		}
 		buf := s.inputs[p.Src].bufferFor(p.Class, p.Dst)
 		if !buf.CanAccept(p.Length) {
 			return false
@@ -244,12 +315,23 @@ func (s *Switch) serveOutputs(now uint64) {
 		s.offers[o] = s.offers[o][:0]
 	}
 	for _, in := range s.inputs {
-		if r, ok := in.currentRequest(); ok {
+		if r, ok := in.currentRequest(now); ok {
 			s.offers[r.dst] = append(s.offers[r.dst], r.req)
 		}
 	}
 
 	for _, out := range s.outputs {
+		if s.err != nil {
+			return
+		}
+		if s.faults != nil {
+			if s.faults.OutputDead(out.id) {
+				continue // a dead channel neither moves data nor arbitrates
+			}
+			if s.faults.StallOutput(now, out.id) {
+				continue // stalled: in-flight transfer freezes, no grants
+			}
+		}
 		if out.tx != nil {
 			if s.cfg.Preemption && out.pre != nil {
 				if s.tryPreempt(out, now) {
@@ -315,6 +397,10 @@ func (s *Switch) tryPreempt(out *outputPort, now uint64) bool {
 
 // transfer moves one flit of the output's in-flight packet, completing the
 // packet (and possibly chaining a successor) when the last flit leaves.
+// With fault injection enabled, the receiver's modeled CRC check runs on
+// the completed packet: a corrupted packet is NACKed back to the head of
+// its input queue for backoff-and-retry, or dropped once its retry
+// budget is spent. Either way the channel cycles it consumed are wasted.
 func (s *Switch) transfer(out *outputPort, now uint64) {
 	s.DataCycles++
 	tx := out.tx
@@ -323,10 +409,21 @@ func (s *Switch) transfer(out *outputPort, now uint64) {
 		return
 	}
 	pkt := tx.Pkt
-	pkt.DeliveredAt = now
-	s.inputs[tx.Input].busy = false
+	in := s.inputs[tx.Input]
+	in.busy = false
 	out.tx = nil
 	s.txPool.Put(tx)
+	if s.faults != nil && s.faults.CorruptArrival(pkt) {
+		s.WastedFlits += uint64(pkt.Length)
+		if s.faults.Retry(now, pkt) {
+			in.bufferFor(pkt.Class, out.id).PushFront(pkt)
+		} else {
+			s.Dropped++
+			s.Drop(pkt)
+		}
+		return // the NACK turnaround consumes the chaining opportunity
+	}
+	pkt.DeliveredAt = now
 	s.Delivered++
 	s.Deliver(pkt)
 	if s.cfg.PacketChaining {
@@ -343,7 +440,7 @@ func (s *Switch) transfer(out *outputPort, now uint64) {
 func (s *Switch) tryChain(out *outputPort, now uint64) {
 	reqs := s.arbReqs[:0]
 	for _, in := range s.inputs {
-		if r, ok := in.currentRequest(); ok && r.dst == out.id {
+		if r, ok := in.currentRequest(now); ok && r.dst == out.id {
 			reqs = append(reqs, r.req)
 		}
 	}
@@ -366,8 +463,17 @@ func (s *Switch) grant(out *outputPort, now uint64, req arb.Request, chained boo
 	buf := in.bufferFor(req.Class, out.id)
 	p := buf.Pop()
 	if p != req.Packet {
-		panic(fmt.Sprintf("switchsim: output %d granted packet %d but input %d head is packet %d",
-			out.id, req.Packet.ID, req.Input, p.ID))
+		// A grant must match the queue head the offer was built from. A
+		// mismatch means simulator state is corrupt; freeze the engine
+		// with a descriptive error instead of killing the whole sweep
+		// pool (the experiments layer surfaces Err per sweep point).
+		head := "empty queue"
+		if p != nil {
+			head = fmt.Sprintf("packet %d", p.ID)
+		}
+		s.fail(fmt.Errorf("switchsim: cycle %d: output %d granted packet %d but input %d head is %s",
+			now, out.id, req.Packet.ID, req.Input, head))
+		return
 	}
 	p.GrantedAt = now
 	in.busy = true
@@ -378,4 +484,60 @@ func (s *Switch) grant(out *outputPort, now uint64, req arb.Request, chained boo
 	// The arbiter's bandwidth accounting covers chained packets too:
 	// every transmitted packet advances the flow's virtual clock.
 	out.arb.Granted(now, req)
+}
+
+// dropPkt counts and releases a packet discarded by a fault.
+func (s *Switch) dropPkt(p *noc.Packet) {
+	s.Dropped++
+	s.Drop(p)
+}
+
+// applyFailStop flushes all state referencing a port that just died:
+// queued packets toward a dead output (or at a dead input) are dropped,
+// and an in-flight transfer touching the dead port is aborted with its
+// transmitted flits wasted. Admission dooming (see admit) guarantees no
+// new packet for the dead port enters a buffer afterwards, so a
+// surviving input's round-robin offer can never pin on a dead output.
+// This is a cold path; its closures may allocate.
+func (s *Switch) applyFailStop(now uint64, f faults.FailStop) {
+	all := func(*noc.Packet) bool { return true }
+	if f.Input {
+		in := s.inputs[f.Port]
+		in.be.DropWhere(all, s.dropPkt)
+		in.gl.DropWhere(all, s.dropPkt)
+		for _, q := range in.gb {
+			q.DropWhere(all, s.dropPkt)
+		}
+		for _, out := range s.outputs {
+			if out.tx != nil && out.tx.Input == f.Port {
+				s.abortTx(out)
+			}
+		}
+		in.busy = false
+	} else {
+		toDead := func(p *noc.Packet) bool { return p.Dst == f.Port }
+		for _, in := range s.inputs {
+			in.be.DropWhere(toDead, s.dropPkt)
+			in.gl.DropWhere(toDead, s.dropPkt)
+			in.gb[f.Port].DropWhere(all, s.dropPkt)
+		}
+		if out := s.outputs[f.Port]; out.tx != nil {
+			s.abortTx(out)
+		}
+	}
+	if s.onFailStop != nil {
+		s.onFailStop(now, f)
+	}
+}
+
+// abortTx kills an output's in-flight transfer, wasting the flits already
+// moved and dropping the packet (its source or destination is dead).
+func (s *Switch) abortTx(out *outputPort) {
+	tx := out.tx
+	pkt := tx.Pkt
+	s.WastedFlits += uint64(pkt.Length - tx.Remaining)
+	s.inputs[tx.Input].busy = false
+	out.tx = nil
+	s.txPool.Put(tx)
+	s.dropPkt(pkt)
 }

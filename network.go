@@ -187,6 +187,11 @@ func (n *Network) Config() Config { return n.cfg }
 // Now returns the current simulation cycle.
 func (n *Network) Now() uint64 { return n.sw.Now() }
 
+// Err returns the terminal error that froze the underlying switch, or
+// nil. A frozen network ignores further Run calls; statistics reflect
+// only the cycles before the failure.
+func (n *Network) Err() error { return n.sw.Err() }
+
 // Run advances the simulation by the given number of cycles.
 func (n *Network) Run(cycles uint64) { n.sw.Run(cycles) }
 
