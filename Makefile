@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all check build test race vet fmt staticcheck govulncheck bench experiments verify examples cover fuzz
+.PHONY: all check build test race vet fmt lint benchguard staticcheck govulncheck bench experiments verify examples cover fuzz
 
 all: build vet test
 
-# Full local gate: build, vet, formatting, tests, the race detector
-# over the parallel sweep engine and everything layered on it, plus the
-# optional linters (skipped with a notice when not installed).
-check: build vet fmt staticcheck govulncheck test race
+# Full local gate: build, vet, formatting, the in-repo invariant linter,
+# tests, the race detector over the parallel sweep engine and everything
+# layered on it, plus the optional linters (skipped with a notice when
+# not installed).
+check: build vet fmt lint staticcheck govulncheck test race
 
 build:
 	$(GO) build ./...
@@ -24,6 +25,18 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# In-repo invariant linter (stdlib-only, see DESIGN.md "Invariants"):
+# determinism, //ssvc:hotpath allocation-freedom, TxPool recycle
+# discipline, and panic-freeze on engine paths. Exceptions live in
+# lint.allow with a justification each.
+lint:
+	$(GO) run ./cmd/ssvc-lint ./...
+
+# Rerun the steady-state *CycleRecycled benchmarks and fail if B/op or
+# allocs/op regress past the BENCH_baseline.json "after" values.
+benchguard:
+	$(GO) run ./cmd/ssvc-benchguard
 
 # Optional linters: run when present, skip with a notice otherwise. The
 # container baseline has no network, so these must never try to install.
@@ -70,8 +83,17 @@ examples:
 	$(GO) run ./examples/latencyfairness
 	$(GO) run ./examples/planner
 
+# Coverage with a floor: the build fails if total statement coverage
+# drops below COVER_MIN (the tree sits comfortably above it; the floor
+# catches a PR that lands a subsystem without tests).
+COVER_MIN ?= 70
 cover:
-	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
+	$(GO) test -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_MIN)%)"; \
+	awk "BEGIN { exit !($$total >= $(COVER_MIN)) }" || { \
+		echo "coverage $$total% is below the $(COVER_MIN)% floor"; exit 1; \
+	}
 
 # Short fuzzing sessions for the fuzz targets.
 fuzz:

@@ -1,0 +1,90 @@
+// Command ssvc-lint enforces the repository's simulator invariants at
+// the source level: determinism of everything feeding golden tables,
+// allocation-freedom of //ssvc:hotpath functions (cross-checked against
+// go build -gcflags=-m), free-list recycle discipline, and
+// freeze-sick-instead-of-panic error handling. See internal/analysis
+// and the "Invariants" section of DESIGN.md.
+//
+// Usage:
+//
+//	ssvc-lint [-root dir] [-allow file] [packages]
+//
+// The package argument is accepted for familiarity (`ssvc-lint ./...`)
+// but the tool always analyzes the rule-defined package sets of the
+// enclosing module. It prints one `file:line: [analyzer] message` per
+// finding and exits 1 if any survive the allowlist.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"swizzleqos/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("ssvc-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	root := fs.String("root", "", "module root (default: nearest go.mod above the working directory)")
+	allowPath := fs.String("allow", "", "allowlist file (default: <root>/lint.allow)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *root == "" {
+		r, err := findRoot()
+		if err != nil {
+			fmt.Fprintln(stderr, "ssvc-lint:", err)
+			return 2
+		}
+		*root = r
+	}
+	if *allowPath == "" {
+		*allowPath = filepath.Join(*root, "lint.allow")
+	}
+	allow, err := analysis.ParseAllowlistFile(*allowPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "ssvc-lint:", err)
+		return 2
+	}
+	diags, err := analysis.RunAll(*root, allow)
+	if err != nil {
+		fmt.Fprintln(stderr, "ssvc-lint:", err)
+		return 2
+	}
+	for _, e := range allow.Unused() {
+		fmt.Fprintf(stderr, "ssvc-lint: warning: unused allowlist entry: %s %s\n", e.Analyzer, e.File)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "ssvc-lint: %d invariant violation(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// findRoot walks upward from the working directory to the nearest
+// go.mod.
+func findRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// AllowEntry suppresses diagnostics from one analyzer in one file
+// (optionally pinned to a single line). Entries exist for the few
+// justified violations — e.g. internal/stats map iterations that feed a
+// sort or a commutative sum — and each must carry a trailing comment
+// saying why.
+type AllowEntry struct {
+	Analyzer string
+	File     string // module-relative slash path, matched by suffix
+	Line     int    // 0 = whole file
+}
+
+// Allowlist filters diagnostics against the entries parsed from
+// lint.allow.
+type Allowlist struct {
+	entries []AllowEntry
+	used    []bool
+}
+
+// ParseAllowlistFile reads an allowlist. A missing file is an empty
+// allowlist, not an error.
+func ParseAllowlistFile(path string) (*Allowlist, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return &Allowlist{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseAllowlist(f, path)
+}
+
+func parseAllowlist(f *os.File, path string) (*Allowlist, error) {
+	al := &Allowlist{}
+	sc := bufio.NewScanner(f)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want '<analyzer> <file>[:line]', got %q", path, lineno, sc.Text())
+		}
+		e := AllowEntry{Analyzer: fields[0], File: fields[1]}
+		if i := strings.LastIndexByte(e.File, ':'); i >= 0 {
+			n, err := strconv.Atoi(e.File[i+1:])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad line number in %q", path, lineno, fields[1])
+			}
+			e.Line, e.File = n, e.File[:i]
+		}
+		al.entries = append(al.entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	al.used = make([]bool, len(al.entries))
+	return al, nil
+}
+
+// Filter drops allowlisted diagnostics, recording which entries fired.
+func (al *Allowlist) Filter(ds []Diagnostic) []Diagnostic {
+	if al == nil || len(al.entries) == 0 {
+		return ds
+	}
+	kept := ds[:0]
+	for _, d := range ds {
+		if !al.match(d) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+func (al *Allowlist) match(d Diagnostic) bool {
+	for i, e := range al.entries {
+		if e.Analyzer != d.Analyzer {
+			continue
+		}
+		if d.File != e.File && !strings.HasSuffix(d.File, "/"+e.File) {
+			continue
+		}
+		if e.Line != 0 && e.Line != d.Line {
+			continue
+		}
+		al.used[i] = true
+		return true
+	}
+	return false
+}
+
+// Unused returns the entries that suppressed nothing — stale exceptions
+// worth deleting. ssvc-lint prints them as warnings, not failures, so
+// an allowlist can be trimmed without blocking a build.
+func (al *Allowlist) Unused() []AllowEntry {
+	var out []AllowEntry
+	for i, e := range al.entries {
+		if !al.used[i] {
+			out = append(out, e)
+		}
+	}
+	return out
+}

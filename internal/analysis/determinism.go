@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// globalRandFuncs are the math/rand (and math/rand/v2) package-level
+// functions that draw from the process-global source. Seeded generators
+// built with New/NewSource/NewPCG are fine: they are pure functions of
+// the seed, which is exactly what the repository's reproducibility
+// contract requires (see internal/traffic.RNG and runner.DeriveSeed).
+var globalRandFuncs = map[string]bool{
+	"Seed": true, "Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true,
+	// math/rand/v2 spellings.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true, "Int64N": true,
+	"N": true, "Uint32N": true, "Uint64N": true, "UintN": true, "Uint": true,
+}
+
+// Determinism flags the three sources of run-to-run nondeterminism that
+// would break byte-identical golden tables: wall-clock time, the global
+// math/rand source, and iteration over maps. The packages argument
+// lists the module-relative import paths whose output feeds goldens.
+func Determinism(l *Loader, packages []string) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, rel := range packages {
+		pkg, err := l.Load(l.Module + "/" + rel)
+		if err != nil {
+			return nil, err
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					if d, ok := l.checkForbiddenSelector(pkg, n); ok {
+						diags = append(diags, d)
+					}
+				case *ast.RangeStmt:
+					if tv, ok := pkg.Info.Types[n.X]; ok {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							file, line := l.Rel(n.Pos())
+							diags = append(diags, Diagnostic{
+								File: file, Line: line, Analyzer: "determinism",
+								Message: "range over a map iterates in nondeterministic order; collect and sort the keys (or prove the loop body is order-independent and allowlist this site)",
+							})
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags, nil
+}
+
+// checkForbiddenSelector reports pkgname.Func selections that resolve
+// to time.Now (and friends) or a global math/rand function.
+func (l *Loader) checkForbiddenSelector(pkg *Package, sel *ast.SelectorExpr) (Diagnostic, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return Diagnostic{}, false
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return Diagnostic{}, false
+	}
+	path, name := pn.Imported().Path(), sel.Sel.Name
+	file, line := l.Rel(sel.Pos())
+	switch {
+	case path == "time" && (name == "Now" || name == "Since" || name == "Until"):
+		return Diagnostic{
+			File: file, Line: line, Analyzer: "determinism",
+			Message: "time." + name + " makes results depend on wall-clock time; derive everything from the simulated cycle count",
+		}, true
+	case (path == "math/rand" || path == "math/rand/v2") && globalRandFuncs[name]:
+		return Diagnostic{
+			File: file, Line: line, Analyzer: "determinism",
+			Message: "global " + path + "." + name + " draws from a process-wide source; use a traffic.RNG (or rand.New) seeded from Options.Seed",
+		}, true
+	}
+	return Diagnostic{}, false
+}

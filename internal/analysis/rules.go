@@ -1,0 +1,74 @@
+package analysis
+
+// This file is the single place naming which packages each invariant
+// covers. Paths are module-relative. DESIGN.md ("Invariants") documents
+// the rules themselves; lint.allow at the module root carries the
+// justified exceptions.
+
+// DeterminismPackages feed golden tables (directly, or as the kernels
+// and generators under them). Byte-identical output at any worker count
+// is the reproducibility contract, so these may not read wall-clock
+// time, the global math/rand source, or iterate maps without imposing
+// an order.
+var DeterminismPackages = []string{
+	"internal/switchsim",
+	"internal/mesh",
+	"internal/compose",
+	"internal/core",
+	"internal/experiments",
+	"internal/fabric",
+	"internal/faults",
+	"internal/traffic",
+	"internal/stats",
+}
+
+// PanicFreezePackages must freeze sick through fabric.ErrorReporter /
+// Outcome.Err instead of panicking: the engines and everything between
+// them and a rendered table. Constructor preconditions in leaf
+// packages (arb, traffic, core, circuit) stay panics by API contract
+// and are not in this set; the stats constructors and the runner's
+// worker-panic re-raise are in the set but allowlisted.
+var PanicFreezePackages = []string{
+	"internal/fabric",
+	"internal/switchsim",
+	"internal/mesh",
+	"internal/compose",
+	"internal/experiments",
+	"internal/faults",
+	"internal/stats",
+	"internal/runner",
+}
+
+// RecyclePackages are where pool values are obtained and must flow back
+// to a sink; RecycleSources names the pool methods that hand them out.
+var RecyclePackages = []string{
+	"internal/switchsim",
+	"internal/mesh",
+	"internal/compose",
+	"internal/fabric",
+}
+
+// RecycleSources lists the free-list take methods tracked by the
+// recycle analyzer.
+var RecycleSources = []MethodRule{
+	{TypeName: "TxPool", Method: "Get"},
+}
+
+// HotpathPackages are scanned for //ssvc:hotpath annotations. The
+// whole module is eligible; this list just avoids scanning fixture
+// trees (the loader skips testdata on its own).
+func HotpathPackages(l *Loader) ([]string, error) {
+	ips, err := l.ModulePackages()
+	if err != nil {
+		return nil, err
+	}
+	rels := make([]string, 0, len(ips))
+	for _, ip := range ips {
+		rel := ""
+		if ip != l.Module {
+			rel = ip[len(l.Module)+1:]
+		}
+		rels = append(rels, rel)
+	}
+	return rels, nil
+}

@@ -1,0 +1,47 @@
+package analysis
+
+// RunAll executes the four analyzers over the module rooted at root
+// with the repository's default rules, filters the result through the
+// allowlist (nil for none), and returns the surviving diagnostics
+// sorted. This is the single entry point shared by cmd/ssvc-lint and
+// the package's self-test, so "the tool passes" and "the test passes"
+// can never drift apart.
+func RunAll(root string, allow *Allowlist) ([]Diagnostic, error) {
+	l, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+
+	d, err := Determinism(l, DeterminismPackages)
+	if err != nil {
+		return nil, err
+	}
+	diags = append(diags, d...)
+
+	d, err = PanicFreeze(l, PanicFreezePackages)
+	if err != nil {
+		return nil, err
+	}
+	diags = append(diags, d...)
+
+	d, err = Recycle(l, RecyclePackages, RecycleSources)
+	if err != nil {
+		return nil, err
+	}
+	diags = append(diags, d...)
+
+	hot, err := HotpathPackages(l)
+	if err != nil {
+		return nil, err
+	}
+	d, err = Hotpath(l, hot)
+	if err != nil {
+		return nil, err
+	}
+	diags = append(diags, d...)
+
+	diags = allow.Filter(diags)
+	SortDiagnostics(diags)
+	return diags, nil
+}

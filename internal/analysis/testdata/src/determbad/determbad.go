@@ -1,0 +1,39 @@
+// Package determbad is a lint fixture: each construct the determinism
+// analyzer must flag carries a trailing want-marker that the golden
+// test cross-checks against the analyzer's output.
+package determbad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp leaks wall-clock time into a result.
+func Stamp() int64 {
+	return time.Now().Unix() // want:determinism
+}
+
+// Elapsed depends on when the process runs, not on simulated cycles.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want:determinism
+}
+
+// Roll draws from the process-global source.
+func Roll() int {
+	return rand.Intn(6) // want:determinism
+}
+
+// Shuffle mutates through the process-global source.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want:determinism
+}
+
+// Sum iterates a map; even a commutative body must be allowlisted
+// explicitly, so the analyzer flags the range itself.
+func Sum(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want:determinism
+		s += v
+	}
+	return s
+}

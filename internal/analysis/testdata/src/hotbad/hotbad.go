@@ -1,0 +1,41 @@
+// Package hotbad is a lint fixture for the hotpath analyzer: annotated
+// functions whose allocations the compiler's escape analysis reports.
+package hotbad
+
+type big struct {
+	buf [128]int
+}
+
+var sink *big
+
+// Hot allocates on its hot path; the escape diagnostic lands on the
+// new(big) line.
+//
+//ssvc:hotpath
+func Hot() {
+	b := new(big) // want:hotpath
+	sink = b
+}
+
+// Cold allocates only inside a //ssvc:coldpath-excluded statement, so
+// it must pass.
+//
+//ssvc:hotpath
+func Cold(fail bool) {
+	if fail {
+		//ssvc:coldpath fixture error path
+		b := new(big)
+		sink = b
+	}
+}
+
+// Fine is annotated and allocation-free.
+//
+//ssvc:hotpath
+func Fine(x int) int { return x * 2 }
+
+// Unannotated allocates but carries no annotation, so it is out of
+// scope for the analyzer.
+func Unannotated() {
+	sink = new(big)
+}

@@ -1,0 +1,29 @@
+// Package panicbad is a lint fixture for the panicfreeze analyzer: real
+// builtin panics are flagged, a shadowing function is not.
+package panicbad
+
+import "fmt"
+
+// Explode kills the whole worker pool instead of freezing one engine.
+func Explode(ok bool) {
+	if !ok {
+		panic("state corrupt") // want:panicfreeze
+	}
+}
+
+// Wrapped panics through a formatted message.
+func Wrapped(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("bad: %v", err)) // want:panicfreeze
+	}
+}
+
+// report shadows the builtin locally; calls through the shadow must not
+// be flagged.
+func report(string) {}
+
+// Shadowed exercises the shadow.
+func Shadowed() {
+	panic := report
+	panic("fine")
+}

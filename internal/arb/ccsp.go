@@ -60,6 +60,8 @@ func (a *CCSP) Credit(i int) float64 { return a.credit[i] }
 // Arbitrate implements Arbiter: the highest static priority among
 // eligible (credit-covered) requests wins; with work conservation, slack
 // falls through to the highest-priority requester.
+//
+//ssvc:hotpath
 func (a *CCSP) Arbitrate(now uint64, reqs []Request) int {
 	best, bestPrio := -1, int(^uint(0)>>1)
 	for i, r := range reqs {
@@ -115,6 +117,8 @@ type AgeBased struct {
 func NewAgeBased(n int) *AgeBased { return &AgeBased{state: NewLRGState(n)} }
 
 // Arbitrate implements Arbiter.
+//
+//ssvc:hotpath
 func (a *AgeBased) Arbitrate(now uint64, reqs []Request) int {
 	best := -1
 	var bestAge uint64

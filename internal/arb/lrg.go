@@ -107,6 +107,8 @@ func NewLRG(n int) *LRG {
 }
 
 // Arbitrate implements Arbiter.
+//
+//ssvc:hotpath
 func (a *LRG) Arbitrate(now uint64, reqs []Request) int {
 	if len(reqs) == 0 {
 		return -1

@@ -57,6 +57,8 @@ func (a *OrigVC) PacketArrived(now uint64, pkt *noc.Packet) {
 }
 
 // Arbitrate implements Arbiter: the smallest stamp wins; LRG breaks ties.
+//
+//ssvc:hotpath
 func (a *OrigVC) Arbitrate(now uint64, reqs []Request) int {
 	best := -1
 	bestStamp := uint64(math.MaxUint64)

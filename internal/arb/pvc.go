@@ -69,6 +69,8 @@ func (a *PVC) PacketArrived(now uint64, pkt *noc.Packet) {
 }
 
 // Arbitrate implements Arbiter: smallest stamp wins, LRG breaks ties.
+//
+//ssvc:hotpath
 func (a *PVC) Arbitrate(now uint64, reqs []Request) int {
 	best := -1
 	bestStamp := uint64(math.MaxUint64)

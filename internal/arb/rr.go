@@ -21,6 +21,8 @@ func NewRoundRobin(n int) *RoundRobin {
 }
 
 // Arbitrate implements Arbiter.
+//
+//ssvc:hotpath
 func (a *RoundRobin) Arbitrate(now uint64, reqs []Request) int {
 	if len(reqs) == 0 {
 		return -1
@@ -68,6 +70,8 @@ func NewMultiLevel(n int, levels func(Request) int) *MultiLevel {
 }
 
 // Arbitrate implements Arbiter.
+//
+//ssvc:hotpath
 func (a *MultiLevel) Arbitrate(now uint64, reqs []Request) int {
 	best := -1
 	bestLevel := -1

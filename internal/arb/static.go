@@ -44,6 +44,8 @@ func (a *WRR) refill() {
 
 // Arbitrate implements Arbiter. It may advance frame bookkeeping (credits,
 // pointer) even when returning -1.
+//
+//ssvc:hotpath
 func (a *WRR) Arbitrate(now uint64, reqs []Request) int {
 	if len(reqs) == 0 {
 		return -1
@@ -138,6 +140,8 @@ func NewDWRR(quanta []int) *DWRR {
 // while its deficit covers its head packet, and the pointer moves on when
 // the deficit runs out. Deficit refills happen here; grant-side
 // consumption happens in Granted.
+//
+//ssvc:hotpath
 func (a *DWRR) Arbitrate(now uint64, reqs []Request) int {
 	if len(reqs) == 0 {
 		return -1

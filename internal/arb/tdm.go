@@ -52,6 +52,8 @@ func (a *TDM) Owner(now uint64) int {
 // Arbitrate implements Arbiter: the slot's owner is served if it is
 // requesting; otherwise the cycle is wasted — deliberately not
 // work-conserving.
+//
+//ssvc:hotpath
 func (a *TDM) Arbitrate(now uint64, reqs []Request) int {
 	owner := a.Owner(now)
 	for i, r := range reqs {

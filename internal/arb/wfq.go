@@ -56,6 +56,8 @@ func (a *WFQ) PacketArrived(now uint64, pkt *noc.Packet) {
 
 // Arbitrate implements Arbiter: minimum virtual finish time wins, LRG
 // breaks ties.
+//
+//ssvc:hotpath
 func (a *WFQ) Arbitrate(now uint64, reqs []Request) int {
 	a.active = len(reqs)
 	best := -1

@@ -22,6 +22,7 @@ package compose
 
 import (
 	"fmt"
+	"sort"
 
 	"swizzleqos/internal/arb"
 	"swizzleqos/internal/fabric"
@@ -67,11 +68,23 @@ func (t Topology) Validate() error {
 		}
 		return nil
 	}
-	for from, to := range t.Links {
+	// Check links in sorted order so the first error reported does not
+	// depend on map iteration order.
+	froms := make([]PortRef, 0, len(t.Links))
+	for from := range t.Links {
+		froms = append(froms, from)
+	}
+	sort.Slice(froms, func(i, j int) bool {
+		if froms[i].Node != froms[j].Node {
+			return froms[i].Node < froms[j].Node
+		}
+		return froms[i].Port < froms[j].Port
+	})
+	for _, from := range froms {
 		if err := check(from); err != nil {
 			return err
 		}
-		if err := check(to); err != nil {
+		if err := check(t.Links[from]); err != nil {
 			return err
 		}
 	}
@@ -310,6 +323,8 @@ func (n *Network) AddFlow(f traffic.Flow) error {
 }
 
 // Step advances one cycle. After a terminal error, Step is a no-op.
+//
+//ssvc:hotpath
 func (n *Network) Step() {
 	if n.err != nil {
 		return
@@ -399,6 +414,8 @@ func (n *Network) abortTx(nd *node, out int) {
 // inject lets every generator emit, then admits at most one packet per
 // terminal per cycle, rotating across the terminal's flows so that
 // co-located flows share the injection port fairly.
+//
+//ssvc:hotpath
 func (n *Network) inject(now uint64) {
 	n.Injected += n.sources.Generate(now)
 	try := func(p *noc.Packet) bool {
@@ -421,6 +438,7 @@ func (n *Network) inject(now uint64) {
 	}
 }
 
+//ssvc:hotpath
 func (n *Network) transfer(now uint64) {
 	for _, nd := range n.nodes {
 		for port := range nd.out {
@@ -469,6 +487,7 @@ func (n *Network) transfer(now uint64) {
 	}
 }
 
+//ssvc:hotpath
 func (n *Network) arbitrate(now uint64) {
 	for _, nd := range n.nodes {
 		if n.err != nil {
@@ -535,6 +554,7 @@ func (n *Network) arbitrate(now uint64) {
 			req := reqs[w]
 			p := nd.in[req.Input].Pop()
 			if p != req.Packet {
+				//ssvc:coldpath the engine freezes sick here, so this error path may allocate
 				head := "empty queue"
 				if p != nil {
 					head = fmt.Sprintf("packet %d", p.ID)

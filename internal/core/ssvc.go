@@ -202,6 +202,8 @@ func (s *SSVC) glEligible(now uint64) bool {
 }
 
 // Arbitrate implements arb.Arbiter.
+//
+//ssvc:hotpath
 func (s *SSVC) Arbitrate(now uint64, reqs []arb.Request) int {
 	if len(reqs) == 0 {
 		return -1
@@ -257,6 +259,8 @@ func (s *SSVC) pickLRG(reqs []arb.Request, keep func(arb.Request) bool) int {
 // Granted implements arb.Arbiter: the winner's virtual clock advances by
 // its Vtick ("the auxVC counter increases by Vtick each time a packet is
 // transmitted") and the LRG order rotates.
+//
+//ssvc:hotpath
 func (s *SSVC) Granted(now uint64, req arb.Request) {
 	s.lrg.Grant(req.Input)
 	switch req.Class {
@@ -318,6 +322,8 @@ func (s *SSVC) onSaturation(now uint64) {
 // most significant bits and shift all thermometer codes down by 1". The
 // real-time clock is the same piece of hardware under all three counter
 // policies; the policies differ only in how auxVC saturation is handled.
+//
+//ssvc:hotpath
 func (s *SSVC) Tick(now uint64) {
 	for now-s.base >= s.quantum {
 		for i := range s.aux {

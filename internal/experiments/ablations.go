@@ -61,11 +61,15 @@ func chainingRun(sc *sweepScratch, packetLen int, chaining bool, o Options) chai
 	if cfg.GBBufferFlits < 2*packetLen {
 		cfg.GBBufferFlits = 2 * packetLen
 	}
-	sw := mustSwitch(cfg, func(int) arb.Arbiter { return arb.NewLRG(fig4Radix) })
+	var b build
+	sw := b.sw(cfg, func(int) arb.Arbiter { return arb.NewLRG(fig4Radix) })
 	var seq traffic.Sequence
 	for i := 0; i < fig4Radix; i++ {
 		spec := noc.FlowSpec{Src: i, Dst: 0, Class: noc.BestEffort, PacketLength: packetLen}
-		mustAddFlow(sw, traffic.Flow{Spec: spec, Gen: traffic.NewBacklogged(&seq, spec, 4)})
+		b.add(sw, traffic.Flow{Spec: spec, Gen: traffic.NewBacklogged(&seq, spec, 4)})
+	}
+	if b.err != nil {
+		return chainingPoint{err: b.err}
 	}
 	col, err := sc.runCollected(sw, &seq, o)
 	return chainingPoint{throughput: col.OutputThroughput(0), err: err}
@@ -106,10 +110,14 @@ func AblationFixedPriority(o Options) []FixedPriorityOutcome {
 		{Src: 1, Dst: 0, Class: noc.GuaranteedBandwidth, Rate: 0.3, PacketLength: 8},
 	}
 	run := func(name string, factory func(int) arb.Arbiter) FixedPriorityOutcome {
-		sw := mustSwitch(fig4Config(), factory)
+		var b build
+		sw := b.sw(fig4Config(), factory)
 		var seq traffic.Sequence
 		for _, s := range specs {
-			mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+			b.add(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+		}
+		if b.err != nil {
+			return FixedPriorityOutcome{Scheme: name, Err: b.err}
 		}
 		col, err := runCollected(sw, &seq, o)
 		return FixedPriorityOutcome{
@@ -171,11 +179,15 @@ func AblationStaticSchedulers(o Options) []StaticOutcome {
 	}
 	capacity := float64(packetLen) / float64(packetLen+1)
 	run := func(sc *sweepScratch, name string, factory func(int) arb.Arbiter) StaticOutcome {
-		sw := mustSwitch(fig4Config(), factory)
+		var b build
+		sw := b.sw(fig4Config(), factory)
 		var seq traffic.Sequence
 		// Only the even inputs offer traffic.
 		for i := 0; i < fig4Radix; i += 2 {
-			mustAddFlow(sw, traffic.Flow{Spec: specs[i], Gen: traffic.NewBacklogged(&seq, specs[i], 4)})
+			b.add(sw, traffic.Flow{Spec: specs[i], Gen: traffic.NewBacklogged(&seq, specs[i], 4)})
+		}
+		if b.err != nil {
+			return StaticOutcome{Scheme: name, Err: b.err}
 		}
 		col, err := sc.runCollected(sw, &seq, o)
 		return StaticOutcome{Scheme: name, Utilisation: col.OutputThroughput(0) / capacity, Err: err}
@@ -230,10 +242,14 @@ func AblationSigBits(o Options) []SigBitsOutcome {
 	return runner.MapScratch(o.pool(), 6, newSweepScratch,
 		func(sc *sweepScratch, idx int) SigBitsOutcome {
 			sig := idx + 1
-			sw := mustSwitch(fig4Config(), ssvcFactory(fig4Radix, sig, 0, specs))
+			var b build
+			sw := b.sw(fig4Config(), ssvcFactory(fig4Radix, sig, 0, specs))
 			var seq traffic.Sequence
 			for _, s := range specs {
-				mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+				b.add(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+			}
+			if b.err != nil {
+				return SigBitsOutcome{SigBits: sig, Levels: 1 << sig, Err: b.err}
 			}
 			col, err := sc.runCollected(sw, &seq, o)
 			worst := 1e9

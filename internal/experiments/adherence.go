@@ -108,10 +108,15 @@ func adherenceCombo(sc *sweepScratch, mix adherenceMix, o Options) AdherenceComb
 			PacketLength: combo.PacketLens[i],
 		}
 	}
-	sw := mustSwitch(fig4Config(), ssvcFactory(fig4Radix, fig4SigBits, 0, specs))
+	var b build
+	sw := b.sw(fig4Config(), ssvcFactory(fig4Radix, fig4SigBits, 0, specs))
 	var seq traffic.Sequence
 	for _, s := range specs {
-		mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+		b.add(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+	}
+	if b.err != nil {
+		combo.Err = b.err
+		return combo
 	}
 	col, err := sc.runCollected(sw, &seq, o)
 	combo.Err = err

@@ -53,14 +53,23 @@ func ComposeQoS(o Options) []ComposeOutcome {
 		specs[i] = noc.FlowSpec{Src: c.src, Dst: c.dst,
 			Class: noc.GuaranteedBandwidth, Rate: c.rate, PacketLength: pktLen}
 	}
-	aggregate := map[int]float64{}
+	// aggregate[src] is the summed reservation of src's flows. A dense
+	// slice rather than a map keeps every iteration over it
+	// deterministic (ssvc-lint's determinism invariant).
+	maxSrc := 0
+	for _, c := range contracts {
+		if c.src > maxSrc {
+			maxSrc = c.src
+		}
+	}
+	aggregate := make([]float64, maxSrc+1)
 	for _, c := range contracts {
 		aggregate[c.src] += c.rate
 	}
 
 	evaluate := func(system string, col *stats.Collector, err error) ComposeOutcome {
 		oc := ComposeOutcome{System: system, PerFlowWorst: 1e9, AggregateWorst: 1e9, Err: err}
-		bySrc := map[int]float64{}
+		bySrc := make([]float64, len(aggregate))
 		for _, c := range contracts {
 			got := col.Throughput(stats.FlowKey{Src: c.src, Dst: c.dst, Class: noc.GuaranteedBandwidth})
 			bySrc[c.src] += got
@@ -69,6 +78,9 @@ func ComposeQoS(o Options) []ComposeOutcome {
 			}
 		}
 		for src, sum := range bySrc {
+			if aggregate[src] == 0 {
+				continue
+			}
 			if ratio := sum / aggregate[src]; ratio < oc.AggregateWorst {
 				oc.AggregateWorst = ratio
 			}
@@ -80,10 +92,14 @@ func ComposeQoS(o Options) []ComposeOutcome {
 
 	// Single-stage radix-8 SSVC switch: one crosspoint per flow.
 	singleStage := func() ComposeOutcome {
-		sw := mustSwitch(fig4Config(), ssvcFactory(fig4Radix, fig4SigBits, 0, specs))
+		var b build
+		sw := b.sw(fig4Config(), ssvcFactory(fig4Radix, fig4SigBits, 0, specs))
 		var seq traffic.Sequence
 		for _, s := range specs {
-			mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+			b.add(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+		}
+		if b.err != nil {
+			return ComposeOutcome{System: "SingleStage radix-8 SSVC", Err: b.err}
 		}
 		col, err := runCollected(sw, &seq, o)
 		return evaluate("SingleStage radix-8 SSVC", col, err)
@@ -93,38 +109,44 @@ func ComposeQoS(o Options) []ComposeOutcome {
 	// share the (terminal, uplink) crosspoint, so the leaf's SSVC can
 	// only be programmed with the aggregate Vtick.
 	composed := func() ComposeOutcome {
+		const system = "Composed 2-level Clos (shared crosspoints)"
+		var b build
 		topo, err := compose.TwoLevelClos(2, 4, 1)
-		if err != nil {
-			panic(fmt.Sprintf("experiments: %v", err))
-		}
-		net, err := compose.New(compose.Config{
-			Topology:    topo,
-			BufferFlits: fig4BufFlits,
-			NewArbiter: func(nodeID, port, ports int) arb.Arbiter {
-				// Leaf 0's uplink (port 4) regulates the contended
-				// stage; aggregate reservations per input port.
-				if nodeID == 0 && port == 4 {
-					vticks := make([]uint64, ports)
-					for src, sum := range aggregate {
-						vticks[src] = noc.FlowSpec{Rate: sum, PacketLength: pktLen}.Vtick()
+		b.fail(err)
+		var net *compose.Network
+		if b.err == nil {
+			net, err = compose.New(compose.Config{
+				Topology:    topo,
+				BufferFlits: fig4BufFlits,
+				NewArbiter: func(nodeID, port, ports int) arb.Arbiter {
+					// Leaf 0's uplink (port 4) regulates the contended
+					// stage; aggregate reservations per input port.
+					if nodeID == 0 && port == 4 {
+						vticks := make([]uint64, ports)
+						for src, sum := range aggregate {
+							if sum > 0 && src < ports {
+								vticks[src] = noc.FlowSpec{Rate: sum, PacketLength: pktLen}.Vtick()
+							}
+						}
+						return core.NewSSVC(core.Config{
+							Radix: ports, CounterBits: counterBits, SigBits: 3,
+							Policy: core.SubtractRealTime, Vticks: vticks,
+						})
 					}
-					return core.NewSSVC(core.Config{
-						Radix: ports, CounterBits: counterBits, SigBits: 3,
-						Policy: core.SubtractRealTime, Vticks: vticks,
-					})
-				}
-				return arb.NewLRG(ports)
-			},
-		})
-		if err != nil {
-			panic(fmt.Sprintf("experiments: %v", err))
+					return arb.NewLRG(ports)
+				},
+			})
+			b.fail(err)
 		}
 		var seq traffic.Sequence
 		for _, s := range specs {
-			mustAddFlow(net, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+			b.add(net, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+		}
+		if b.err != nil {
+			return ComposeOutcome{System: system, Err: b.err}
 		}
 		col, err := runCollected(net, &seq, o)
-		return evaluate("Composed 2-level Clos (shared crosspoints)", col, err)
+		return evaluate(system, col, err)
 	}
 
 	// The two fabrics are independent simulations; fan them out.

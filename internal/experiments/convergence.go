@@ -24,6 +24,9 @@ type ConvergenceOutcome struct {
 	// SteadyThroughput is the flow's throughput once converged (last
 	// window).
 	SteadyThroughput float64
+	// Err is set when the switch could not be constructed or the run
+	// froze early.
+	Err error
 }
 
 // Convergence measures how Virtual Clock handles workload transients, the
@@ -53,15 +56,19 @@ func Convergence(o Options) []ConvergenceOutcome {
 	}
 
 	run := func(name string, factory func(int) arb.Arbiter) ConvergenceOutcome {
-		sw := mustSwitch(fig4Config(), factory)
+		var b build
+		sw := b.sw(fig4Config(), factory)
 		var seq traffic.Sequence
 		// The big flow injects nothing until wake-up, then saturates.
-		mustAddFlow(sw, traffic.Flow{Spec: specs[0], Gen: &gatedBacklog{
+		b.add(sw, traffic.Flow{Spec: specs[0], Gen: &gatedBacklog{
 			inner: traffic.NewBacklogged(&seq, specs[0], 4),
 			from:  wake,
 		}})
 		for _, s := range specs[1:] {
-			mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+			b.add(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+		}
+		if b.err != nil {
+			return ConvergenceOutcome{Scheme: name, ConvergenceWindows: -1, Err: b.err}
 		}
 		series := stats.NewSeries(windowLen)
 		sw.OnDeliver(series.OnDeliver)
@@ -69,7 +76,7 @@ func Convergence(o Options) []ConvergenceOutcome {
 		sw.Run(o.total())
 
 		key := stats.FlowKey{Src: 0, Dst: 0, Class: noc.GuaranteedBandwidth}
-		oc := ConvergenceOutcome{Scheme: name, ConvergenceWindows: -1}
+		oc := ConvergenceOutcome{Scheme: name, ConvergenceWindows: -1, Err: sw.Err()}
 		// Idle-phase utilisation, skipping warmup.
 		first := int(o.Warmup/windowLen) + 1
 		lastIdle := int(wake/windowLen) - 1

@@ -44,14 +44,18 @@ func AblationDecoupling(o Options) []DecouplingOutcome {
 		}
 	}
 	run := func(name string, factory func(int) arb.Arbiter) DecouplingOutcome {
-		sw := mustSwitch(fig4Config(), factory)
+		var b build
+		sw := b.sw(fig4Config(), factory)
 		var seq traffic.Sequence
 		// The 1% flow complies with its contract: one 8-flit packet
 		// every 800 cycles.
 		interval := uint64(float64(specs[0].PacketLength) / specs[0].Rate)
-		mustAddFlow(sw, traffic.Flow{Spec: specs[0], Gen: traffic.NewPeriodic(&seq, specs[0], interval, 13)})
+		b.add(sw, traffic.Flow{Spec: specs[0], Gen: traffic.NewPeriodic(&seq, specs[0], interval, 13)})
 		for _, s := range specs[1:] {
-			mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+			b.add(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+		}
+		if b.err != nil {
+			return DecouplingOutcome{Scheme: name, Err: b.err}
 		}
 		col, err := runCollected(sw, &seq, o)
 		lat := func(src int) float64 {

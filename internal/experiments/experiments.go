@@ -122,18 +122,40 @@ func ssvcFactoryBits(radix, ctrBits, sigBits int, policy core.CounterPolicy, spe
 	}
 }
 
-func mustSwitch(cfg switchsim.Config, f func(int) arb.Arbiter) *switchsim.Switch {
-	sw, err := switchsim.New(cfg, f)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
+// build accumulates engine-construction errors so experiment setup can
+// stay linear while threading failures into Outcome.Err instead of
+// panicking: the engines freeze sick on internal violations
+// (fabric.ErrorReporter), and since a setup panic inside a sweep worker
+// would kill the whole pool, setup follows the same discipline
+// (ssvc-lint's panicfreeze invariant). Callers check err once, after
+// the last construction step and before driving the engine.
+type build struct{ err error }
+
+// fail records the first error, tagged with the package prefix.
+func (b *build) fail(err error) {
+	if b.err == nil && err != nil {
+		b.err = fmt.Errorf("experiments: %w", err)
 	}
+}
+
+// sw constructs a crossbar, recording any error; on a prior or current
+// failure the returned switch may be nil and must not be driven.
+func (b *build) sw(cfg switchsim.Config, f func(int) arb.Arbiter) *switchsim.Switch {
+	if b.err != nil {
+		return nil
+	}
+	sw, err := switchsim.New(cfg, f)
+	b.fail(err)
 	return sw
 }
 
-func mustAddFlow(e fabric.Engine, f traffic.Flow) {
-	if err := e.AddFlow(f); err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
+// add attaches a flow to an engine built earlier; after any recorded
+// failure it is a no-op, so construction code needs no per-call checks.
+func (b *build) add(e fabric.Engine, f traffic.Flow) {
+	if b.err != nil || e == nil {
+		return
 	}
+	b.fail(e.AddFlow(f))
 }
 
 // pool returns the worker pool the options select for fanning

@@ -136,7 +136,8 @@ func faultRun(name string, policy core.CounterPolicy, faultSeed uint64, o Option
 		PacketLength: fig4PacketLen,
 	}
 
-	sw := mustSwitch(fig4Config(), func(out int) arb.Arbiter {
+	var b build
+	sw := b.sw(fig4Config(), func(out int) arb.Arbiter {
 		return core.NewSSVC(core.Config{
 			Radix: fig4Radix, CounterBits: fig5CounterBits, SigBits: fig5SigBits,
 			Policy: policy, Vticks: vticksFor(fig4Radix, specs, out),
@@ -145,16 +146,23 @@ func faultRun(name string, policy core.CounterPolicy, faultSeed uint64, o Option
 			GLBurst:  2,
 		})
 	})
-	if err := sw.SetFaults(faults.Config{
-		Seed:        faultSeed,
-		CorruptProb: faultCorruptProb,
-		Stalls:      []faults.StallWindow{{Port: 0, From: stallFrom, Until: stallUntil}},
-		FailStops:   []faults.FailStop{{Input: true, Port: faultFailedInput, At: failAt}},
-	}); err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
+	if sw != nil {
+		b.fail(sw.SetFaults(faults.Config{
+			Seed:        faultSeed,
+			CorruptProb: faultCorruptProb,
+			Stalls:      []faults.StallWindow{{Port: 0, From: stallFrom, Until: stallUntil}},
+			FailStops:   []faults.FailStop{{Input: true, Port: faultFailedInput, At: failAt}},
+		}))
+	}
+	if b.err != nil {
+		return FaultOutcome{Policy: name, RecoveryCycles: -1, Err: b.err}
 	}
 
 	oc := FaultOutcome{Policy: name, RecoveryCycles: -1}
+	// refitErr records a mid-run Vtick redistribution failure; it cannot
+	// stop the simulation from inside the fail-stop hook, so it surfaces
+	// through oc.Err after the run.
+	var refitErr error
 	failed := make([]bool, fig4Radix)
 	sw.OnFailStop(func(now uint64, f faults.FailStop) {
 		if !f.Input {
@@ -173,17 +181,20 @@ func faultRun(name string, policy core.CounterPolicy, faultSeed uint64, o Option
 				})
 			}
 		}
-		if err := sw.Arbiter(0).(*core.SSVC).SetVticks(vticksFor(fig4Radix, newSpecs, 0)); err != nil {
-			panic(fmt.Sprintf("experiments: %v", err))
+		if err := sw.Arbiter(0).(*core.SSVC).SetVticks(vticksFor(fig4Radix, newSpecs, 0)); err != nil && refitErr == nil {
+			refitErr = fmt.Errorf("experiments: %w", err)
 		}
 	})
 
 	var seq traffic.Sequence
 	for _, s := range specs {
-		mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+		b.add(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
 	}
-	mustAddFlow(sw, traffic.Flow{Spec: glSpec, Gen: traffic.NewPeriodic(&seq, glSpec, faultGLEvery, 13)})
-	mustAddFlow(sw, traffic.Flow{Spec: beSpec, Gen: traffic.NewBacklogged(&seq, beSpec, 4)})
+	b.add(sw, traffic.Flow{Spec: glSpec, Gen: traffic.NewPeriodic(&seq, glSpec, faultGLEvery, 13)})
+	b.add(sw, traffic.Flow{Spec: beSpec, Gen: traffic.NewBacklogged(&seq, beSpec, 4)})
+	if b.err != nil {
+		return FaultOutcome{Policy: name, RecoveryCycles: -1, Err: b.err}
+	}
 
 	phases := stats.NewWindowed(o.Warmup, failAt, settledAt, o.total())
 	series := stats.NewSeries(faultSeriesWindow)
@@ -194,6 +205,9 @@ func faultRun(name string, policy core.CounterPolicy, faultSeed uint64, o Option
 	sw.OnRelease(seq.Recycle)
 	sw.Run(o.total())
 	oc.Err = sw.Err()
+	if oc.Err == nil {
+		oc.Err = refitErr
+	}
 	oc.Faults = sw.FaultTotals()
 
 	oc.BeforeMinAdherence = minGBAdherence(phases.Phase(0), rates)

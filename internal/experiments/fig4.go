@@ -73,11 +73,15 @@ func fig4Point(sc *sweepScratch, qos bool, inj float64, o Options) Fig4Point {
 	} else {
 		factory = func(int) arb.Arbiter { return arb.NewLRG(fig4Radix) }
 	}
-	sw := mustSwitch(fig4Config(), factory)
+	var b build
+	sw := b.sw(fig4Config(), factory)
 	var seq traffic.Sequence
 	for i, s := range specs {
 		gen := traffic.NewBernoulli(&seq, s, inj, o.Seed+uint64(i)*7919)
-		mustAddFlow(sw, traffic.Flow{Spec: s, Gen: gen})
+		b.add(sw, traffic.Flow{Spec: s, Gen: gen})
+	}
+	if b.err != nil {
+		return Fig4Point{InjectionRate: inj, PerFlow: make([]float64, fig4Radix), Err: b.err}
 	}
 	col, err := sc.runCollected(sw, &seq, o)
 

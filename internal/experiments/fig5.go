@@ -97,12 +97,17 @@ func fig5Run(sc *sweepScratch, policy string, o Options) fig5Curve {
 	case "Reset":
 		factory = ssvcFactoryBits(fig4Radix, fig5CounterBits, fig5SigBits, core.Reset, specs)
 	default:
-		panic("experiments: unknown Figure 5 policy " + policy)
+		return fig5Curve{lats: make([]float64, len(specs)),
+			err: fmt.Errorf("experiments: unknown Figure 5 policy %q", policy)}
 	}
-	sw := mustSwitch(fig4Config(), factory)
+	var b build
+	sw := b.sw(fig4Config(), factory)
 	var seq traffic.Sequence
 	for _, s := range specs {
-		mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+		b.add(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+	}
+	if b.err != nil {
+		return fig5Curve{lats: make([]float64, len(specs)), err: b.err}
 	}
 	col, err := sc.runCollected(sw, &seq, o)
 	out := make([]float64, len(specs))

@@ -30,6 +30,9 @@ type GLOutcome struct {
 	MeasuredWait  uint64  // worst observed waiting time (enqueue to grant)
 	Holds         bool
 	GLDelivered   uint64
+	// Err is set when the scenario could not be constructed or the run
+	// froze early; Holds is false in that case.
+	Err error
 }
 
 // GLBoundResult aggregates the §3.4 validation scenarios.
@@ -75,7 +78,7 @@ func glBoundRun(sc GLScenario, o Options) GLOutcome {
 		BufferFlits: sc.GLBufferFlits,
 	}
 	if err := params.Validate(); err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
+		return GLOutcome{Scenario: sc, Err: fmt.Errorf("experiments: %w", err)}
 	}
 	out := GLOutcome{Scenario: sc, PredictedWait: params.MaxWait()}
 
@@ -108,11 +111,12 @@ func glBoundRun(sc GLScenario, o Options) GLOutcome {
 	}
 	cfg := fig4Config()
 	cfg.GLBufferFlits = sc.GLBufferFlits
-	sw := mustSwitch(cfg, factory)
+	var b build
+	sw := b.sw(cfg, factory)
 
 	var seq traffic.Sequence
 	for _, s := range gbSpecs {
-		mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+		b.add(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
 	}
 	// GL bursts: every input fills its buffer at the same instants,
 	// several times per run, spaced far enough apart for policing and
@@ -145,7 +149,10 @@ func glBoundRun(sc GLScenario, o Options) GLOutcome {
 				times = append(times, tm)
 			}
 		}
-		mustAddFlow(sw, traffic.Flow{Spec: spec, Gen: traffic.NewTrace(&seq, spec, times)})
+		b.add(sw, traffic.Flow{Spec: spec, Gen: traffic.NewTrace(&seq, spec, times)})
+	}
+	if b.err != nil {
+		return GLOutcome{Scenario: sc, PredictedWait: out.PredictedWait, Err: b.err}
 	}
 
 	sw.OnDeliver(func(p *noc.Packet) {

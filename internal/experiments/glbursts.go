@@ -30,6 +30,9 @@ type GLBurstOutcome struct {
 type GLBurstsResult struct {
 	LMax     int
 	Outcomes []GLBurstOutcome
+	// Err is set when the validation could not be constructed; Outcomes
+	// is empty in that case.
+	Err error
 }
 
 // GLBursts validates the burst-size equations (§3.4, Eqs. 2-3) by
@@ -47,7 +50,7 @@ func GLBursts(o Options) GLBurstsResult {
 	latencies := []float64{120, 240, 480, 960}
 	budgets, err := glbound.BurstSizes(glLen, latencies)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
+		return GLBurstsResult{LMax: glLen, Err: fmt.Errorf("experiments: %w", err)}
 	}
 	res := GLBurstsResult{LMax: glLen}
 
@@ -91,11 +94,12 @@ func GLBursts(o Options) GLBurstsResult {
 	}
 	cfg := fig4Config()
 	cfg.GLBufferFlits = bufFlits
-	sw := mustSwitch(cfg, factory)
+	var b build
+	sw := b.sw(cfg, factory)
 
 	var seq traffic.Sequence
 	for _, s := range gbSpecs[nGL:] {
-		mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+		b.add(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
 	}
 	// Synchronized bursts, spaced far enough apart for the policing
 	// bucket and buffers to recover.
@@ -122,7 +126,10 @@ func GLBursts(o Options) GLBurstsResult {
 				times = append(times, tm)
 			}
 		}
-		mustAddFlow(sw, traffic.Flow{Spec: spec, Gen: traffic.NewTrace(&seq, spec, times)})
+		b.add(sw, traffic.Flow{Spec: spec, Gen: traffic.NewTrace(&seq, spec, times)})
+	}
+	if b.err != nil {
+		return GLBurstsResult{LMax: glLen, Err: b.err}
 	}
 	sw.OnDeliver(func(p *noc.Packet) {
 		if p.Class != noc.GuaranteedLatency {
@@ -166,6 +173,9 @@ func (r GLBurstsResult) Table() *stats.Table {
 
 // AllHold reports whether every constraint held.
 func (r GLBurstsResult) AllHold() bool {
+	if r.Err != nil {
+		return false
+	}
 	for _, oc := range r.Outcomes {
 		if !oc.Holds || oc.Packets == 0 {
 			return false

@@ -20,6 +20,9 @@ type GSFOutcome struct {
 	Utilisation float64 // accepted / effective channel capacity
 	Throttled   uint64  // GSF only: source-throttled admissions
 	Retired     uint64  // GSF only: frames recycled
+	// Err is set when the switch could not be constructed or the run
+	// froze early.
+	Err error
 }
 
 // AblationGSF compares SSVC with the §2.2 frame-based alternative,
@@ -44,10 +47,14 @@ func AblationGSF(o Options) []GSFOutcome {
 
 	run := func(name string, cfg switchsim.Config, factory func(int) arb.Arbiter,
 		ctl *gsf.Controller) GSFOutcome {
-		sw := mustSwitch(cfg, factory)
+		var b build
+		sw := b.sw(cfg, factory)
 		var seq traffic.Sequence
 		for _, s := range specs {
-			mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+			b.add(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+		}
+		if b.err != nil {
+			return GSFOutcome{Scheme: name, Err: b.err}
 		}
 		col := stats.NewCollector(o.Warmup, o.total())
 		sw.OnDeliver(func(p *noc.Packet) {
@@ -58,7 +65,7 @@ func AblationGSF(o Options) []GSFOutcome {
 		})
 		sw.OnRelease(seq.Recycle)
 		sw.Run(o.total())
-		oc := GSFOutcome{Scheme: name, WorstRatio: 1e9}
+		oc := GSFOutcome{Scheme: name, WorstRatio: 1e9, Err: sw.Err()}
 		var total float64
 		for i, r := range rates {
 			got := col.Throughput(stats.FlowKey{Src: i, Dst: 0, Class: noc.GuaranteedBandwidth})

@@ -93,7 +93,8 @@ func Motivation(o Options) []MotivationOutcome {
 	// Single-stage Swizzle Switch with SSVC.
 	swizzleRun := func() MotivationOutcome {
 		flows := specs()
-		sw := mustSwitch(switchsim.Config{
+		var b build
+		sw := b.sw(switchsim.Config{
 			Radix:         nodes,
 			BEBufferFlits: fig4BufFlits,
 			GLBufferFlits: fig4BufFlits,
@@ -101,7 +102,10 @@ func Motivation(o Options) []MotivationOutcome {
 		}, ssvcFactory(nodes, fig4SigBits, 0, flows))
 		var seq traffic.Sequence
 		for _, s := range flows {
-			mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+			b.add(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+		}
+		if b.err != nil {
+			return MotivationOutcome{System: "SwizzleSwitch+SSVC", Err: b.err}
 		}
 		col, err := runCollected(sw, &seq, o)
 		return outcome("SwizzleSwitch+SSVC", col, err)
@@ -109,13 +113,15 @@ func Motivation(o Options) []MotivationOutcome {
 
 	// 4x4 mesh variants.
 	meshRun := func(name string, newArb func() arb.Arbiter) MotivationOutcome {
+		var b build
 		m, err := mesh.New(mesh.Config{Width: 4, Height: 4, BufferFlits: fig4BufFlits, NewArbiter: newArb})
-		if err != nil {
-			panic(fmt.Sprintf("experiments: %v", err))
-		}
+		b.fail(err)
 		var seq traffic.Sequence
 		for _, s := range specs() {
-			mustAddFlow(m, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+			b.add(m, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+		}
+		if b.err != nil {
+			return MotivationOutcome{System: name, Err: b.err}
 		}
 		col, err := runCollected(m, &seq, o)
 		return outcome(name, col, err)

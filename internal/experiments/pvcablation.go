@@ -61,12 +61,16 @@ func AblationPVC(o Options) []PVCOutcome {
 	all := append(append([]noc.FlowSpec(nil), bulk...), urgent)
 
 	run := func(name string, cfg switchsim.Config, factory func(int) arb.Arbiter, urgentSpec noc.FlowSpec) PVCOutcome {
-		sw := mustSwitch(cfg, factory)
+		var b build
+		sw := b.sw(cfg, factory)
 		var seq traffic.Sequence
 		for _, s := range bulk {
-			mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+			b.add(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
 		}
-		mustAddFlow(sw, traffic.Flow{Spec: urgentSpec, Gen: traffic.NewPeriodic(&seq, urgentSpec, 701, 17)})
+		b.add(sw, traffic.Flow{Spec: urgentSpec, Gen: traffic.NewPeriodic(&seq, urgentSpec, 701, 17)})
+		if b.err != nil {
+			return PVCOutcome{Scheme: name, Err: b.err}
+		}
 		col, err := runCollected(sw, &seq, o)
 		oc := PVCOutcome{Scheme: name, Err: err}
 		if f := col.Flow(stats.FlowKey{Src: urgentSpec.Src, Dst: 0, Class: urgentSpec.Class}); f != nil {

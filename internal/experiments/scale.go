@@ -23,6 +23,9 @@ type ScaleResult struct {
 	GLWorstWait      uint64
 	GLBound          float64
 	DeliveredPackets uint64
+	// Err is set when the switch could not be constructed or the run
+	// froze early.
+	Err error
 }
 
 // Scale64 exercises the headline scalability claim (§1: "readily scalable
@@ -89,7 +92,8 @@ func Scale64(o Options) ScaleResult {
 			GLBurst:     glBuf / glLen,
 		})
 	}
-	sw := mustSwitch(switchsim.Config{
+	var b build
+	sw := b.sw(switchsim.Config{
 		Radix:         radix,
 		BEBufferFlits: fig4BufFlits,
 		GLBufferFlits: glBuf,
@@ -98,13 +102,17 @@ func Scale64(o Options) ScaleResult {
 
 	var seq traffic.Sequence
 	for _, s := range specs {
-		mustAddFlow(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
+		b.add(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
 	}
 	var glTimes []uint64
 	for t := o.Warmup; t < o.total(); t += 5000 {
 		glTimes = append(glTimes, t)
 	}
-	mustAddFlow(sw, traffic.Flow{Spec: glSpec, Gen: traffic.NewTrace(&seq, glSpec, glTimes)})
+	b.add(sw, traffic.Flow{Spec: glSpec, Gen: traffic.NewTrace(&seq, glSpec, glTimes)})
+	if b.err != nil {
+		res.Err = b.err
+		return res
+	}
 
 	col := stats.NewCollector(o.Warmup, o.total())
 	sw.OnDeliver(func(p *noc.Packet) {
@@ -120,6 +128,7 @@ func Scale64(o Options) ScaleResult {
 	// recycling keeps its 64-output cycle loop allocation-free instead.
 	sw.OnRelease(seq.Recycle)
 	sw.Run(o.total())
+	res.Err = sw.Err()
 
 	for _, s := range specs[:res.HotspotFlows] {
 		ratio := col.Throughput(stats.FlowKey{Src: s.Src, Dst: s.Dst, Class: s.Class}) / s.Rate

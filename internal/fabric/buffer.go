@@ -52,6 +52,8 @@ func (b *Buffer) Commit(p *noc.Packet) {
 }
 
 // Push appends a packet; the caller must have checked CanAccept.
+//
+//ssvc:hotpath
 func (b *Buffer) Push(p *noc.Packet) {
 	b.pkts = append(b.pkts, p)
 	b.flits += p.Length
@@ -76,6 +78,8 @@ func (b *Buffer) Head() *noc.Packet {
 }
 
 // Pop removes and returns the oldest packet, or nil.
+//
+//ssvc:hotpath
 func (b *Buffer) Pop() *noc.Packet {
 	if b.head >= len(b.pkts) {
 		return nil

@@ -290,6 +290,8 @@ func entryPort(out Port) Port {
 // Step advances one cycle: fault scheduling, injection, in-flight
 // transfers, then per-output arbitration at every router. After a
 // terminal error, Step is a no-op.
+//
+//ssvc:hotpath
 func (m *Mesh) Step() {
 	if m.err != nil {
 		return
@@ -321,6 +323,7 @@ func (m *Mesh) Run(n uint64) {
 	}
 }
 
+//ssvc:hotpath
 func (m *Mesh) inject(now uint64) {
 	m.Injected += m.sources.Generate(now)
 	try := func(p *noc.Packet) bool {
@@ -394,6 +397,8 @@ func (m *Mesh) abortTx(r *router, out Port) {
 // a corrupted packet is NACKed back to the head of the upstream input
 // buffer (its downstream reservation released) or dropped once its
 // retry budget is spent.
+//
+//ssvc:hotpath
 func (m *Mesh) transfer(now uint64) {
 	for _, r := range m.routers {
 		for out := Port(0); out < numPorts; out++ {
@@ -441,6 +446,8 @@ func (m *Mesh) transfer(now uint64) {
 // this cycle is cooling down and spends the cycle on arbitration only, so
 // every hop pays the one-cycle arbitration overhead of the switch model
 // (L-flit packets occupy a link for L+1 cycles).
+//
+//ssvc:hotpath
 func (m *Mesh) arbitrate(now uint64) {
 	for _, r := range m.routers {
 		if m.err != nil {
@@ -504,6 +511,7 @@ func (m *Mesh) arbitrate(now uint64) {
 			in := Port(req.Input)
 			p := r.in[in].Pop()
 			if p != req.Packet {
+				//ssvc:coldpath the engine freezes sick here, so this error path may allocate
 				head := "empty queue"
 				if p != nil {
 					head = fmt.Sprintf("packet %d", p.ID)

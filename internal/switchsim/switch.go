@@ -235,6 +235,8 @@ func (s *Switch) BufferOccupancy(i int, class noc.Class, dst int) int {
 // Step advances the simulation one cycle: fault scheduling, generation,
 // admission, output channel processing (data or arbitration), then
 // arbiter clock ticks. After a terminal error, Step is a no-op.
+//
+//ssvc:hotpath
 func (s *Switch) Step() {
 	if s.err != nil {
 		return
@@ -269,6 +271,8 @@ func (s *Switch) Run(n uint64) {
 // corresponding class buffer, rotating across the input's flows for
 // fairness (fabric.Sources owns the rotation). Arrival observers
 // (original Virtual Clock, WFQ) stamp the packet here.
+//
+//ssvc:hotpath
 func (s *Switch) admit(now uint64) {
 	try := func(p *noc.Packet) bool {
 		// Packets from a fail-stopped input or toward a fail-stopped
@@ -304,6 +308,8 @@ func (s *Switch) admit(now uint64) {
 // flit of its in-flight packet or spends the cycle arbitrating, never
 // both — which is exactly the paper's one-cycle arbitration overhead
 // (L-flit packets achieve at most L/(L+1) flits/cycle without chaining).
+//
+//ssvc:hotpath
 func (s *Switch) serveOutputs(now uint64) {
 	// Snapshot each input's offer before any grants this cycle, so an
 	// input freed by a completion at one output cannot be granted at
@@ -368,6 +374,8 @@ func (s *Switch) serveOutputs(now uint64) {
 // packet; on preemption the challenger is granted immediately (the
 // preemption cycle doubles as its arbitration cycle) and the victim is
 // NACKed to the head of its queue for full retransmission.
+//
+//ssvc:hotpath
 func (s *Switch) tryPreempt(out *outputPort, now uint64) bool {
 	pre := out.pre
 	reqs := s.arbReqs[:0]
@@ -401,6 +409,8 @@ func (s *Switch) tryPreempt(out *outputPort, now uint64) bool {
 // the completed packet: a corrupted packet is NACKed back to the head of
 // its input queue for backoff-and-retry, or dropped once its retry
 // budget is spent. Either way the channel cycles it consumed are wasted.
+//
+//ssvc:hotpath
 func (s *Switch) transfer(out *outputPort, now uint64) {
 	s.DataCycles++
 	tx := out.tx
@@ -437,6 +447,8 @@ func (s *Switch) transfer(out *outputPort, now uint64) {
 // arbitration cycle is elided. All requesters compete through the normal
 // arbiter, so class priority, reservations, and tie-breaking are exactly
 // as in a dedicated cycle — chaining buys throughput, never ordering.
+//
+//ssvc:hotpath
 func (s *Switch) tryChain(out *outputPort, now uint64) {
 	reqs := s.arbReqs[:0]
 	for _, in := range s.inputs {
@@ -458,11 +470,14 @@ func (s *Switch) tryChain(out *outputPort, now uint64) {
 // grant commits a packet to the output channel. Data moves starting next
 // cycle; chained grants reuse the current data cycle's tail, preserving
 // back-to-back transmission.
+//
+//ssvc:hotpath
 func (s *Switch) grant(out *outputPort, now uint64, req arb.Request, chained bool) {
 	in := s.inputs[req.Input]
 	buf := in.bufferFor(req.Class, out.id)
 	p := buf.Pop()
 	if p != req.Packet {
+		//ssvc:coldpath the engine freezes sick here, so this error path may allocate
 		// A grant must match the queue head the offer was built from. A
 		// mismatch means simulator state is corrupt; freeze the engine
 		// with a descriptive error instead of killing the whole sweep
