@@ -31,7 +31,7 @@ vet:
 # discipline, and panic-freeze on engine paths. Exceptions live in
 # lint.allow with a justification each.
 lint:
-	$(GO) run ./cmd/ssvc-lint ./...
+	$(GO) run ./cmd/ssvc-lint -strict ./...
 
 # Rerun the steady-state *CycleRecycled benchmarks and fail if B/op or
 # allocs/op regress past the BENCH_baseline.json "after" values.

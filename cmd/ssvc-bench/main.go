@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"swizzleqos/internal/experiments"
+	"swizzleqos/internal/noc"
 	"swizzleqos/internal/stats"
 )
 
@@ -90,10 +91,10 @@ func benchMain(args []string, stdout, stderr io.Writer) int {
 		o = experiments.Quick()
 	}
 	if *cycles != 0 {
-		o.Cycles = *cycles
+		o.Cycles = noc.CycleOf(*cycles)
 	}
 	if *warmup != 0 {
-		o.Warmup = *warmup
+		o.Warmup = noc.CycleOf(*warmup)
 	}
 	o.Seed = *seed
 	o.Workers = *workers

@@ -1,18 +1,23 @@
 // Command ssvc-lint enforces the repository's simulator invariants at
 // the source level: determinism of everything feeding golden tables,
 // allocation-freedom of //ssvc:hotpath functions (cross-checked against
-// go build -gcflags=-m), free-list recycle discipline, and
-// freeze-sick-instead-of-panic error handling. See internal/analysis
-// and the "Invariants" section of DESIGN.md.
+// go build -gcflags=-m), free-list recycle discipline,
+// freeze-sick-instead-of-panic error handling, counter-safety of
+// unsigned arithmetic (CFG/dataflow-backed guard tracking for
+// subtraction, plus narrowing, over-shift, and wrap-dead comparisons),
+// and the noc.Cycle/noc.VTime time-unit discipline. See
+// internal/analysis and the "Invariants" section of DESIGN.md.
 //
 // Usage:
 //
-//	ssvc-lint [-root dir] [-allow file] [packages]
+//	ssvc-lint [-root dir] [-allow file] [-strict] [packages]
 //
 // The package argument is accepted for familiarity (`ssvc-lint ./...`)
 // but the tool always analyzes the rule-defined package sets of the
 // enclosing module. It prints one `file:line: [analyzer] message` per
-// finding and exits 1 if any survive the allowlist.
+// finding and exits 1 if any survive the allowlist. Allowlist entries
+// that suppressed nothing are warnings by default; -strict (the CI
+// mode) makes them failures, so lint.allow cannot rot.
 package main
 
 import (
@@ -33,6 +38,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	root := fs.String("root", "", "module root (default: nearest go.mod above the working directory)")
 	allowPath := fs.String("allow", "", "allowlist file (default: <root>/lint.allow)")
+	strict := fs.Bool("strict", false, "treat unused allowlist entries as failures")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -57,14 +63,27 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stderr, "ssvc-lint:", err)
 		return 2
 	}
-	for _, e := range allow.Unused() {
-		fmt.Fprintf(stderr, "ssvc-lint: warning: unused allowlist entry: %s %s\n", e.Analyzer, e.File)
+	unused := allow.Unused()
+	for _, e := range unused {
+		kind := "warning"
+		if *strict {
+			kind = "error"
+		}
+		loc := e.File
+		if e.Line > 0 {
+			loc = fmt.Sprintf("%s:%d", e.File, e.Line)
+		}
+		fmt.Fprintf(stderr, "ssvc-lint: %s: unused allowlist entry: %s %s\n", kind, e.Analyzer, loc)
 	}
 	for _, d := range diags {
 		fmt.Fprintln(stdout, d)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "ssvc-lint: %d invariant violation(s)\n", len(diags))
+		return 1
+	}
+	if *strict && len(unused) > 0 {
+		fmt.Fprintf(stderr, "ssvc-lint: %d stale allowlist entr(y/ies) under -strict\n", len(unused))
 		return 1
 	}
 	return 0

@@ -88,8 +88,8 @@ func analyse(r io.Reader, w io.Writer) error {
 		}
 		col.OnDeliver(&noc.Packet{
 			ID: rec.ID, Src: rec.Src, Dst: rec.Dst, Class: class, Length: rec.Length,
-			CreatedAt: rec.Created, EnqueuedAt: rec.Enqueued,
-			GrantedAt: rec.Granted, DeliveredAt: rec.Delivered,
+			CreatedAt: noc.CycleOf(rec.Created), EnqueuedAt: noc.CycleOf(rec.Enqueued),
+			GrantedAt: noc.CycleOf(rec.Granted), DeliveredAt: noc.CycleOf(rec.Delivered),
 		})
 		if rec.Delivered > last {
 			last = rec.Delivered
@@ -102,7 +102,7 @@ func analyse(r io.Reader, w io.Writer) error {
 	if lines == 0 {
 		return fmt.Errorf("no packet records")
 	}
-	col.Close(last + 1)
+	col.Close(noc.CycleOf(last + 1))
 
 	t := stats.NewTable(
 		fmt.Sprintf("packet log: %d packets over %d cycles", col.TotalPackets(), col.Window()),

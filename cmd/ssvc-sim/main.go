@@ -164,8 +164,8 @@ func run(path, pktLog string) error {
 			_ = enc.Encode(packetRecord{
 				ID: p.ID, Src: p.Src, Dst: p.Dst,
 				Class: p.Class.String(), Length: p.Length,
-				Created: p.CreatedAt, Enqueued: p.EnqueuedAt,
-				Granted: p.GrantedAt, Delivered: p.DeliveredAt,
+				Created: p.CreatedAt.Uint(), Enqueued: p.EnqueuedAt.Uint(),
+				Granted: p.GrantedAt.Uint(), Delivered: p.DeliveredAt.Uint(),
 			})
 		})
 	}
@@ -173,9 +173,9 @@ func run(path, pktLog string) error {
 	if measure == 0 {
 		measure = 100000
 	}
-	net.Run(warmup)
+	net.Run(swizzleqos.CycleOf(warmup))
 	net.StartMeasurement()
-	net.Run(measure)
+	net.Run(swizzleqos.CycleOf(measure))
 	rep := net.Report()
 	fmt.Print(rep.Table())
 	fmt.Printf("total packets delivered: %d\n", rep.TotalPackets())
@@ -250,11 +250,15 @@ func (in inject) build() (swizzleqos.Injection, error) {
 		}
 		return swizzleqos.Inject.Bursty(in.Rate, mb, in.Seed), nil
 	case "periodic":
-		return swizzleqos.Inject.Periodic(in.Interval, in.Offset), nil
+		return swizzleqos.Inject.Periodic(swizzleqos.CycleOf(in.Interval), swizzleqos.CycleOf(in.Offset)), nil
 	case "backlogged":
 		return swizzleqos.Inject.Backlogged(in.Depth), nil
 	case "trace":
-		return swizzleqos.Inject.Trace(in.Times...), nil
+		times := make([]swizzleqos.Cycle, len(in.Times))
+		for i, t := range in.Times {
+			times[i] = swizzleqos.CycleOf(t)
+		}
+		return swizzleqos.Inject.Trace(times...), nil
 	}
 	return swizzleqos.Injection{}, fmt.Errorf("unknown injection kind %q", in.Kind)
 }

@@ -60,8 +60,8 @@ func main() {
 			Inject: swizzleqos.Inject.Backlogged(4),
 		})
 	}
-	var burst []uint64
-	for t := uint64(10_000); t < 200_000; t += 10_000 {
+	var burst []swizzleqos.Cycle
+	for t := swizzleqos.CycleOf(10_000); t < 200_000; t += 10_000 {
 		for k := 0; k < glBufFlits/glLen; k++ {
 			burst = append(burst, t)
 		}
@@ -82,7 +82,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var worst uint64
+	var worst swizzleqos.Cycle
 	var count int
 	net.OnDeliver(func(p *swizzleqos.Packet) {
 		if p.Class != swizzleqos.GuaranteedLatency {
@@ -96,7 +96,7 @@ func main() {
 	net.Run(210_000)
 
 	fmt.Printf("\nmeasured: %d GL packets, worst waiting time %d cycles\n", count, worst)
-	if float64(worst) <= params.MaxWait() {
+	if float64(worst.Uint()) <= params.MaxWait() {
 		fmt.Println("bound holds: measured worst case is within tau_GL")
 	} else {
 		fmt.Println("BOUND VIOLATED — this should never happen")

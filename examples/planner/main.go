@@ -64,14 +64,14 @@ func main() {
 		ws = append(ws, swizzleqos.Workload{
 			Spec: swizzleqos.FlowSpec{Src: g.Src, Dst: g.Dst,
 				Class: swizzleqos.GuaranteedLatency, Rate: 0.05, PacketLength: g.PacketLength},
-			Inject: swizzleqos.Inject.Periodic(4000, uint64(1000*g.Src)),
+			Inject: swizzleqos.Inject.Periodic(4000, swizzleqos.CycleOf(uint64(1000*g.Src))),
 		})
 	}
 	net, err := swizzleqos.NewPlanned(plan, ws...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var worstGLWait uint64
+	var worstGLWait swizzleqos.Cycle
 	net.OnDeliver(func(p *swizzleqos.Packet) {
 		if p.Class == swizzleqos.GuaranteedLatency {
 			if w := p.WaitingTime(); w > worstGLWait {
@@ -95,7 +95,7 @@ func main() {
 	}
 	tau := plan.Outputs[15].WorstGLWait
 	status := "ok"
-	if float64(worstGLWait) > tau {
+	if float64(worstGLWait.Uint()) > tau {
 		status = "VIOLATED"
 	}
 	fmt.Printf("  GL worst wait %d cycles vs tau_GL %.0f  %s\n", worstGLWait, tau, status)

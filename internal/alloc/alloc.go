@@ -88,7 +88,7 @@ type OutputPlan struct {
 	// GLReserved, GLVtick, GLBurst program the shared GL budget; zero
 	// values when no GL flow targets this output.
 	GLReserved float64
-	GLVtick    uint64
+	GLVtick    core.VTime
 	GLBurst    int
 	// GLBufferFlits is the minimum per-input GL buffer depth implied by
 	// the flows' burst requirements.
@@ -370,14 +370,14 @@ func (p *Plan) SSVCConfig(output int) core.Config {
 		CounterBits: p.CounterBits,
 		SigBits:     p.SigBits,
 		Policy:      p.Policy,
-		Vticks:      make([]uint64, p.Radix),
+		Vticks:      make([]core.VTime, p.Radix),
 		EnableGL:    p.Lanes.GLLanes > 0,
 	}
 	if op != nil {
 		// The simulator's clock is one cycle per tick; scale coarsened
 		// Vticks back to cycles.
 		for i, v := range op.Vticks {
-			cfg.Vticks[i] = v * op.Granularity
+			cfg.Vticks[i] = noc.VTimeOf(v * op.Granularity)
 		}
 		cfg.GLVtick = op.GLVtick
 		cfg.GLBurst = op.GLBurst

@@ -1,0 +1,370 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// CounterSafety flags the arithmetic bug class behind the PR 1 glbound
+// underflow: operations on unsigned counters (raw uint64 and the
+// noc.Cycle / noc.VTime domains) that can silently wrap or truncate.
+//
+// Four rules:
+//
+//  1. Unguarded subtraction: `a - b` (or `a -= b`) on an unsigned type
+//     with no dominating guard proving a >= b. The guard is tracked
+//     path-sensitively through the CFG (cfg.go, dataflow.go), so
+//     `if a < b { return 0 }; return a - b` — the shape of noc.SatSub —
+//     passes, as do guards established by loop conditions, &&-chains,
+//     negations, and tagless switch cases. Constant reasoning covers
+//     `x > 0` justifying `x - 1`, subtraction from a type's maximum
+//     value, and the `1<<k - 1` mask idiom.
+//  2. Narrowing conversion: a non-constant 64-bit unsigned value
+//     converted to an integer type narrower than 64 bits ('int' and
+//     'uint' count as 64-bit; the simulator only targets 64-bit
+//     platforms).
+//  3. Over-shift: shifting by a constant at least as large as the
+//     operand's bit width, which always yields zero (use noc.SatShl for
+//     variable shifts).
+//  4. Wrap-dead comparison: an unsigned expression compared against
+//     zero with < or >= (e.g. `x - y < 0`), which unsigned wrap makes
+//     constant-valued.
+//
+// The sanctioned escape hatches are the saturating helpers in
+// internal/noc (SatSub, SatAdd, SatShl) — their own bodies pass rule 1
+// because they carry the guards the analyzer looks for.
+func CounterSafety(l *Loader, packages []string) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, rel := range packages {
+		ip := l.Module
+		if rel != "" && rel != "." {
+			ip = l.Module + "/" + rel
+		}
+		pkg, err := l.Load(ip)
+		if err != nil {
+			return nil, err
+		}
+		for _, file := range pkg.Files {
+			diags = append(diags, counterExprChecks(l, pkg, file)...)
+			for _, body := range functionBodies(file) {
+				diags = append(diags, unguardedSubs(l, pkg, body)...)
+			}
+		}
+	}
+	return diags, nil
+}
+
+// functionBodies returns every function body in the file — declarations
+// and literals — each analyzed as its own CFG. A literal's body sees
+// none of the enclosing function's guard facts (conservative: the
+// literal may run at any time).
+func functionBodies(file *ast.File) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				bodies = append(bodies, n.Body)
+			}
+		case *ast.FuncLit:
+			bodies = append(bodies, n.Body)
+		}
+		return true
+	})
+	return bodies
+}
+
+// unguardedSubs applies rule 1 to one function body: build the CFG,
+// compute must-hold guard facts per block, then replay each block
+// checking every subtraction against the facts in force at that point.
+func unguardedSubs(l *Loader, pkg *Package, body *ast.BlockStmt) []Diagnostic {
+	g := buildCFG(body)
+	in := guardFactsIn(g, pkg.Info)
+	var diags []Diagnostic
+	for _, blk := range g.blocks {
+		fs := in[blk.index]
+		if fs == nil {
+			continue // unreachable
+		}
+		fs = cloneFacts(fs)
+		for _, n := range blk.nodes {
+			walkNode(n, func(m ast.Node) {
+				switch m := m.(type) {
+				case *ast.BinaryExpr:
+					if m.Op == token.SUB {
+						if d, ok := checkSub(l, pkg, fs, m, m.X, m.Y); ok {
+							diags = append(diags, d)
+						}
+					}
+				case *ast.AssignStmt:
+					if m.Tok == token.SUB_ASSIGN {
+						if d, ok := checkSub(l, pkg, fs, m, m.Lhs[0], m.Rhs[0]); ok {
+							diags = append(diags, d)
+						}
+					}
+				}
+			})
+			applyNodeKills(fs, n)
+		}
+	}
+	return diags
+}
+
+// checkSub decides whether the subtraction x - y (at node n) needs a
+// diagnostic given the facts in force.
+func checkSub(l *Loader, pkg *Package, fs factSet, n ast.Node, x, y ast.Expr) (Diagnostic, bool) {
+	t := exprType(pkg, x)
+	if t == nil || !isUnsignedInt(t) {
+		return Diagnostic{}, false
+	}
+	// A constant result is checked by the compiler.
+	if be, ok := n.(ast.Expr); ok && constVal(pkg, be) != nil {
+		return Diagnostic{}, false
+	}
+	yv := constVal(pkg, y)
+	if yv != nil && constant.Sign(yv) == 0 {
+		return Diagnostic{}, false // x - 0
+	}
+	// Subtracting from the type's maximum cannot wrap.
+	if xv := constVal(pkg, x); xv != nil {
+		if w := bitWidth(t); w > 0 && constant.Compare(xv, token.EQL, maxOfWidth(w)) {
+			return Diagnostic{}, false
+		}
+	}
+	// The `1<<k - 1` mask idiom: a shift of a positive constant base is
+	// at least 1 whenever it is meaningful, so subtracting 1 holds.
+	if sh, ok := unparen(x).(*ast.BinaryExpr); ok && sh.Op == token.SHL && yv != nil &&
+		constant.Compare(yv, token.EQL, constant.MakeInt64(1)) {
+		if bv := constVal(pkg, sh.X); bv != nil && constant.Sign(bv) > 0 {
+			return Diagnostic{}, false
+		}
+	}
+	xs, ys := types.ExprString(x), types.ExprString(y)
+	// Exact dominating guard: x >= y (or stronger) on every path here.
+	if _, ok := fs[guardFact{a: xs, b: ys}.key()]; ok {
+		return Diagnostic{}, false
+	}
+	// Constant guard: a fact x >= c1 (or x > c1) with c1 >= y's value
+	// (c1+1 >= it when strict).
+	if yv != nil {
+		for _, f := range fs {
+			if f.a != xs || f.bVal == nil {
+				continue
+			}
+			bound := f.bVal
+			if f.strict {
+				bound = constant.BinaryOp(bound, token.ADD, constant.MakeInt64(1))
+			}
+			if constant.Compare(bound, token.GEQ, yv) {
+				return Diagnostic{}, false
+			}
+		}
+	}
+	file, line := l.Rel(n.Pos())
+	return Diagnostic{
+		File: file, Line: line, Analyzer: "countersafety",
+		Message: fmt.Sprintf("unsigned subtraction %s - %s may wrap below zero: no dominating %s >= %s guard on some path; guard it or use noc.SatSub",
+			xs, ys, xs, ys),
+	}, true
+}
+
+// counterExprChecks applies the context-free rules 2-4 to a whole file.
+func counterExprChecks(l *Loader, pkg *Package, file *ast.File) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		f, line := l.Rel(pos)
+		diags = append(diags, Diagnostic{
+			File: f, Line: line, Analyzer: "countersafety",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Rule 2: narrowing conversion of a 64-bit unsigned value.
+			tv, ok := pkg.Info.Types[n.Fun]
+			if !ok || !tv.IsType() || len(n.Args) != 1 {
+				return true
+			}
+			src := exprType(pkg, n.Args[0])
+			if src == nil || constVal(pkg, n.Args[0]) != nil {
+				return true // constant conversions are compiler-checked
+			}
+			dst := tv.Type
+			if isUnsignedInt(src) && bitWidth(src) == 64 && isInteger(dst) {
+				if w := bitWidth(dst); w > 0 && w < 64 {
+					report(n.Pos(), "narrowing conversion %s truncates a 64-bit counter to %d bits",
+						types.ExprString(n), w)
+				}
+			}
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.SHL, token.SHR:
+				// Rule 3: constant shift >= bit width.
+				diags = append(diags, overShift(l, pkg, n.X, n.Y, n.Pos())...)
+			case token.LSS, token.GEQ:
+				// Rule 4: unsigned < 0 / unsigned >= 0.
+				if isDeadZeroCompare(pkg, n.X, n.Y) {
+					report(n.Pos(), "comparison %s is decided by unsigned wrap: an unsigned value is never negative",
+						types.ExprString(n))
+				}
+			case token.GTR, token.LEQ:
+				// Mirrored spelling: 0 > x / 0 <= x.
+				if isDeadZeroCompare(pkg, n.Y, n.X) {
+					report(n.Pos(), "comparison %s is decided by unsigned wrap: an unsigned value is never negative",
+						types.ExprString(n))
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.SHL_ASSIGN || n.Tok == token.SHR_ASSIGN {
+				diags = append(diags, overShift(l, pkg, n.Lhs[0], n.Rhs[0], n.Pos())...)
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+func overShift(l *Loader, pkg *Package, x, k ast.Expr, pos token.Pos) []Diagnostic {
+	if constVal(pkg, x) != nil {
+		return nil // constant shifts are compiler-checked
+	}
+	kv := constVal(pkg, k)
+	if kv == nil {
+		return nil // variable shifts are noc.SatShl's job
+	}
+	t := exprType(pkg, x)
+	if t == nil || !isInteger(t) {
+		return nil
+	}
+	w := bitWidth(t)
+	if amt, ok := constant.Uint64Val(kv); ok && w > 0 && amt >= uint64(w) {
+		f, line := l.Rel(pos)
+		return []Diagnostic{{
+			File: f, Line: line, Analyzer: "countersafety",
+			Message: fmt.Sprintf("shift of a %d-bit value by %d always discards every bit; use noc.SatShl or a smaller constant", w, amt),
+		}}
+	}
+	return nil
+}
+
+// isDeadZeroCompare reports whether e is a non-constant unsigned
+// expression and z is the constant zero.
+func isDeadZeroCompare(pkg *Package, e, z ast.Expr) bool {
+	zv := constVal(pkg, z)
+	if zv == nil || constant.Sign(zv) != 0 {
+		return false
+	}
+	if constVal(pkg, e) != nil {
+		return false
+	}
+	t := exprType(pkg, e)
+	return t != nil && isUnsignedInt(t)
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func exprType(pkg *Package, e ast.Expr) types.Type {
+	tv, ok := pkg.Info.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+func constVal(pkg *Package, e ast.Expr) constant.Value {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return nil
+	}
+	return constant.ToInt(tv.Value)
+}
+
+// isUnsignedInt reports whether t is an unsigned integer type,
+// including named types (noc.Cycle, noc.VTime) and type parameters
+// whose constraint admits only unsigned terms (noc.Counter).
+func isUnsignedInt(t types.Type) bool {
+	t = types.Unalias(t)
+	if tp, ok := t.(*types.TypeParam); ok {
+		return typeParamAllUnsigned(tp)
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsUnsigned != 0
+}
+
+func isInteger(t types.Type) bool {
+	t = types.Unalias(t)
+	if tp, ok := t.(*types.TypeParam); ok {
+		return typeParamAllUnsigned(tp)
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func typeParamAllUnsigned(tp *types.TypeParam) bool {
+	iface, ok := tp.Constraint().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	seen := false
+	for i := 0; i < iface.NumEmbeddeds(); i++ {
+		switch et := iface.EmbeddedType(i).(type) {
+		case *types.Union:
+			for j := 0; j < et.Len(); j++ {
+				b, ok := et.Term(j).Type().Underlying().(*types.Basic)
+				if !ok || b.Info()&types.IsUnsigned == 0 {
+					return false
+				}
+				seen = true
+			}
+		default:
+			b, ok := et.Underlying().(*types.Basic)
+			if !ok || b.Info()&types.IsUnsigned == 0 {
+				return false
+			}
+			seen = true
+		}
+	}
+	return seen
+}
+
+// bitWidth returns the width of an integer type in bits; int, uint and
+// uintptr count as 64 (the simulator targets 64-bit platforms). Type
+// parameters are counters (~uint64), hence 64.
+func bitWidth(t types.Type) int {
+	t = types.Unalias(t)
+	if _, ok := t.(*types.TypeParam); ok {
+		return 64
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return 0
+	}
+	switch b.Kind() {
+	case types.Int8, types.Uint8:
+		return 8
+	case types.Int16, types.Uint16:
+		return 16
+	case types.Int32, types.Uint32:
+		return 32
+	case types.Int, types.Int64, types.Uint, types.Uint64, types.Uintptr:
+		return 64
+	}
+	return 0
+}
+
+func maxOfWidth(w int) constant.Value {
+	one := constant.MakeInt64(1)
+	return constant.BinaryOp(constant.Shift(one, token.SHL, uint(w)), token.SUB, one)
+}

@@ -1,0 +1,309 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// This file is the forward must-dataflow pass over the CFG of cfg.go.
+// The facts are order guards — "a >= b holds here" — harvested from
+// branch-condition edges and intersected at joins, so a fact survives
+// only when it holds on every path into a block. countersafety.go asks
+// the resulting fact sets whether an unsigned subtraction is dominated
+// by a guard proving it cannot wrap.
+//
+// Known approximations, all in the noisy-but-safe direction except the
+// last two:
+//
+//   - Kills are by identifier: assigning to any identifier mentioned in
+//     a fact (including selector roots, so `s.base = x` kills every
+//     fact about `s`) drops the fact. Coarse, but only ever loses
+//     information.
+//   - Taking a variable's address anywhere in a statement kills facts
+//     mentioning it, since the callee may mutate it.
+//   - Facts may mention call results (e.g. `o.total() >= gap`); an
+//     impure callee could return a different value at the use site.
+//   - A method call on a pointer receiver may mutate the receiver
+//     without the receiver's facts being killed.
+
+// guardFact records that a >= b must hold (a > b when strict). Sides
+// are canonical source renderings from types.ExprString; bVal carries
+// b's constant value when it has one, enabling `x > 0` to justify
+// `x - 1`.
+type guardFact struct {
+	a, b   string
+	strict bool
+	bVal   constant.Value
+	idents map[string]bool // identifiers mentioned by either side
+}
+
+func (f guardFact) key() string {
+	k := f.a + "\x00" + f.b
+	if f.strict {
+		k += "\x00>"
+	}
+	return k
+}
+
+// factSet is a must-hold set of guard facts keyed by guardFact.key.
+// nil means "unvisited" (top of the lattice), distinct from the empty
+// set.
+type factSet map[string]guardFact
+
+func cloneFacts(fs factSet) factSet {
+	out := make(factSet, len(fs))
+	for k, f := range fs {
+		out[k] = f
+	}
+	return out
+}
+
+func intersectFacts(a, b factSet) factSet {
+	out := factSet{}
+	for k, f := range a {
+		if _, ok := b[k]; ok {
+			out[k] = f
+		}
+	}
+	return out
+}
+
+// addFact inserts a >= b (strict: a > b, which also implies the
+// non-strict fact, inserted as its own entry so plain key intersection
+// keeps the weaker fact when paths disagree on strictness).
+func addFact(info *types.Info, fs factSet, a, b ast.Expr, strict bool) {
+	f := guardFact{
+		a:      types.ExprString(a),
+		b:      types.ExprString(b),
+		strict: strict,
+		idents: map[string]bool{},
+	}
+	if tv, ok := info.Types[b]; ok && tv.Value != nil {
+		f.bVal = constant.ToInt(tv.Value)
+	}
+	collectIdents(a, f.idents)
+	collectIdents(b, f.idents)
+	fs[f.key()] = f
+	if strict {
+		weak := f
+		weak.strict = false
+		fs[weak.key()] = weak
+	}
+}
+
+func collectIdents(e ast.Expr, into map[string]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			into[id.Name] = true
+		}
+		return true
+	})
+}
+
+// addEdgeFacts decomposes a branch condition known to evaluate to
+// branch into guard facts: comparisons normalize to >= / >, true
+// conjunctions and false disjunctions recurse into both operands, and
+// negation flips the edge sense.
+func addEdgeFacts(info *types.Info, cond ast.Expr, branch bool, fs factSet) {
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		addEdgeFacts(info, c.X, branch, fs)
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			addEdgeFacts(info, c.X, !branch, fs)
+		}
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			if branch {
+				addEdgeFacts(info, c.X, true, fs)
+				addEdgeFacts(info, c.Y, true, fs)
+			}
+		case token.LOR:
+			if !branch {
+				addEdgeFacts(info, c.X, false, fs)
+				addEdgeFacts(info, c.Y, false, fs)
+			}
+		case token.GEQ: // x >= y | ¬ ⇒ y > x
+			if branch {
+				addFact(info, fs, c.X, c.Y, false)
+			} else {
+				addFact(info, fs, c.Y, c.X, true)
+			}
+		case token.GTR: // x > y | ¬ ⇒ y >= x
+			if branch {
+				addFact(info, fs, c.X, c.Y, true)
+			} else {
+				addFact(info, fs, c.Y, c.X, false)
+			}
+		case token.LEQ: // x <= y ⇒ y >= x | ¬ ⇒ x > y
+			if branch {
+				addFact(info, fs, c.Y, c.X, false)
+			} else {
+				addFact(info, fs, c.X, c.Y, true)
+			}
+		case token.LSS: // x < y ⇒ y > x | ¬ ⇒ x >= y
+			if branch {
+				addFact(info, fs, c.Y, c.X, true)
+			} else {
+				addFact(info, fs, c.X, c.Y, false)
+			}
+		case token.EQL:
+			if branch {
+				addFact(info, fs, c.X, c.Y, false)
+				addFact(info, fs, c.Y, c.X, false)
+			}
+		case token.NEQ:
+			if !branch {
+				addFact(info, fs, c.X, c.Y, false)
+				addFact(info, fs, c.Y, c.X, false)
+			}
+		}
+	}
+}
+
+// applyNodeKills drops the facts a statement may invalidate: facts
+// mentioning an assigned identifier (or the root of an assigned
+// selector/index chain), an inc/dec target, a range key/value, a
+// declared name, or any identifier whose address is taken within the
+// node.
+func applyNodeKills(fs factSet, n ast.Node) {
+	names := map[string]bool{}
+	killAll := false
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		for _, l := range s.Lhs {
+			if lvalRoots(l, names) {
+				killAll = true
+			}
+		}
+	case *ast.IncDecStmt:
+		if lvalRoots(s.X, names) {
+			killAll = true
+		}
+	case *ast.RangeStmt:
+		if s.Key != nil && lvalRoots(s.Key, names) {
+			killAll = true
+		}
+		if s.Value != nil && lvalRoots(s.Value, names) {
+			killAll = true
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						names[name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	// Address-of anywhere in the node hands the variable to code that
+	// may mutate it.
+	walkNode(n, func(m ast.Node) {
+		if u, ok := m.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			collectIdents(u.X, names)
+		}
+	})
+	if killAll {
+		clear(fs)
+		return
+	}
+	if len(names) == 0 {
+		return
+	}
+	for k, f := range fs {
+		for name := range names {
+			if f.idents[name] {
+				delete(fs, k)
+				break
+			}
+		}
+	}
+}
+
+// lvalRoots records the root identifier of an assignable expression;
+// it returns true when the target cannot be resolved to a root (e.g. a
+// pointer indirection), meaning every fact must be dropped.
+func lvalRoots(e ast.Expr, into map[string]bool) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		into[e.Name] = true
+		return false
+	case *ast.SelectorExpr:
+		return lvalRoots(e.X, into)
+	case *ast.IndexExpr:
+		return lvalRoots(e.X, into)
+	case *ast.ParenExpr:
+		return lvalRoots(e.X, into)
+	default:
+		return true
+	}
+}
+
+// walkNode visits a CFG node's own expressions, without descending
+// into nested function literals (analyzed as their own CFGs) or a
+// RangeStmt's body (already structured into the graph).
+func walkNode(n ast.Node, visit func(ast.Node)) {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		walkNode(r.X, visit)
+		if r.Key != nil {
+			walkNode(r.Key, visit)
+		}
+		if r.Value != nil {
+			walkNode(r.Value, visit)
+		}
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		visit(m)
+		return true
+	})
+}
+
+// guardFactsIn runs the worklist fixpoint and returns, per block, the
+// facts that must hold on entry. Unreachable blocks stay nil. The
+// lattice is finite (facts only arise from conditions present in the
+// function) and transfer is monotone decreasing after the first visit,
+// so the iteration terminates.
+func guardFactsIn(g *cfgGraph, info *types.Info) []factSet {
+	in := make([]factSet, len(g.blocks))
+	in[g.entry.index] = factSet{}
+	work := []*cfgBlock{g.entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := cloneFacts(in[blk.index])
+		for _, n := range blk.nodes {
+			applyNodeKills(out, n)
+		}
+		for _, e := range blk.succs {
+			ef := out
+			if e.cond != nil {
+				ef = cloneFacts(out)
+				addEdgeFacts(info, e.cond, e.branch, ef)
+			}
+			cur := in[e.to.index]
+			if cur == nil {
+				in[e.to.index] = cloneFacts(ef)
+				work = append(work, e.to)
+				continue
+			}
+			merged := intersectFacts(cur, ef)
+			if len(merged) != len(cur) {
+				in[e.to.index] = merged
+				work = append(work, e.to)
+			}
+		}
+	}
+	return in
+}

@@ -58,6 +58,37 @@ var RecycleSources = []MethodRule{
 // whole module is eligible; this list just avoids scanning fixture
 // trees (the loader skips testdata on its own).
 func HotpathPackages(l *Loader) ([]string, error) {
+	return modulePackageRels(l)
+}
+
+// CounterSafetyPackages is the whole module: unsigned-counter wrap,
+// narrowing, and over-shift are hazards wherever counters flow, and
+// the saturating helpers in internal/noc pass the analyzer on their
+// own merits (their bodies carry the guards it looks for).
+func CounterSafetyPackages(l *Loader) ([]string, error) {
+	return modulePackageRels(l)
+}
+
+// UnitsPackages is the whole module except internal/noc, the one place
+// allowed to convert between the Cycle/VTime unit types and raw
+// integers (it defines the conversion helpers).
+func UnitsPackages(l *Loader) ([]string, error) {
+	rels, err := modulePackageRels(l)
+	if err != nil {
+		return nil, err
+	}
+	out := rels[:0]
+	for _, rel := range rels {
+		if rel != "internal/noc" {
+			out = append(out, rel)
+		}
+	}
+	return out, nil
+}
+
+// modulePackageRels lists every package directory of the module as a
+// module-relative path ("" for the root package).
+func modulePackageRels(l *Loader) ([]string, error) {
 	ips, err := l.ModulePackages()
 	if err != nil {
 		return nil, err

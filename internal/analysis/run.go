@@ -1,6 +1,6 @@
 package analysis
 
-// RunAll executes the four analyzers over the module rooted at root
+// RunAll executes the six analyzers over the module rooted at root
 // with the repository's default rules, filters the result through the
 // allowlist (nil for none), and returns the surviving diagnostics
 // sorted. This is the single entry point shared by cmd/ssvc-lint and
@@ -26,6 +26,26 @@ func RunAll(root string, allow *Allowlist) ([]Diagnostic, error) {
 	diags = append(diags, d...)
 
 	d, err = Recycle(l, RecyclePackages, RecycleSources)
+	if err != nil {
+		return nil, err
+	}
+	diags = append(diags, d...)
+
+	cs, err := CounterSafetyPackages(l)
+	if err != nil {
+		return nil, err
+	}
+	d, err = CounterSafety(l, cs)
+	if err != nil {
+		return nil, err
+	}
+	diags = append(diags, d...)
+
+	units, err := UnitsPackages(l)
+	if err != nil {
+		return nil, err
+	}
+	d, err = Units(l, units)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,70 @@
+// Package unitsbad is a lint fixture for the units analyzer: raw
+// conversions touching the noc.Cycle / noc.VTime unit types are flagged
+// unless the operand is a constant; the named helpers and Uint methods
+// are the sanctioned crossings and stay silent.
+package unitsbad
+
+import (
+	"math"
+
+	"swizzleqos/internal/noc"
+)
+
+// RawToCycle smuggles a raw count into the real-time domain.
+func RawToCycle(n uint64) noc.Cycle {
+	return noc.Cycle(n) // want:units
+}
+
+// RawToVTime smuggles a raw count into the virtual-clock domain.
+func RawToVTime(n uint64) noc.VTime {
+	return noc.VTime(n) // want:units
+}
+
+// CycleToRaw strips the unit without the Uint method.
+func CycleToRaw(c noc.Cycle) uint64 {
+	return uint64(c) // want:units
+}
+
+// CrossDomain jumps between the clocks without the named crossing.
+func CrossDomain(c noc.Cycle) noc.VTime {
+	return noc.VTime(c) // want:units
+}
+
+// CrossBack jumps the other way.
+func CrossBack(v noc.VTime) noc.Cycle {
+	return noc.Cycle(v) // want:units
+}
+
+// FloatLeak: even float conversions must go through Uint first.
+func FloatLeak(c noc.Cycle) float64 {
+	return float64(c) // want:units
+}
+
+// ConstOK: constants carry no domain yet and may enter directly.
+func ConstOK() noc.Cycle {
+	return noc.Cycle(0)
+}
+
+// ConstMaxOK: named constants too.
+func ConstMaxOK() noc.VTime {
+	return noc.VTime(math.MaxUint64)
+}
+
+// HelpersOK: the sanctioned crossings are calls, not conversions.
+func HelpersOK(n uint64, c noc.Cycle) (noc.VTime, uint64) {
+	_ = noc.CycleOf(n)
+	v := noc.VTimeOfCycle(c)
+	_ = noc.CycleOfVTime(v)
+	return noc.VTimeOf(n), c.Uint()
+}
+
+// IdentityOK: a same-type conversion changes no domain.
+func IdentityOK(c noc.Cycle) noc.Cycle {
+	return noc.Cycle(c)
+}
+
+// ArithmeticOK: arithmetic within one domain, including with untyped
+// constants, needs no conversion at all.
+func ArithmeticOK(c noc.Cycle) noc.Cycle {
+	return c*2 + 1
+}

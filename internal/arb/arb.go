@@ -49,16 +49,16 @@ type Arbiter interface {
 	// bookkeeping (frame pointers, deficit refills) but must leave
 	// grant-dependent priority updates to Granted. It is called at most
 	// once per cycle.
-	Arbitrate(now uint64, reqs []Request) int
+	Arbitrate(now noc.Cycle, reqs []Request) int
 
 	// Granted commits the grant decided by Arbitrate, updating priority
 	// state (LRG order, virtual clocks, deficit counters, ...).
-	Granted(now uint64, req Request)
+	Granted(now noc.Cycle, req Request)
 
 	// Tick advances per-cycle state such as the real-time clock used for
 	// virtual clock maintenance. The switch calls it exactly once per
 	// cycle, after arbitration.
-	Tick(now uint64)
+	Tick(now noc.Cycle)
 }
 
 // ArrivalObserver is implemented by arbiters that stamp packets on arrival
@@ -67,5 +67,5 @@ type Arbiter interface {
 // calls PacketArrived when a packet destined to this arbiter's output
 // enters its input buffer.
 type ArrivalObserver interface {
-	PacketArrived(now uint64, pkt *noc.Packet)
+	PacketArrived(now noc.Cycle, pkt *noc.Packet)
 }

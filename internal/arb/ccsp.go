@@ -23,7 +23,7 @@ type CCSP struct {
 	burst          []float64 // credit cap
 	priority       []int     // static order: lower value is served first
 	credit         []float64
-	lastTick       uint64
+	lastTick       noc.Cycle
 	workConserving bool
 }
 
@@ -62,7 +62,7 @@ func (a *CCSP) Credit(i int) float64 { return a.credit[i] }
 // falls through to the highest-priority requester.
 //
 //ssvc:hotpath
-func (a *CCSP) Arbitrate(now uint64, reqs []Request) int {
+func (a *CCSP) Arbitrate(now noc.Cycle, reqs []Request) int {
 	best, bestPrio := -1, int(^uint(0)>>1)
 	for i, r := range reqs {
 		if a.credit[r.Input] < float64(r.Packet.Length) {
@@ -85,17 +85,17 @@ func (a *CCSP) Arbitrate(now uint64, reqs []Request) int {
 
 // Granted implements Arbiter: service consumes credit (slack grants may
 // drive it negative, deferring the input until it re-earns eligibility).
-func (a *CCSP) Granted(now uint64, req Request) {
+func (a *CCSP) Granted(now noc.Cycle, req Request) {
 	a.credit[req.Input] -= float64(req.Packet.Length)
 }
 
 // Tick implements Arbiter: credits accrue at the provisioned rate up to
 // the burst cap, once per elapsed cycle regardless of call cadence.
-func (a *CCSP) Tick(now uint64) {
+func (a *CCSP) Tick(now noc.Cycle) {
 	if now <= a.lastTick {
 		return
 	}
-	elapsed := float64(now - a.lastTick)
+	elapsed := float64((now - a.lastTick).Uint())
 	a.lastTick = now
 	for i := range a.credit {
 		a.credit[i] += a.rate[i] * elapsed
@@ -119,9 +119,9 @@ func NewAgeBased(n int) *AgeBased { return &AgeBased{state: NewLRGState(n)} }
 // Arbitrate implements Arbiter.
 //
 //ssvc:hotpath
-func (a *AgeBased) Arbitrate(now uint64, reqs []Request) int {
+func (a *AgeBased) Arbitrate(now noc.Cycle, reqs []Request) int {
 	best := -1
-	var bestAge uint64
+	var bestAge noc.Cycle
 	bestRank := a.state.Size()
 	for i, r := range reqs {
 		age := r.Packet.EnqueuedAt
@@ -134,10 +134,10 @@ func (a *AgeBased) Arbitrate(now uint64, reqs []Request) int {
 }
 
 // Granted implements Arbiter.
-func (a *AgeBased) Granted(now uint64, req Request) { a.state.Grant(req.Input) }
+func (a *AgeBased) Granted(now noc.Cycle, req Request) { a.state.Grant(req.Input) }
 
 // Tick implements Arbiter.
-func (a *AgeBased) Tick(now uint64) {}
+func (a *AgeBased) Tick(now noc.Cycle) {}
 
 // compile-time interface checks for the whole baseline family.
 var (

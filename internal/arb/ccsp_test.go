@@ -78,7 +78,7 @@ func TestCCSPDecouplesLatencyFromRate(t *testing.T) {
 	a := NewCCSP([]float64{0.02, 0.6}, []float64{8, 16}, []int{0, 1}, true)
 	lowServedImmediately := 0
 	trials := 0
-	now := uint64(0)
+	now := noc.Cycle(0)
 	for step := 0; step < 200; step++ {
 		// The high-rate input always requests; the low-rate one
 		// requests every 50th step (idle otherwise, re-earning credit).
@@ -155,7 +155,7 @@ func TestTDMServesOnlySlotOwner(t *testing.T) {
 	a := NewTDM(UniformTDMTable(2, 3)) // slots: 0,0,0,1,1,1 repeating
 	reqs := []Request{ccspReq(1, 2)}
 	// Cycles 0-2 belong to input 0: input 1's request is wasted.
-	for now := uint64(0); now < 3; now++ {
+	for now := noc.Cycle(0); now < 3; now++ {
 		if w := a.Arbitrate(now, reqs); w != -1 {
 			t.Fatalf("cycle %d: slot owner 0 absent but input 1 served", now)
 		}
@@ -172,7 +172,7 @@ func TestTDMBandwidthFollowsSlotCounts(t *testing.T) {
 	a := NewTDM([]int{0, 0, 1})
 	wins := [2]int{}
 	reqs := []Request{ccspReq(0, 1), ccspReq(1, 1)}
-	for now := uint64(0); now < 300; now++ {
+	for now := noc.Cycle(0); now < 300; now++ {
 		if w := a.Arbitrate(now, reqs); w >= 0 {
 			wins[reqs[w].Input]++
 			a.Granted(now, reqs[w])

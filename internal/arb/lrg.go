@@ -1,6 +1,10 @@
 package arb
 
-import "fmt"
+import (
+	"fmt"
+
+	"swizzleqos/internal/noc"
+)
 
 // LRGState tracks a least-recently-granted priority order over n inputs.
 // order[0] is the least recently granted input (highest priority); granting
@@ -109,7 +113,7 @@ func NewLRG(n int) *LRG {
 // Arbitrate implements Arbiter.
 //
 //ssvc:hotpath
-func (a *LRG) Arbitrate(now uint64, reqs []Request) int {
+func (a *LRG) Arbitrate(now noc.Cycle, reqs []Request) int {
 	if len(reqs) == 0 {
 		return -1
 	}
@@ -123,10 +127,10 @@ func (a *LRG) Arbitrate(now uint64, reqs []Request) int {
 }
 
 // Granted implements Arbiter.
-func (a *LRG) Granted(now uint64, req Request) { a.state.Grant(req.Input) }
+func (a *LRG) Granted(now noc.Cycle, req Request) { a.state.Grant(req.Input) }
 
 // Tick implements Arbiter.
-func (a *LRG) Tick(now uint64) {}
+func (a *LRG) Tick(now noc.Cycle) {}
 
 // State exposes the underlying LRG order for inspection in tests.
 func (a *LRG) State() *LRGState { return a.state }

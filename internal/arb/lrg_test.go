@@ -134,9 +134,9 @@ func TestLRGArbiterFairnessUnderSaturation(t *testing.T) {
 	}
 	wins := make([]int, n)
 	for g := 0; g < n*rounds; g++ {
-		w := a.Arbitrate(uint64(g), reqs)
+		w := a.Arbitrate(noc.Cycle(g), reqs)
 		wins[reqs[w].Input]++
-		a.Granted(uint64(g), reqs[w])
+		a.Granted(noc.Cycle(g), reqs[w])
 	}
 	for i, w := range wins {
 		if w != rounds {

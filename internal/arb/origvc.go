@@ -21,8 +21,8 @@ import (
 // with low reserved rates carry large Vticks, stamp far into the future,
 // and suffer high average latency.
 type OrigVC struct {
-	vticks []uint64 // per input, cycles per packet at the reserved rate
-	aux    []uint64 // per-flow virtual clocks
+	vticks []noc.VTime // per input, cycles per packet at the reserved rate
+	aux    []noc.VTime // per-flow virtual clocks
 	state  *LRGState
 }
 
@@ -30,27 +30,28 @@ type OrigVC struct {
 // radix-n switch. vticks[i] is input i's Vtick in cycles (FlowSpec.Vtick);
 // an input with Vtick 0 has no reservation and its packets always lose to
 // stamped traffic (best-effort behaviour).
-func NewOrigVC(n int, vticks []uint64) *OrigVC {
+func NewOrigVC(n int, vticks []noc.VTime) *OrigVC {
 	if len(vticks) != n {
 		panic(fmt.Sprintf("arb: OrigVC needs %d vticks, got %d", n, len(vticks)))
 	}
 	return &OrigVC{
-		vticks: append([]uint64(nil), vticks...),
-		aux:    make([]uint64, n),
+		vticks: append([]noc.VTime(nil), vticks...),
+		aux:    make([]noc.VTime, n),
 		state:  NewLRGState(n),
 	}
 }
 
 // PacketArrived implements ArrivalObserver, performing steps 1-3 of the
 // algorithm.
-func (a *OrigVC) PacketArrived(now uint64, pkt *noc.Packet) {
+func (a *OrigVC) PacketArrived(now noc.Cycle, pkt *noc.Packet) {
 	i := pkt.Src
 	if a.vticks[i] == 0 {
 		pkt.Stamp = math.MaxUint64
 		return
 	}
-	if now > a.aux[i] {
-		a.aux[i] = now
+	// Step 1 reads the real-time clock into the virtual domain.
+	if nv := noc.VTimeOfCycle(now); nv > a.aux[i] {
+		a.aux[i] = nv
 	}
 	a.aux[i] += a.vticks[i]
 	pkt.Stamp = a.aux[i]
@@ -59,9 +60,9 @@ func (a *OrigVC) PacketArrived(now uint64, pkt *noc.Packet) {
 // Arbitrate implements Arbiter: the smallest stamp wins; LRG breaks ties.
 //
 //ssvc:hotpath
-func (a *OrigVC) Arbitrate(now uint64, reqs []Request) int {
+func (a *OrigVC) Arbitrate(now noc.Cycle, reqs []Request) int {
 	best := -1
-	bestStamp := uint64(math.MaxUint64)
+	bestStamp := noc.VTime(math.MaxUint64)
 	bestRank := a.state.Size()
 	for i, r := range reqs {
 		s := r.Packet.Stamp
@@ -74,10 +75,10 @@ func (a *OrigVC) Arbitrate(now uint64, reqs []Request) int {
 }
 
 // Granted implements Arbiter.
-func (a *OrigVC) Granted(now uint64, req Request) { a.state.Grant(req.Input) }
+func (a *OrigVC) Granted(now noc.Cycle, req Request) { a.state.Grant(req.Input) }
 
 // Tick implements Arbiter.
-func (a *OrigVC) Tick(now uint64) {}
+func (a *OrigVC) Tick(now noc.Cycle) {}
 
 // Aux returns flow i's current virtual clock, for tests.
-func (a *OrigVC) Aux(i int) uint64 { return a.aux[i] }
+func (a *OrigVC) Aux(i int) noc.VTime { return a.aux[i] }

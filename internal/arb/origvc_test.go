@@ -13,7 +13,7 @@ func gbPacket(src int, length int) *noc.Packet {
 
 func TestOrigVCStampsFollowAlgorithm(t *testing.T) {
 	// Steps 1-3 of the quoted algorithm: auxVC <- max(auxVC, now) + Vtick.
-	a := NewOrigVC(2, []uint64{100, 50})
+	a := NewOrigVC(2, []noc.VTime{100, 50})
 
 	p1 := gbPacket(0, 8)
 	a.PacketArrived(10, p1)
@@ -39,7 +39,7 @@ func TestOrigVCStampsFollowAlgorithm(t *testing.T) {
 }
 
 func TestOrigVCTransmitsInStampOrder(t *testing.T) {
-	a := NewOrigVC(2, []uint64{100, 20})
+	a := NewOrigVC(2, []noc.VTime{100, 20})
 	p0 := gbPacket(0, 8)
 	p1 := gbPacket(1, 8)
 	a.PacketArrived(0, p0) // stamp 100
@@ -55,7 +55,7 @@ func TestOrigVCTransmitsInStampOrder(t *testing.T) {
 }
 
 func TestOrigVCTieBrokenByLRG(t *testing.T) {
-	a := NewOrigVC(2, []uint64{50, 50})
+	a := NewOrigVC(2, []noc.VTime{50, 50})
 	p0, p1 := gbPacket(0, 8), gbPacket(1, 8)
 	a.PacketArrived(0, p0)
 	a.PacketArrived(0, p1)
@@ -78,7 +78,7 @@ func TestOrigVCTieBrokenByLRG(t *testing.T) {
 }
 
 func TestOrigVCUnreservedAlwaysLoses(t *testing.T) {
-	a := NewOrigVC(2, []uint64{0, 1 << 30})
+	a := NewOrigVC(2, []noc.VTime{0, 1 << 30})
 	p0, p1 := gbPacket(0, 8), gbPacket(1, 8)
 	a.PacketArrived(0, p0)
 	a.PacketArrived(0, p1)
@@ -97,12 +97,12 @@ func TestOrigVCUnreservedAlwaysLoses(t *testing.T) {
 // origVCWait measures how long a single packet from a flow with the given
 // Vtick waits behind a saturated high-rate competitor (Vtick 27) when both
 // share one output serving 8-flit packets.
-func origVCWait(t *testing.T, lowVtick uint64) uint64 {
+func origVCWait(t *testing.T, lowVtick noc.VTime) noc.Cycle {
 	t.Helper()
-	a := NewOrigVC(2, []uint64{lowVtick, 27})
+	a := NewOrigVC(2, []noc.VTime{lowVtick, 27})
 	low := gbPacket(0, 8)
 	a.PacketArrived(0, low)
-	now := uint64(0)
+	now := noc.Cycle(0)
 	for served := 0; ; served++ {
 		high := gbPacket(1, 8)
 		a.PacketArrived(now, high)
@@ -145,5 +145,5 @@ func TestOrigVCPanicsOnSizeMismatch(t *testing.T) {
 			t.Fatal("NewOrigVC with wrong vtick count did not panic")
 		}
 	}()
-	NewOrigVC(4, []uint64{1, 2})
+	NewOrigVC(4, []noc.VTime{1, 2})
 }

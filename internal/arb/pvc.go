@@ -15,7 +15,7 @@ import (
 type Preemptor interface {
 	// ShouldPreempt returns the index into reqs of a request that must
 	// preempt the in-flight packet, or -1 to let it finish.
-	ShouldPreempt(now uint64, inflight Request, reqs []Request) int
+	ShouldPreempt(now noc.Cycle, inflight Request, reqs []Request) int
 }
 
 // PVC is a simplified Preemptive Virtual Clock [7] (Grot, Keckler, Mutlu —
@@ -28,12 +28,12 @@ type Preemptor interface {
 // already transmitted and triggers a retransmission — bandwidth the
 // switch has to resupply.
 type PVC struct {
-	vticks []uint64
-	aux    []uint64
+	vticks []noc.VTime
+	aux    []noc.VTime
 	state  *LRGState
 	// threshold is the stamp gap (cycles of virtual time) a waiting
 	// packet needs over the in-flight one to justify killing it.
-	threshold uint64
+	threshold noc.VTime
 	// Preemptions counts aborts requested by this arbiter.
 	Preemptions uint64
 }
@@ -42,27 +42,28 @@ type PVC struct {
 // vticks[i] is input i's Vtick in cycles (0 = unreserved, always lowest
 // priority); threshold is the minimum stamp advantage for preemption —
 // small thresholds preempt aggressively, large ones converge to OrigVC.
-func NewPVC(n int, vticks []uint64, threshold uint64) *PVC {
+func NewPVC(n int, vticks []noc.VTime, threshold noc.VTime) *PVC {
 	if len(vticks) != n {
 		panic(fmt.Sprintf("arb: PVC needs %d vticks, got %d", n, len(vticks)))
 	}
 	return &PVC{
-		vticks:    append([]uint64(nil), vticks...),
-		aux:       make([]uint64, n),
+		vticks:    append([]noc.VTime(nil), vticks...),
+		aux:       make([]noc.VTime, n),
 		state:     NewLRGState(n),
 		threshold: threshold,
 	}
 }
 
 // PacketArrived implements ArrivalObserver: exact Virtual Clock stamping.
-func (a *PVC) PacketArrived(now uint64, pkt *noc.Packet) {
+func (a *PVC) PacketArrived(now noc.Cycle, pkt *noc.Packet) {
 	i := pkt.Src
 	if a.vticks[i] == 0 {
 		pkt.Stamp = math.MaxUint64
 		return
 	}
-	if now > a.aux[i] {
-		a.aux[i] = now
+	// Step 1 reads the real-time clock into the virtual domain.
+	if nv := noc.VTimeOfCycle(now); nv > a.aux[i] {
+		a.aux[i] = nv
 	}
 	a.aux[i] += a.vticks[i]
 	pkt.Stamp = a.aux[i]
@@ -71,9 +72,9 @@ func (a *PVC) PacketArrived(now uint64, pkt *noc.Packet) {
 // Arbitrate implements Arbiter: smallest stamp wins, LRG breaks ties.
 //
 //ssvc:hotpath
-func (a *PVC) Arbitrate(now uint64, reqs []Request) int {
+func (a *PVC) Arbitrate(now noc.Cycle, reqs []Request) int {
 	best := -1
-	bestStamp := uint64(math.MaxUint64)
+	bestStamp := noc.VTime(math.MaxUint64)
 	bestRank := a.state.Size()
 	for i, r := range reqs {
 		s := r.Packet.Stamp
@@ -86,16 +87,16 @@ func (a *PVC) Arbitrate(now uint64, reqs []Request) int {
 }
 
 // Granted implements Arbiter.
-func (a *PVC) Granted(now uint64, req Request) { a.state.Grant(req.Input) }
+func (a *PVC) Granted(now noc.Cycle, req Request) { a.state.Grant(req.Input) }
 
 // Tick implements Arbiter.
-func (a *PVC) Tick(now uint64) {}
+func (a *PVC) Tick(now noc.Cycle) {}
 
 // ShouldPreempt implements Preemptor: the best waiting stamp preempts the
 // in-flight packet when it leads by more than the threshold. A preempted
 // packet keeps its stamp, so it re-enters arbitration at its original
 // priority.
-func (a *PVC) ShouldPreempt(now uint64, inflight Request, reqs []Request) int {
+func (a *PVC) ShouldPreempt(now noc.Cycle, inflight Request, reqs []Request) int {
 	w := a.Arbitrate(now, reqs)
 	if w < 0 {
 		return -1
@@ -109,7 +110,7 @@ func (a *PVC) ShouldPreempt(now uint64, inflight Request, reqs []Request) int {
 		a.Preemptions++
 		return w
 	}
-	if challenger+a.threshold < holder {
+	if noc.SatAdd(challenger, a.threshold) < holder {
 		a.Preemptions++
 		return w
 	}

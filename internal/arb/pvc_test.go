@@ -8,7 +8,7 @@ import (
 )
 
 func TestPVCStampsLikeOriginalVC(t *testing.T) {
-	a := NewPVC(2, []uint64{100, 50}, 10)
+	a := NewPVC(2, []noc.VTime{100, 50}, 10)
 	p := gbPacket(0, 8)
 	a.PacketArrived(10, p)
 	if p.Stamp != 110 {
@@ -22,7 +22,7 @@ func TestPVCStampsLikeOriginalVC(t *testing.T) {
 }
 
 func TestPVCPreemptsOnStampGap(t *testing.T) {
-	a := NewPVC(2, []uint64{800, 20}, 50)
+	a := NewPVC(2, []noc.VTime{800, 20}, 50)
 	holder := gbPacket(0, 8)
 	holder.Stamp = 1000
 	inflight := Request{Input: 0, Class: noc.GuaranteedBandwidth, Packet: holder}
@@ -48,7 +48,7 @@ func TestPVCPreemptsOnStampGap(t *testing.T) {
 }
 
 func TestPVCNeverPreemptsForUnreserved(t *testing.T) {
-	a := NewPVC(2, []uint64{0, 20}, 10)
+	a := NewPVC(2, []noc.VTime{0, 20}, 10)
 	holder := gbPacket(1, 8)
 	holder.Stamp = 50
 	inflight := Request{Input: 1, Class: noc.GuaranteedBandwidth, Packet: holder}
@@ -61,7 +61,7 @@ func TestPVCNeverPreemptsForUnreserved(t *testing.T) {
 }
 
 func TestPVCPreemptsUnreservedHolder(t *testing.T) {
-	a := NewPVC(2, []uint64{0, 20}, 10)
+	a := NewPVC(2, []noc.VTime{0, 20}, 10)
 	holder := gbPacket(0, 8)
 	holder.Stamp = math.MaxUint64
 	inflight := Request{Input: 0, Class: noc.GuaranteedBandwidth, Packet: holder}
@@ -79,5 +79,5 @@ func TestPVCPanicsOnSizeMismatch(t *testing.T) {
 			t.Fatal("no panic")
 		}
 	}()
-	NewPVC(3, []uint64{1}, 0)
+	NewPVC(3, []noc.VTime{1}, 0)
 }

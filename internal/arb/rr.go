@@ -1,6 +1,10 @@
 package arb
 
-import "fmt"
+import (
+	"fmt"
+
+	"swizzleqos/internal/noc"
+)
 
 // RoundRobin is a rotating-priority arbiter: the pointer starts one past
 // the last granted input, and the first requesting input at or after the
@@ -23,7 +27,7 @@ func NewRoundRobin(n int) *RoundRobin {
 // Arbitrate implements Arbiter.
 //
 //ssvc:hotpath
-func (a *RoundRobin) Arbitrate(now uint64, reqs []Request) int {
+func (a *RoundRobin) Arbitrate(now noc.Cycle, reqs []Request) int {
 	if len(reqs) == 0 {
 		return -1
 	}
@@ -38,12 +42,12 @@ func (a *RoundRobin) Arbitrate(now uint64, reqs []Request) int {
 }
 
 // Granted implements Arbiter.
-func (a *RoundRobin) Granted(now uint64, req Request) {
+func (a *RoundRobin) Granted(now noc.Cycle, req Request) {
 	a.next = (req.Input + 1) % a.n
 }
 
 // Tick implements Arbiter.
-func (a *RoundRobin) Tick(now uint64) {}
+func (a *RoundRobin) Tick(now noc.Cycle) {}
 
 // MultiLevel is the fixed-priority message-level QoS of the prior Swizzle
 // Switch design [14]: each request carries a priority level and the highest
@@ -72,7 +76,7 @@ func NewMultiLevel(n int, levels func(Request) int) *MultiLevel {
 // Arbitrate implements Arbiter.
 //
 //ssvc:hotpath
-func (a *MultiLevel) Arbitrate(now uint64, reqs []Request) int {
+func (a *MultiLevel) Arbitrate(now noc.Cycle, reqs []Request) int {
 	best := -1
 	bestLevel := -1
 	bestRank := a.state.Size()
@@ -87,7 +91,7 @@ func (a *MultiLevel) Arbitrate(now uint64, reqs []Request) int {
 }
 
 // Granted implements Arbiter.
-func (a *MultiLevel) Granted(now uint64, req Request) { a.state.Grant(req.Input) }
+func (a *MultiLevel) Granted(now noc.Cycle, req Request) { a.state.Grant(req.Input) }
 
 // Tick implements Arbiter.
-func (a *MultiLevel) Tick(now uint64) {}
+func (a *MultiLevel) Tick(now noc.Cycle) {}

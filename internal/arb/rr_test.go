@@ -11,11 +11,11 @@ func TestRoundRobinRotates(t *testing.T) {
 	reqs := []Request{req(0), req(1), req(2), req(3)}
 	want := []int{0, 1, 2, 3, 0, 1}
 	for i, exp := range want {
-		w := a.Arbitrate(uint64(i), reqs)
+		w := a.Arbitrate(noc.Cycle(i), reqs)
 		if reqs[w].Input != exp {
 			t.Fatalf("grant %d: winner %d, want %d", i, reqs[w].Input, exp)
 		}
-		a.Granted(uint64(i), reqs[w])
+		a.Granted(noc.Cycle(i), reqs[w])
 	}
 }
 
@@ -84,11 +84,11 @@ func TestMultiLevelStarvation(t *testing.T) {
 		classReq(1, noc.BestEffort),
 	}
 	for c := 0; c < 1000; c++ {
-		w := a.Arbitrate(uint64(c), reqs)
+		w := a.Arbitrate(noc.Cycle(c), reqs)
 		if reqs[w].Input != 0 {
 			t.Fatalf("cycle %d: best-effort input won under fixed priority", c)
 		}
-		a.Granted(uint64(c), reqs[w])
+		a.Granted(noc.Cycle(c), reqs[w])
 	}
 }
 

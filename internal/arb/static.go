@@ -1,6 +1,10 @@
 package arb
 
-import "fmt"
+import (
+	"fmt"
+
+	"swizzleqos/internal/noc"
+)
 
 // WRR is a weighted round robin arbiter (§2.2). Each input is assigned an
 // integer weight in flits per frame. In its pure (non-work-conserving)
@@ -46,7 +50,7 @@ func (a *WRR) refill() {
 // pointer) even when returning -1.
 //
 //ssvc:hotpath
-func (a *WRR) Arbitrate(now uint64, reqs []Request) int {
+func (a *WRR) Arbitrate(now noc.Cycle, reqs []Request) int {
 	if len(reqs) == 0 {
 		return -1
 	}
@@ -96,7 +100,7 @@ func (a *WRR) advance() {
 
 // Granted implements Arbiter: the winner consumes credit equal to the
 // packet length.
-func (a *WRR) Granted(now uint64, req Request) {
+func (a *WRR) Granted(now noc.Cycle, req Request) {
 	a.credits[req.Input] -= req.Packet.Length
 	if a.credits[req.Input] < 0 {
 		a.credits[req.Input] = 0
@@ -105,7 +109,7 @@ func (a *WRR) Granted(now uint64, req Request) {
 }
 
 // Tick implements Arbiter.
-func (a *WRR) Tick(now uint64) {}
+func (a *WRR) Tick(now noc.Cycle) {}
 
 // DWRR is a deficit weighted round robin arbiter [Shreedhar & Varghese].
 // Each input accrues a quantum of flits per round; its head packet is
@@ -142,7 +146,7 @@ func NewDWRR(quanta []int) *DWRR {
 // consumption happens in Granted.
 //
 //ssvc:hotpath
-func (a *DWRR) Arbitrate(now uint64, reqs []Request) int {
+func (a *DWRR) Arbitrate(now noc.Cycle, reqs []Request) int {
 	if len(reqs) == 0 {
 		return -1
 	}
@@ -178,7 +182,7 @@ func (a *DWRR) Arbitrate(now uint64, reqs []Request) int {
 }
 
 // Granted implements Arbiter.
-func (a *DWRR) Granted(now uint64, req Request) {
+func (a *DWRR) Granted(now noc.Cycle, req Request) {
 	a.deficit[req.Input] -= req.Packet.Length
 	if a.deficit[req.Input] < 0 {
 		a.deficit[req.Input] = 0
@@ -186,4 +190,4 @@ func (a *DWRR) Granted(now uint64, req Request) {
 }
 
 // Tick implements Arbiter.
-func (a *DWRR) Tick(now uint64) {}
+func (a *DWRR) Tick(now noc.Cycle) {}

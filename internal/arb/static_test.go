@@ -25,7 +25,7 @@ func runScheduler(t *testing.T, a Arbiter, reqs []Request, grants int) []int {
 		}
 	}
 	flits := make([]int, maxIn+1)
-	cycle := uint64(0)
+	cycle := noc.Cycle(0)
 	for g := 0; g < grants; {
 		w := a.Arbitrate(cycle, reqs)
 		if w >= 0 {
@@ -35,7 +35,7 @@ func runScheduler(t *testing.T, a Arbiter, reqs []Request, grants int) []int {
 		}
 		a.Tick(cycle)
 		cycle++
-		if cycle > uint64(grants)*100 {
+		if cycle > noc.Cycle(grants)*100 {
 			t.Fatalf("scheduler made no progress after %d cycles", cycle)
 		}
 	}
@@ -70,12 +70,12 @@ func TestWRRFixedScheduleWastesSlots(t *testing.T) {
 	reqs := []Request{lenReq(1, 1)}
 	wasted, granted := 0, 0
 	for c := 0; c < 100; c++ {
-		w := a.Arbitrate(uint64(c), reqs)
+		w := a.Arbitrate(noc.Cycle(c), reqs)
 		if w < 0 {
 			wasted++
 		} else {
 			granted++
-			a.Granted(uint64(c), reqs[w])
+			a.Granted(noc.Cycle(c), reqs[w])
 		}
 	}
 	if wasted != 50 || granted != 50 {
@@ -125,8 +125,8 @@ func TestDWRRDeficitResetsWhenIdle(t *testing.T) {
 	// credit for a later burst.
 	only1 := []Request{lenReq(1, 1)}
 	for c := 0; c < 50; c++ {
-		if w := a.Arbitrate(uint64(c), only1); w >= 0 {
-			a.Granted(uint64(c), only1[w])
+		if w := a.Arbitrate(noc.Cycle(c), only1); w >= 0 {
+			a.Granted(noc.Cycle(c), only1[w])
 		}
 	}
 	if a.deficit[0] != 0 {

@@ -1,6 +1,10 @@
 package arb
 
-import "fmt"
+import (
+	"fmt"
+
+	"swizzleqos/internal/noc"
+)
 
 // TDM is true time-division multiplexing (§2.2): the output channel's
 // cycles are divided into a fixed slot table, and each cycle belongs to
@@ -45,8 +49,8 @@ func UniformTDMTable(n, slotCycles int) []int {
 }
 
 // Owner returns the input owning the slot at the given cycle.
-func (a *TDM) Owner(now uint64) int {
-	return a.table[now%uint64(len(a.table))]
+func (a *TDM) Owner(now noc.Cycle) int {
+	return a.table[now.Uint()%uint64(len(a.table))]
 }
 
 // Arbitrate implements Arbiter: the slot's owner is served if it is
@@ -54,7 +58,7 @@ func (a *TDM) Owner(now uint64) int {
 // work-conserving.
 //
 //ssvc:hotpath
-func (a *TDM) Arbitrate(now uint64, reqs []Request) int {
+func (a *TDM) Arbitrate(now noc.Cycle, reqs []Request) int {
 	owner := a.Owner(now)
 	for i, r := range reqs {
 		if r.Input == owner {
@@ -65,9 +69,9 @@ func (a *TDM) Arbitrate(now uint64, reqs []Request) int {
 }
 
 // Granted implements Arbiter.
-func (a *TDM) Granted(now uint64, req Request) {}
+func (a *TDM) Granted(now noc.Cycle, req Request) {}
 
 // Tick implements Arbiter.
-func (a *TDM) Tick(now uint64) {}
+func (a *TDM) Tick(now noc.Cycle) {}
 
 var _ Arbiter = (*TDM)(nil)

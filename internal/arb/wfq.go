@@ -43,7 +43,7 @@ func NewWFQ(weights []float64) *WFQ {
 
 // PacketArrived implements ArrivalObserver: the packet's virtual finish
 // time is fixed at arrival.
-func (a *WFQ) PacketArrived(now uint64, pkt *noc.Packet) {
+func (a *WFQ) PacketArrived(now noc.Cycle, pkt *noc.Packet) {
 	i := pkt.Src
 	start := a.finish[i]
 	if a.vtime > start {
@@ -58,7 +58,7 @@ func (a *WFQ) PacketArrived(now uint64, pkt *noc.Packet) {
 // breaks ties.
 //
 //ssvc:hotpath
-func (a *WFQ) Arbitrate(now uint64, reqs []Request) int {
+func (a *WFQ) Arbitrate(now noc.Cycle, reqs []Request) int {
 	a.active = len(reqs)
 	best := -1
 	bestF := math.Inf(1)
@@ -80,7 +80,7 @@ func (a *WFQ) Arbitrate(now uint64, reqs []Request) int {
 }
 
 // Granted implements Arbiter.
-func (a *WFQ) Granted(now uint64, req Request) {
+func (a *WFQ) Granted(now noc.Cycle, req Request) {
 	delete(a.stamps, req.Packet)
 	a.state.Grant(req.Input)
 }
@@ -88,9 +88,9 @@ func (a *WFQ) Granted(now uint64, req Request) {
 // Tick implements Arbiter: system virtual time advances at the fluid rate
 // 1/(sum of backlogged weights) per flit time, approximated using the
 // request set seen in the most recent arbitration.
-func (a *WFQ) Tick(now uint64) {
+func (a *WFQ) Tick(now noc.Cycle) {
 	if a.active == 0 {
-		a.vtime = math.Max(a.vtime, float64(now))
+		a.vtime = math.Max(a.vtime, float64(now.Uint()))
 		return
 	}
 	var sum float64

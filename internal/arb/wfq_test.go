@@ -28,7 +28,7 @@ func TestWFQBandwidthProportionalToWeights(t *testing.T) {
 	a.PacketArrived(0, heads[0])
 	a.PacketArrived(0, heads[1])
 	for g := 0; g < 400; g++ {
-		now := uint64(g)
+		now := noc.Cycle(g)
 		reqs := []Request{
 			{Input: 0, Class: noc.GuaranteedBandwidth, Packet: heads[0]},
 			{Input: 1, Class: noc.GuaranteedBandwidth, Packet: heads[1]},

@@ -23,7 +23,7 @@ type checkedArbiter struct {
 	checks *int
 }
 
-func (c *checkedArbiter) Arbitrate(now uint64, reqs []arb.Request) int {
+func (c *checkedArbiter) Arbitrate(now noc.Cycle, reqs []arb.Request) int {
 	w := c.ssvc.Arbitrate(now, reqs)
 
 	// Rebuild the crosspoint image the hardware would present. GB
@@ -56,15 +56,15 @@ func (c *checkedArbiter) Arbitrate(now uint64, reqs []arb.Request) int {
 	return w
 }
 
-func (c *checkedArbiter) Granted(now uint64, req arb.Request) { c.ssvc.Granted(now, req) }
-func (c *checkedArbiter) Tick(now uint64)                     { c.ssvc.Tick(now) }
+func (c *checkedArbiter) Granted(now noc.Cycle, req arb.Request) { c.ssvc.Granted(now, req) }
+func (c *checkedArbiter) Tick(now noc.Cycle)                     { c.ssvc.Tick(now) }
 
 // TestFabricMatchesSSVCInLiveSimulation drives a contended switch for
 // 50k cycles with every arbitration double-checked against the wires.
 func TestFabricMatchesSSVCInLiveSimulation(t *testing.T) {
 	const radix = 8
 	rates := []float64{0.3, 0.15, 0.1, 0.1, 0.05, 0.05, 0.05, 0}
-	vticks := make([]uint64, radix)
+	vticks := make([]core.VTime, radix)
 	specs := make([]noc.FlowSpec, 0, radix)
 	for i, r := range rates {
 		if r == 0 {
@@ -121,7 +121,7 @@ func TestFabricMatchesSSVCInLiveSimulation(t *testing.T) {
 func TestFabricMatchesSSVCWithCounterPolicies(t *testing.T) {
 	for _, policy := range []core.CounterPolicy{core.Halve, core.Reset} {
 		const radix = 4
-		vticks := []uint64{20, 80, 400, 800}
+		vticks := []core.VTime{20, 80, 400, 800}
 		checks := 0
 		sw, err := switchsim.New(
 			switchsim.Config{Radix: radix, BEBufferFlits: 16, GLBufferFlits: 16, GBBufferFlits: 16},

@@ -43,7 +43,7 @@ func BenchmarkComposeCycle(b *testing.B) {
 	net.Run(1000)
 	b.ReportAllocs()
 	b.ResetTimer()
-	net.Run(uint64(b.N))
+	net.Run(noc.Cycle(b.N))
 	b.ReportMetric(float64(net.Delivered)/float64(net.Now()), "pkts/cycle")
 }
 
@@ -57,6 +57,6 @@ func BenchmarkComposeCycleRecycled(b *testing.B) {
 	net.Run(1000) // fill pipelines and prime the free lists
 	b.ReportAllocs()
 	b.ResetTimer()
-	net.Run(uint64(b.N))
+	net.Run(noc.Cycle(b.N))
 	b.ReportMetric(float64(net.Delivered)/float64(net.Now()), "pkts/cycle")
 }

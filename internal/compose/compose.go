@@ -184,7 +184,7 @@ type Network struct {
 	cfg     Config
 	nodes   []*node
 	sources *fabric.Sources // one injection group per source terminal
-	now     uint64
+	now     noc.Cycle
 	err     error // terminal invariant violation; freezes the engine
 
 	faults   *faults.Injector
@@ -304,7 +304,7 @@ func (n *Network) FaultTotals() faults.Counters {
 func (n *Network) PortBase(node int) int { return n.portBase[node] }
 
 // Now returns the current cycle.
-func (n *Network) Now() uint64 { return n.now }
+func (n *Network) Now() noc.Cycle { return n.now }
 
 // AddFlow attaches a flow between terminals (Spec.Src/Dst are terminal
 // IDs). Flows sharing a source terminal share one injection group.
@@ -348,8 +348,8 @@ func (n *Network) Step() {
 
 // Run advances the given number of cycles, stopping early if the engine
 // fails sick.
-func (n *Network) Run(cycles uint64) {
-	for i := uint64(0); i < cycles; i++ {
+func (n *Network) Run(cycles noc.Cycle) {
+	for i := noc.Cycle(0); i < cycles; i++ {
 		if n.err != nil {
 			return
 		}
@@ -416,7 +416,7 @@ func (n *Network) abortTx(nd *node, out int) {
 // co-located flows share the injection port fairly.
 //
 //ssvc:hotpath
-func (n *Network) inject(now uint64) {
+func (n *Network) inject(now noc.Cycle) {
 	n.Injected += n.sources.Generate(now)
 	try := func(p *noc.Packet) bool {
 		// A fail-stopped terminal generates into a dead attachment port:
@@ -439,7 +439,7 @@ func (n *Network) inject(now uint64) {
 }
 
 //ssvc:hotpath
-func (n *Network) transfer(now uint64) {
+func (n *Network) transfer(now noc.Cycle) {
 	for _, nd := range n.nodes {
 		for port := range nd.out {
 			tx := nd.out[port]
@@ -488,7 +488,7 @@ func (n *Network) transfer(now uint64) {
 }
 
 //ssvc:hotpath
-func (n *Network) arbitrate(now uint64) {
+func (n *Network) arbitrate(now noc.Cycle) {
 	for _, nd := range n.nodes {
 		if n.err != nil {
 			return

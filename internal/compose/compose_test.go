@@ -62,7 +62,7 @@ func TestLocalTraffic(t *testing.T) {
 	n := mustClos(t, 2, 4, 4)
 	var seq traffic.Sequence
 	spec := noc.FlowSpec{Src: 0, Dst: 1, Class: noc.BestEffort, PacketLength: 4}
-	addFlow(t, n, spec, traffic.NewTrace(&seq, spec, []uint64{0}))
+	addFlow(t, n, spec, traffic.NewTrace(&seq, spec, []noc.Cycle{0}))
 	var got *noc.Packet
 	n.OnDeliver(func(p *noc.Packet) { got = p })
 	n.Run(100)
@@ -79,14 +79,14 @@ func TestCrossLeafTraffic(t *testing.T) {
 	n := mustClos(t, 2, 4, 4)
 	var seq traffic.Sequence
 	spec := noc.FlowSpec{Src: 0, Dst: 7, Class: noc.BestEffort, PacketLength: 4}
-	addFlow(t, n, spec, traffic.NewTrace(&seq, spec, []uint64{0}))
+	addFlow(t, n, spec, traffic.NewTrace(&seq, spec, []noc.Cycle{0}))
 	var got *noc.Packet
 	n.OnDeliver(func(p *noc.Packet) { got = p })
 	n.Run(200)
 	if got == nil {
 		t.Fatal("packet not delivered")
 	}
-	min := uint64(3 * (4 + 1))
+	min := noc.Cycle(3 * (4 + 1))
 	if got.TotalLatency() < min-3 || got.TotalLatency() > min+6 {
 		t.Fatalf("cross-leaf latency %d, want near %d", got.TotalLatency(), min)
 	}

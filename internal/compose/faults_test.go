@@ -40,7 +40,7 @@ func TestComposeFailStopTerminalKillsInjection(t *testing.T) {
 	alive := noc.FlowSpec{Src: 0, Dst: 4, Class: noc.BestEffort, PacketLength: 4}
 	addFlow(t, n, dead, traffic.NewBacklogged(&seq, dead, 4))
 	addFlow(t, n, alive, traffic.NewBacklogged(&seq, alive, 4))
-	var lastDead uint64
+	var lastDead noc.Cycle
 	aliveAfter := 0
 	n.OnDeliver(func(p *noc.Packet) {
 		switch {
@@ -79,7 +79,7 @@ func TestComposeDeadEjectionPortDropsItsTraffic(t *testing.T) {
 	control := noc.FlowSpec{Src: 3, Dst: 0, Class: noc.BestEffort, PacketLength: 4}
 	addFlow(t, n, doomed, traffic.NewBacklogged(&seq, doomed, 4))
 	addFlow(t, n, control, traffic.NewBacklogged(&seq, control, 4))
-	var lastDoomed uint64
+	var lastDoomed noc.Cycle
 	controlAfter := 0
 	n.OnDeliver(func(p *noc.Packet) {
 		switch {

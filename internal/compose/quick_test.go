@@ -37,9 +37,9 @@ func TestQuickClosConservationAndDrain(t *testing.T) {
 			}
 			spec := noc.FlowSpec{Src: i, Dst: dst, Class: noc.BestEffort,
 				PacketLength: 1 + rng.Intn(8)}
-			var times []uint64
+			var times []noc.Cycle
 			for k := 0; k < 15; k++ {
-				times = append(times, uint64(rng.Intn(1500)))
+				times = append(times, noc.Cycle(rng.Intn(1500)))
 			}
 			sortU64(times)
 			if err := net.AddFlow(traffic.Flow{Spec: spec, Gen: traffic.NewTrace(&seq, spec, times)}); err != nil {
@@ -70,7 +70,7 @@ func TestQuickClosConservationAndDrain(t *testing.T) {
 	}
 }
 
-func sortU64(v []uint64) {
+func sortU64(v []noc.Cycle) {
 	for i := 1; i < len(v); i++ {
 		for j := i; j > 0 && v[j] < v[j-1]; j-- {
 			v[j], v[j-1] = v[j-1], v[j]

@@ -11,9 +11,9 @@ import (
 func BenchmarkSSVCArbitrate(b *testing.B) {
 	for _, radix := range []int{8, 64} {
 		b.Run(map[int]string{8: "radix8", 64: "radix64"}[radix], func(b *testing.B) {
-			vticks := make([]uint64, radix)
+			vticks := make([]VTime, radix)
 			for i := range vticks {
-				vticks[i] = uint64(20 + 40*i)
+				vticks[i] = VTime(20 + 40*i)
 			}
 			s := NewSSVC(Config{Radix: radix, CounterBits: 12, SigBits: 4,
 				Policy: SubtractRealTime, Vticks: vticks})
@@ -27,7 +27,7 @@ func BenchmarkSSVCArbitrate(b *testing.B) {
 			}
 			b.ResetTimer()
 			for n := 0; n < b.N; n++ {
-				now := uint64(n)
+				now := Cycle(n)
 				w := s.Arbitrate(now, reqs)
 				s.Granted(now, reqs[w])
 				s.Tick(now)
@@ -41,6 +41,6 @@ func BenchmarkSSVCTick(b *testing.B) {
 	s := NewSSVC(testConfig(uniformVticks(8, 300)))
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
-		s.Tick(uint64(n))
+		s.Tick(Cycle(n))
 	}
 }

@@ -19,12 +19,12 @@ func FuzzSSVCGrantSequence(f *testing.F) {
 		policy := []CounterPolicy{SubtractRealTime, Halve, Reset}[int(policySel)%3]
 		s := NewSSVC(Config{
 			Radix: radix, CounterBits: 9, SigBits: 3, Policy: policy,
-			Vticks:   []uint64{7, 80, 300, 900},
+			Vticks:   []VTime{7, 80, 300, 900},
 			EnableGL: true, GLVtick: 50, GLBurst: 2,
 		})
-		now := uint64(0)
+		now := Cycle(0)
 		for _, b := range script {
-			now += uint64(b%7) + 1
+			now += Cycle(b%7) + 1
 			s.Tick(now)
 			var reqs []arb.Request
 			for i := 0; i < radix; i++ {

@@ -22,21 +22,21 @@ func TestQuickSSVCInvariants(t *testing.T) {
 		const radix = 6
 		policy := []CounterPolicy{SubtractRealTime, Halve, Reset}[int(policySel)%3]
 		rng := traffic.NewRNG(seed)
-		vticks := make([]uint64, radix)
+		vticks := make([]VTime, radix)
 		for i := range vticks {
-			vticks[i] = uint64(1 + rng.Intn(900))
+			vticks[i] = VTime(1 + rng.Intn(900))
 		}
 		cfg := Config{Radix: radix, CounterBits: 10, SigBits: 3, Policy: policy, Vticks: vticks}
 		cfg.EnableGL = rng.Bernoulli(0.5)
 		if cfg.EnableGL {
-			cfg.GLVtick = uint64(rng.Intn(100))
+			cfg.GLVtick = VTime(rng.Intn(100))
 			cfg.GLBurst = 1 + rng.Intn(4)
 		}
 		s := NewSSVC(cfg)
 
-		now := uint64(0)
+		now := Cycle(0)
 		for step := 0; step < 2000; step++ {
-			now += uint64(1 + rng.Intn(12))
+			now += Cycle(1 + rng.Intn(12))
 			s.Tick(now)
 			var reqs []arb.Request
 			for i := 0; i < radix; i++ {
@@ -102,10 +102,10 @@ func TestQuickSSVCRateCoverage(t *testing.T) {
 		rng := traffic.NewRNG(seed)
 		// Packet-count shares: reservations as packets/cycle with unit
 		// packets keeps the arithmetic exact.
-		vticks := make([]uint64, radix)
+		vticks := make([]VTime, radix)
 		var demand float64
 		for i := range vticks {
-			vticks[i] = uint64(8 + rng.Intn(120))
+			vticks[i] = VTime(8 + rng.Intn(120))
 			demand += 1 / float64(vticks[i])
 		}
 		if demand > 0.9 { // keep the mix feasible (1 grant/cycle here)
@@ -120,7 +120,7 @@ func TestQuickSSVCRateCoverage(t *testing.T) {
 				Packet: &noc.Packet{Src: i, Class: noc.GuaranteedBandwidth, Length: 1}}
 		}
 		const cycles = 60000
-		for now := uint64(0); now < cycles; now++ {
+		for now := Cycle(0); now < cycles; now++ {
 			w := s.Arbitrate(now, reqs)
 			wins[reqs[w].Input]++
 			s.Granted(now, reqs[w])

@@ -58,11 +58,11 @@ type Config struct {
 	SigBits int
 	// Policy is the finite-counter management method.
 	Policy CounterPolicy
-	// Vticks[i] is input i's virtual clock increment in cycles per
-	// packet (FlowSpec.Vtick) for this output. An input with Vtick 0
-	// has no GB reservation; its GB requests are demoted to best-effort
-	// priority.
-	Vticks []uint64
+	// Vticks[i] is input i's virtual clock increment in virtual-clock
+	// cycles per packet (FlowSpec.Vtick) for this output. An input with
+	// Vtick 0 has no GB reservation; its GB requests are demoted to
+	// best-effort priority.
+	Vticks []VTime
 
 	// EnableGL reserves the guaranteed-latency lane. GLVtick is the
 	// cycle budget per GL packet implied by the small fraction of output
@@ -72,7 +72,7 @@ type Config struct {
 	// traffic until the real-time clock catches up (§3.4: "safeguards
 	// ... to prevent its abuse"). GLVtick 0 disables policing.
 	EnableGL bool
-	GLVtick  uint64
+	GLVtick  VTime
 	GLBurst  int
 }
 
@@ -105,15 +105,15 @@ func (c Config) Validate() error {
 // present.
 type SSVC struct {
 	cfg     Config
-	levels  int    // 2^SigBits thermometer levels
-	quantum uint64 // value of one auxVC most-significant-bit step
-	max     uint64 // counter saturation value
+	levels  int   // 2^SigBits thermometer levels
+	quantum VTime // value of one auxVC most-significant-bit step
+	max     VTime // counter saturation value
 
-	aux  []uint64 // per-input auxVC, relative to base
-	base uint64   // real-time epoch the aux values are relative to
+	aux  []VTime // per-input auxVC, relative to base
+	base Cycle   // real-time epoch the aux values are relative to
 	lrg  *arb.LRGState
 
-	glVC uint64 // absolute leaky-bucket clock for the shared GL budget
+	glVC VTime // absolute leaky-bucket clock for the shared GL budget
 
 	saturations uint64 // number of policy events (halve/reset), for tests
 }
@@ -127,13 +127,13 @@ func NewSSVC(cfg Config) *SSVC {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	cfg.Vticks = append([]uint64(nil), cfg.Vticks...)
+	cfg.Vticks = append([]VTime(nil), cfg.Vticks...)
 	s := &SSVC{
 		cfg:     cfg,
 		levels:  1 << cfg.SigBits,
 		quantum: 1 << (cfg.CounterBits - cfg.SigBits),
 		max:     1<<cfg.CounterBits - 1,
-		aux:     make([]uint64, cfg.Radix),
+		aux:     make([]VTime, cfg.Radix),
 		lrg:     arb.NewLRGState(cfg.Radix),
 	}
 	return s
@@ -151,7 +151,7 @@ func (s *SSVC) Levels() int { return s.levels }
 // flows keep their earned priority and simply tick at the new rate from
 // the next grant on, exactly as the hardware would after an update of
 // the reservation table.
-func (s *SSVC) SetVticks(vt []uint64) error {
+func (s *SSVC) SetVticks(vt []VTime) error {
 	if len(vt) != s.cfg.Radix {
 		return fmt.Errorf("core: got %d vticks for radix %d", len(vt), s.cfg.Radix)
 	}
@@ -161,8 +161,8 @@ func (s *SSVC) SetVticks(vt []uint64) error {
 
 // rel returns the real-time clock value relative to the current epoch,
 // clamped to the counter range like the saturating hardware counter.
-func (s *SSVC) rel(now uint64) uint64 {
-	r := now - s.base
+func (s *SSVC) rel(now Cycle) VTime {
+	r := noc.VTimeOfCycle(noc.SatSub(now, s.base))
 	if r > s.max {
 		r = s.max
 	}
@@ -172,7 +172,7 @@ func (s *SSVC) rel(now uint64) uint64 {
 // Coarse returns input i's quantised auxVC value: the SigBits most
 // significant counter bits, clamped to the top thermometer level.
 func (s *SSVC) Coarse(i int) int {
-	v := s.aux[i] / s.quantum
+	v := (s.aux[i] / s.quantum).Uint()
 	if v >= uint64(s.levels) {
 		return s.levels - 1
 	}
@@ -186,25 +186,25 @@ func (s *SSVC) Therm(i int) []bool { return ThermCode(s.Coarse(i), s.levels) }
 func (s *SSVC) LRG() *arb.LRGState { return s.lrg }
 
 // Aux returns input i's raw auxVC counter value (relative to the epoch).
-func (s *SSVC) Aux(i int) uint64 { return s.aux[i] }
+func (s *SSVC) Aux(i int) VTime { return s.aux[i] }
 
 // Saturations returns how many halve/reset events have occurred.
 func (s *SSVC) Saturations() uint64 { return s.saturations }
 
 // glEligible reports whether a guaranteed-latency grant is currently
 // within the class's shared bandwidth budget.
-func (s *SSVC) glEligible(now uint64) bool {
+func (s *SSVC) glEligible(now Cycle) bool {
 	if !s.cfg.EnableGL || s.cfg.GLVtick == 0 {
 		return s.cfg.EnableGL
 	}
-	allowance := uint64(s.cfg.GLBurst-1) * s.cfg.GLVtick
-	return s.glVC <= now+allowance
+	allowance := noc.VTimeOf(uint64(s.cfg.GLBurst-1)) * s.cfg.GLVtick
+	return s.glVC <= noc.SatAdd(noc.VTimeOfCycle(now), allowance)
 }
 
 // Arbitrate implements arb.Arbiter.
 //
 //ssvc:hotpath
-func (s *SSVC) Arbitrate(now uint64, reqs []arb.Request) int {
+func (s *SSVC) Arbitrate(now noc.Cycle, reqs []arb.Request) int {
 	if len(reqs) == 0 {
 		return -1
 	}
@@ -261,15 +261,16 @@ func (s *SSVC) pickLRG(reqs []arb.Request, keep func(arb.Request) bool) int {
 // transmitted") and the LRG order rotates.
 //
 //ssvc:hotpath
-func (s *SSVC) Granted(now uint64, req arb.Request) {
+func (s *SSVC) Granted(now noc.Cycle, req arb.Request) {
 	s.lrg.Grant(req.Input)
 	switch req.Class {
 	case noc.GuaranteedLatency:
 		if s.cfg.GLVtick > 0 {
-			if now > s.glVC {
-				s.glVC = now
+			// Leaky-bucket step 1: the bucket clock never lags real time.
+			if nv := noc.VTimeOfCycle(now); nv > s.glVC {
+				s.glVC = nv
 			}
-			s.glVC += s.cfg.GLVtick
+			s.glVC = noc.SatAdd(s.glVC, s.cfg.GLVtick)
 		}
 	case noc.GuaranteedBandwidth:
 		vt := s.cfg.Vticks[req.Input]
@@ -280,7 +281,7 @@ func (s *SSVC) Granted(now uint64, req arb.Request) {
 		if r := s.rel(now); r > a {
 			a = r
 		}
-		a += vt
+		a = noc.SatAdd(a, vt)
 		if a > s.max {
 			a = s.max
 			s.aux[req.Input] = a
@@ -299,7 +300,7 @@ func (s *SSVC) Granted(now uint64, req arb.Request) {
 // compressing the set of distinct thermometer codes so LRG ties (and with
 // them latency fairness) become more frequent (§3.1 "Improving Latency
 // Fairness").
-func (s *SSVC) onSaturation(now uint64) {
+func (s *SSVC) onSaturation(now noc.Cycle) {
 	switch s.cfg.Policy {
 	case SubtractRealTime:
 		return
@@ -324,8 +325,8 @@ func (s *SSVC) onSaturation(now uint64) {
 // policies; the policies differ only in how auxVC saturation is handled.
 //
 //ssvc:hotpath
-func (s *SSVC) Tick(now uint64) {
-	for now-s.base >= s.quantum {
+func (s *SSVC) Tick(now Cycle) {
+	for noc.VTimeOfCycle(noc.SatSub(now, s.base)) >= s.quantum {
 		for i := range s.aux {
 			if s.aux[i] > s.quantum {
 				s.aux[i] -= s.quantum
@@ -333,6 +334,6 @@ func (s *SSVC) Tick(now uint64) {
 				s.aux[i] = 0
 			}
 		}
-		s.base += s.quantum
+		s.base += noc.CycleOfVTime(s.quantum)
 	}
 }

@@ -9,7 +9,7 @@ import (
 
 // testConfig mirrors Figure 4's arbitration parameters: a radix-8 switch
 // with a 12-bit counter and 4 significant bits (quantum 256).
-func testConfig(vticks []uint64) Config {
+func testConfig(vticks []VTime) Config {
 	return Config{
 		Radix:       8,
 		CounterBits: 12,
@@ -19,8 +19,8 @@ func testConfig(vticks []uint64) Config {
 	}
 }
 
-func uniformVticks(n int, v uint64) []uint64 {
-	out := make([]uint64, n)
+func uniformVticks(n int, v VTime) []VTime {
+	out := make([]VTime, n)
 	for i := range out {
 		out[i] = v
 	}
@@ -331,7 +331,7 @@ func TestSSVCBandwidthMeetsReservations(t *testing.T) {
 	// (8/9 flits/cycle for 8-flit packets), each flow receives at least
 	// its reserved rate; the leftover is redistributed.
 	rates := []float64{0.3, 0.15, 0.1, 0.1, 0.05, 0.05, 0.05, 0.05} // sum 0.85
-	vt := make([]uint64, 8)
+	vt := make([]VTime, 8)
 	for i, r := range rates {
 		vt[i] = noc.FlowSpec{Rate: r, PacketLength: 8}.Vtick()
 	}
@@ -341,7 +341,7 @@ func TestSSVCBandwidthMeetsReservations(t *testing.T) {
 	for i := range reqs {
 		reqs[i] = gbReq(i)
 	}
-	now := uint64(0)
+	now := Cycle(0)
 	const grants = 50000
 	for g := 0; g < grants; g++ {
 		w := s.Arbitrate(now, reqs)

@@ -1,0 +1,17 @@
+package core
+
+import "swizzleqos/internal/noc"
+
+// Cycle and VTime are the simulator's two time domains, defined in
+// internal/noc and re-exported here so SSVC configuration and tests can
+// speak of core.Cycle / core.VTime directly. They are type aliases —
+// identical to the noc types — so the units analyzer keys off the single
+// defining package (internal/noc) and the conversion helpers there
+// (noc.CycleOf, noc.VTimeOf, noc.VTimeOfCycle, noc.CycleOfVTime) remain
+// the only sanctioned domain crossings.
+type (
+	// Cycle is real (switch-clock) time.
+	Cycle = noc.Cycle
+	// VTime is virtual-clock time: auxVC counters, Vticks, stamps.
+	VTime = noc.VTime
+)

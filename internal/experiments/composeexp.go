@@ -122,7 +122,7 @@ func ComposeQoS(o Options) []ComposeOutcome {
 					// Leaf 0's uplink (port 4) regulates the contended
 					// stage; aggregate reservations per input port.
 					if nodeID == 0 && port == 4 {
-						vticks := make([]uint64, ports)
+						vticks := make([]core.VTime, ports)
 						for src, sum := range aggregate {
 							if sum > 0 && src < ports {
 								vticks[src] = noc.FlowSpec{Rate: sum, PacketLength: pktLen}.Vtick()

@@ -78,8 +78,8 @@ func Convergence(o Options) []ConvergenceOutcome {
 		key := stats.FlowKey{Src: 0, Dst: 0, Class: noc.GuaranteedBandwidth}
 		oc := ConvergenceOutcome{Scheme: name, ConvergenceWindows: -1, Err: sw.Err()}
 		// Idle-phase utilisation, skipping warmup.
-		first := int(o.Warmup/windowLen) + 1
-		lastIdle := int(wake/windowLen) - 1
+		first := int((o.Warmup / windowLen).Uint()) + 1
+		lastIdle := int((wake / windowLen).Uint()) - 1
 		var util float64
 		var n int
 		for w := first; w <= lastIdle; w++ {
@@ -89,7 +89,7 @@ func Convergence(o Options) []ConvergenceOutcome {
 		if n > 0 {
 			oc.IdleUtilisation = util / float64(n)
 		}
-		wakeWin := int(wake / windowLen)
+		wakeWin := int((wake / windowLen).Uint())
 		if hit := series.FirstWindowAtLeast(key, wakeWin, bigRate*0.95); hit >= 0 {
 			oc.ConvergenceWindows = hit - wakeWin
 		}
@@ -110,11 +110,11 @@ func Convergence(o Options) []ConvergenceOutcome {
 // gatedBacklog wraps a generator, suppressing it before cycle from.
 type gatedBacklog struct {
 	inner traffic.Generator
-	from  uint64
+	from  noc.Cycle
 }
 
 // Tick implements traffic.Generator.
-func (g *gatedBacklog) Tick(now uint64, queued int) *noc.Packet {
+func (g *gatedBacklog) Tick(now noc.Cycle, queued int) *noc.Packet {
 	if now < g.from {
 		return nil
 	}

@@ -49,7 +49,7 @@ func AblationDecoupling(o Options) []DecouplingOutcome {
 		var seq traffic.Sequence
 		// The 1% flow complies with its contract: one 8-flit packet
 		// every 800 cycles.
-		interval := uint64(float64(specs[0].PacketLength) / specs[0].Rate)
+		interval := noc.CycleOf(uint64(float64(specs[0].PacketLength) / specs[0].Rate))
 		b.add(sw, traffic.Flow{Spec: specs[0], Gen: traffic.NewPeriodic(&seq, specs[0], interval, 13)})
 		for _, s := range specs[1:] {
 			b.add(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})

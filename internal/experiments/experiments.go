@@ -22,9 +22,9 @@ import (
 // selects full-length runs; Quick shrinks them for fast benchmarks and CI.
 type Options struct {
 	// Cycles is the measurement window length after warmup.
-	Cycles uint64
+	Cycles core.Cycle
 	// Warmup is the number of cycles discarded before measuring.
-	Warmup uint64
+	Warmup core.Cycle
 	// Seed perturbs all workload RNG streams.
 	Seed uint64
 	// Workers bounds how many independent sweep points are simulated
@@ -54,7 +54,7 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-func (o Options) total() uint64 { return o.Warmup + o.Cycles }
+func (o Options) total() core.Cycle { return o.Warmup + o.Cycles }
 
 // fig4Radix and friends pin the paper's Figure 4 setup: 8 inputs, one
 // output, 128-bit output channel, 8-flit packets, 16-flit buffers, GB
@@ -93,8 +93,8 @@ func fig4Config() switchsim.Config {
 
 // vticksFor computes the per-input Vtick vector toward one output for a
 // set of flow specs.
-func vticksFor(radix int, specs []noc.FlowSpec, out int) []uint64 {
-	vt := make([]uint64, radix)
+func vticksFor(radix int, specs []noc.FlowSpec, out int) []core.VTime {
+	vt := make([]core.VTime, radix)
 	for _, s := range specs {
 		if s.Dst == out && s.Class == noc.GuaranteedBandwidth {
 			vt[s.Src] = s.Vtick()

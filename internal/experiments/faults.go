@@ -72,7 +72,7 @@ type FaultOutcome struct {
 // given options: the output-stall window, the fail-stop cycle, and the
 // end of the settle phase. Exposed so tests and EXPERIMENTS.md agree
 // with the implementation.
-func FaultSchedule(o Options) (stallFrom, stallUntil, failAt, settledAt uint64) {
+func FaultSchedule(o Options) (stallFrom, stallUntil, failAt, settledAt core.Cycle) {
 	o = o.withDefaults()
 	stallFrom = o.Warmup + o.Cycles/5
 	stallUntil = stallFrom + 200
@@ -164,7 +164,7 @@ func faultRun(name string, policy core.CounterPolicy, faultSeed uint64, o Option
 	// through oc.Err after the run.
 	var refitErr error
 	failed := make([]bool, fig4Radix)
-	sw.OnFailStop(func(now uint64, f faults.FailStop) {
+	sw.OnFailStop(func(now noc.Cycle, f faults.FailStop) {
 		if !f.Input {
 			return
 		}
@@ -216,7 +216,7 @@ func faultRun(name string, policy core.CounterPolicy, faultSeed uint64, o Option
 
 	// Recovery: the first sampling window at/after the fail-stop where
 	// every surviving GB flow holds 95% of its recomputed reservation.
-	failWin := int(failAt / faultSeriesWindow)
+	failWin := int((failAt / faultSeriesWindow).Uint())
 	worstWin := failWin
 	for i, r := range oc.Recomputed {
 		if r <= 0 {
@@ -263,14 +263,14 @@ func faultRun(name string, policy core.CounterPolicy, faultSeed uint64, o Option
 // attempt (lmax cycles of channel time), its exponential backoff hold,
 // and one glVtick for the GL leaky bucket to re-credit the lane (the
 // first grant consumed the packet's credit).
-func faultGLRetryPenalty(glVtick uint64) float64 {
+func faultGLRetryPenalty(glVtick core.VTime) float64 {
 	var penalty uint64
 	for r := 0; r < faults.DefaultMaxRetries; r++ {
 		backoff := uint64(faults.DefaultBackoffBase) << r
 		if backoff > faults.DefaultBackoffCap {
 			backoff = faults.DefaultBackoffCap
 		}
-		penalty += uint64(fig4PacketLen) + backoff + glVtick
+		penalty += uint64(fig4PacketLen) + backoff + glVtick.Uint()
 	}
 	return float64(penalty)
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"swizzleqos/internal/fabric"
+	"swizzleqos/internal/noc"
 	"swizzleqos/internal/traffic"
 )
 
@@ -69,8 +70,8 @@ type sickEngine struct {
 }
 
 func (e *sickEngine) Step()                      {}
-func (e *sickEngine) Run(uint64)                 {}
-func (e *sickEngine) Now() uint64                { return 0 }
+func (e *sickEngine) Run(noc.Cycle)              {}
+func (e *sickEngine) Now() noc.Cycle             { return 0 }
 func (e *sickEngine) AddFlow(traffic.Flow) error { return nil }
 func (e *sickEngine) Err() error                 { return e.err }
 

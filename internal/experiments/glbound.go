@@ -26,8 +26,8 @@ type GLScenario struct {
 // GLOutcome compares the analytic bound with the measured worst case.
 type GLOutcome struct {
 	Scenario      GLScenario
-	PredictedWait float64 // tau_GL from Eq. 1
-	MeasuredWait  uint64  // worst observed waiting time (enqueue to grant)
+	PredictedWait float64    // tau_GL from Eq. 1
+	MeasuredWait  core.Cycle // worst observed waiting time (enqueue to grant)
 	Holds         bool
 	GLDelivered   uint64
 	// Err is set when the scenario could not be constructed or the run
@@ -105,7 +105,7 @@ func glBoundRun(sc GLScenario, o Options) GLOutcome {
 			EnableGL:    true,
 			// The leaky bucket must admit one full adversarial burst;
 			// long-run policing is exercised separately.
-			GLVtick: uint64(sc.GLPacketLen * 20),
+			GLVtick: noc.VTimeOf(uint64(sc.GLPacketLen * 20)),
 			GLBurst: sc.NGL * pktsPerBuf,
 		})
 	}
@@ -121,17 +121,16 @@ func glBoundRun(sc GLScenario, o Options) GLOutcome {
 	// GL bursts: every input fills its buffer at the same instants,
 	// several times per run, spaced far enough apart for policing and
 	// buffers to recover.
-	burstTimes := []uint64{}
-	gap := uint64(40 * sc.NGL * pktsPerBuf * (sc.GLPacketLen + 1))
+	burstTimes := []noc.Cycle{}
+	gap := noc.CycleOf(uint64(40 * sc.NGL * pktsPerBuf * (sc.GLPacketLen + 1)))
 	if gap < 2000 {
 		gap = 2000
 	}
-	// Guard the subtraction: at very short runs gap can exceed the total,
-	// and o.total()-gap would wrap around as uint64.
-	if o.total() > gap {
-		for tm := o.Warmup; tm < o.total()-gap; tm += gap {
-			burstTimes = append(burstTimes, tm)
-		}
+	// At very short runs gap can exceed the total; the saturating
+	// subtraction yields an empty schedule instead of wrapping.
+	lastStart := noc.SatSub(o.total(), gap)
+	for tm := o.Warmup; tm < lastStart; tm += gap {
+		burstTimes = append(burstTimes, tm)
 	}
 	if len(burstTimes) == 0 {
 		burstTimes = append(burstTimes, o.Warmup)
@@ -143,7 +142,7 @@ func glBoundRun(sc GLScenario, o Options) GLOutcome {
 			Rate:         0.05,
 			PacketLength: sc.GLPacketLen,
 		}
-		times := make([]uint64, 0, len(burstTimes)*pktsPerBuf)
+		times := make([]noc.Cycle, 0, len(burstTimes)*pktsPerBuf)
 		for _, tm := range burstTimes {
 			for k := 0; k < pktsPerBuf; k++ {
 				times = append(times, tm)
@@ -166,7 +165,7 @@ func glBoundRun(sc GLScenario, o Options) GLOutcome {
 	})
 	sw.OnRelease(seq.Recycle)
 	sw.Run(o.total())
-	out.Holds = float64(out.MeasuredWait) <= out.PredictedWait
+	out.Holds = float64(out.MeasuredWait.Uint()) <= out.PredictedWait
 	return out
 }
 
@@ -196,7 +195,7 @@ func (r GLBoundResult) AllHold() bool {
 func (r GLBoundResult) Tightness() float64 {
 	worst := 0.0
 	for _, o := range r.Outcomes {
-		ratio := float64(o.MeasuredWait) / o.PredictedWait
+		ratio := float64(o.MeasuredWait.Uint()) / o.PredictedWait
 		worst = math.Max(worst, ratio)
 	}
 	return worst

@@ -18,10 +18,10 @@ import (
 // never wait longer than L_n, even when every other GL flow bursts its
 // own budget simultaneously.
 type GLBurstOutcome struct {
-	Constraint   float64 // L_n, cycles
-	BudgetPkts   float64 // sigma_n from Eqs. 2-3
-	BurstSent    int     // floor(sigma_n), packets per burst
-	MeasuredWait uint64  // worst waiting time observed
+	Constraint   float64    // L_n, cycles
+	BudgetPkts   float64    // sigma_n from Eqs. 2-3
+	BurstSent    int        // floor(sigma_n), packets per burst
+	MeasuredWait core.Cycle // worst waiting time observed
 	Holds        bool
 	Packets      uint64
 }
@@ -103,15 +103,18 @@ func GLBursts(o Options) GLBurstsResult {
 	}
 	// Synchronized bursts, spaced far enough apart for the policing
 	// bucket and buffers to recover.
-	gap := uint64(20 * totalBurstPkts * (glLen + 1))
+	gap := noc.CycleOf(uint64(20 * totalBurstPkts * (glLen + 1)))
 	if gap < 4000 {
 		gap = 4000
 	}
-	var burstTimes []uint64
-	for tm := o.Warmup; tm < o.total()-gap; tm += gap {
+	// Saturate instead of wrapping when gap exceeds the run length: an
+	// empty schedule, not a burst at cycle 2^64-something.
+	lastStart := noc.SatSub(o.total(), gap)
+	var burstTimes []noc.Cycle
+	for tm := o.Warmup; tm < lastStart; tm += gap {
 		burstTimes = append(burstTimes, tm)
 	}
-	worst := make([]uint64, nGL)
+	worst := make([]noc.Cycle, nGL)
 	count := make([]uint64, nGL)
 	for i := 0; i < nGL; i++ {
 		spec := noc.FlowSpec{
@@ -120,7 +123,7 @@ func GLBursts(o Options) GLBurstsResult {
 			Rate:         0.02,
 			PacketLength: glLen,
 		}
-		var times []uint64
+		var times []noc.Cycle
 		for _, tm := range burstTimes {
 			for k := 0; k < bursts[i]; k++ {
 				times = append(times, tm)
@@ -152,7 +155,7 @@ func GLBursts(o Options) GLBurstsResult {
 			BudgetPkts:   b.MaxPackets,
 			BurstSent:    bursts[i],
 			MeasuredWait: worst[i],
-			Holds:        float64(worst[i]) <= b.Latency,
+			Holds:        float64(worst[i].Uint()) <= b.Latency,
 			Packets:      count[i],
 		})
 	}

@@ -85,7 +85,7 @@ func AblationGSF(o Options) []GSFOutcome {
 	// Job 0 is the SSVC reference; jobs 1..4 are GSF at increasing
 	// barrier latencies. Each job builds its own controller and switch,
 	// so the five simulations fan out independently.
-	barriers := []uint64{0, 256, 512, 1024}
+	barriers := []noc.Cycle{0, 256, 512, 1024}
 	return runner.Map(o.pool(), 1+len(barriers), func(i int) GSFOutcome {
 		if i == 0 {
 			return run("SSVC", fig4Config(), ssvcFactory(fig4Radix, fig4SigBits, 0, specs), nil)

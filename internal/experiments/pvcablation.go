@@ -89,7 +89,7 @@ func AblationPVC(o Options) []PVCOutcome {
 	plainCfg := fig4Config()
 	plainCfg.GBBufferFlits = 2 * bulkLen
 
-	vticks := func(out int) []uint64 { return vticksFor(fig4Radix, all, out) }
+	vticks := func(out int) []core.VTime { return vticksFor(fig4Radix, all, out) }
 
 	urgentGL := urgent
 	urgentGL.Class = noc.GuaranteedLatency

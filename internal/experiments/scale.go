@@ -20,7 +20,7 @@ type ScaleResult struct {
 	WorstRatio       float64 // min accepted/reserved on the hotspot
 	HotspotTotal     float64 // accepted flits/cycle at the hotspot
 	BackgroundTotal  float64 // accepted flits/cycle across background outputs
-	GLWorstWait      uint64
+	GLWorstWait      core.Cycle
 	GLBound          float64
 	DeliveredPackets uint64
 	// Err is set when the switch could not be constructed or the run
@@ -104,7 +104,7 @@ func Scale64(o Options) ScaleResult {
 	for _, s := range specs {
 		b.add(sw, traffic.Flow{Spec: s, Gen: traffic.NewBacklogged(&seq, s, 4)})
 	}
-	var glTimes []uint64
+	var glTimes []noc.Cycle
 	for t := o.Warmup; t < o.total(); t += 5000 {
 		glTimes = append(glTimes, t)
 	}

@@ -92,9 +92,9 @@ type Clockable interface {
 	// Step advances the simulation one cycle.
 	Step()
 	// Run advances the simulation n cycles.
-	Run(n uint64)
+	Run(n noc.Cycle)
 	// Now returns the current cycle.
-	Now() uint64
+	Now() noc.Cycle
 }
 
 // Engine is the interface the runner, statistics, and experiments layers

@@ -93,7 +93,7 @@ func (s *Sources) Flow(i int) *FlowQueue { return s.flows[i] }
 
 // Generate lets every flow's generator emit at most one packet into its
 // source queue and returns the number of packets created this cycle.
-func (s *Sources) Generate(now uint64) uint64 {
+func (s *Sources) Generate(now noc.Cycle) uint64 {
 	var injected uint64
 	for _, fq := range s.flows {
 		if p := fq.Flow.Gen.Tick(now, fq.Queued()); p != nil {

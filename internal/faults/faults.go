@@ -52,8 +52,8 @@ const (
 // [From, Until): while stalled the port neither transmits nor grants.
 type StallWindow struct {
 	Port  int
-	From  uint64
-	Until uint64
+	From  noc.Cycle
+	Until noc.Cycle
 }
 
 // FailStop kills one port at cycle At for the rest of the run. Input
@@ -63,7 +63,7 @@ type StallWindow struct {
 type FailStop struct {
 	Input bool
 	Port  int
-	At    uint64
+	At    noc.Cycle
 }
 
 // Config is a complete, declarative fault schedule. The zero value
@@ -81,9 +81,9 @@ type Config struct {
 	MaxRetries int
 	// BackoffBase is the first retry delay in cycles (DefaultBackoffBase
 	// if zero); attempt k backs off BackoffBase<<(k-1) cycles.
-	BackoffBase uint64
+	BackoffBase noc.Cycle
 	// BackoffCap caps the backoff delay (DefaultBackoffCap if zero).
-	BackoffCap uint64
+	BackoffCap noc.Cycle
 	// Stalls lists output-port stall windows.
 	Stalls []StallWindow
 	// FailStops lists permanent port deaths.
@@ -146,7 +146,7 @@ func (in *Injector) Totals() Counters { return in.Counters }
 // arbiter reservations). The returned slice aliases internal storage and
 // is valid until the next call; in fault-free cycles it is nil and the
 // call does no work and allocates nothing.
-func (in *Injector) BeginCycle(now uint64) []FailStop {
+func (in *Injector) BeginCycle(now noc.Cycle) []FailStop {
 	if len(in.rest) == 0 || in.rest[0].At > now {
 		return nil
 	}
@@ -182,7 +182,7 @@ func (in *Injector) OutputDead(p int) bool {
 // StallOutput reports whether output port p must stay silent this cycle
 // because a stall window covers now. Each stalled port-cycle is counted
 // exactly once; engines must consult it at most once per port per cycle.
-func (in *Injector) StallOutput(now uint64, port int) bool {
+func (in *Injector) StallOutput(now noc.Cycle, port int) bool {
 	for _, w := range in.cfg.Stalls {
 		if w.Port == port && now >= w.From && now < w.Until {
 			in.StallCycles++
@@ -213,14 +213,14 @@ func (in *Injector) CorruptArrival(p *noc.Packet) bool {
 // retransmission, and returns true: the engine re-queues the packet at
 // the head of its input buffer. Otherwise it counts a drop and returns
 // false: the engine must discard the packet via Hooks.Drop.
-func (in *Injector) Retry(now uint64, p *noc.Packet) bool {
+func (in *Injector) Retry(now noc.Cycle, p *noc.Packet) bool {
 	p.Retries++
 	if p.Retries > in.cfg.MaxRetries {
 		in.Drops++
 		return false
 	}
-	delay := in.cfg.BackoffBase << (p.Retries - 1)
-	if delay > in.cfg.BackoffCap || delay < in.cfg.BackoffBase {
+	delay := noc.SatShl(in.cfg.BackoffBase, uint(p.Retries-1))
+	if delay > in.cfg.BackoffCap {
 		delay = in.cfg.BackoffCap
 	}
 	p.HoldUntil = now + delay

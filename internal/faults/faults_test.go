@@ -46,7 +46,7 @@ func TestStallWindow(t *testing.T) {
 	if in.StallOutput(99, 3) || in.StallOutput(103, 3) || in.StallOutput(100, 2) {
 		t.Fatal("stall outside window or port")
 	}
-	for now := uint64(100); now < 103; now++ {
+	for now := noc.Cycle(100); now < 103; now++ {
 		if !in.StallOutput(now, 3) {
 			t.Fatalf("cycle %d: port 3 not stalled", now)
 		}
@@ -59,7 +59,7 @@ func TestStallWindow(t *testing.T) {
 func TestRetryBudgetAndBackoff(t *testing.T) {
 	in := New(Config{MaxRetries: 3, BackoffBase: 4, BackoffCap: 10})
 	p := &noc.Packet{ID: 1, Length: 8}
-	wantHold := []uint64{1004, 1008, 1010} // 4, 8, then capped at 10
+	wantHold := []noc.Cycle{1004, 1008, 1010} // 4, 8, then capped at 10
 	for i, want := range wantHold {
 		if !in.Retry(1000, p) {
 			t.Fatalf("attempt %d: budget exhausted early", i+1)

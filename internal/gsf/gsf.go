@@ -40,7 +40,7 @@ type Config struct {
 	Window int
 	// BarrierLatency is the cost in cycles of the global barrier that
 	// retires a drained frame.
-	BarrierLatency uint64
+	BarrierLatency noc.Cycle
 	// Rates[i] is source i's reserved fraction of the hot resource.
 	Rates []float64
 }
@@ -77,7 +77,7 @@ type Controller struct {
 	used     map[uint64][]uint64 // per open frame, flits stamped per input
 	inflight map[uint64]int      // packets stamped but not yet delivered
 
-	barrierBusyUntil uint64
+	barrierBusyUntil noc.Cycle
 
 	// Throttled counts admission attempts refused for lack of budget.
 	Throttled uint64
@@ -109,7 +109,7 @@ func NewController(cfg Config) *Controller {
 // Admit is the switch's AdmissionGate: it stamps the packet with the
 // earliest open frame that still has budget for the source and charges
 // it, or refuses (source throttling).
-func (c *Controller) Admit(now uint64, p *noc.Packet) bool {
+func (c *Controller) Admit(now noc.Cycle, p *noc.Packet) bool {
 	length := uint64(p.Length)
 	for f := c.head; f < c.head+uint64(c.cfg.Window); f++ {
 		u := c.used[f]
@@ -121,7 +121,7 @@ func (c *Controller) Admit(now uint64, p *noc.Packet) bool {
 			continue
 		}
 		u[p.Src] += length
-		p.Stamp = f
+		p.Stamp = noc.VTimeOf(f)
 		c.inflight[f]++
 		return true
 	}
@@ -132,13 +132,13 @@ func (c *Controller) Admit(now uint64, p *noc.Packet) bool {
 // Delivered retires a packet from its frame's in-flight count; the switch
 // delivery observer must call it for every packet.
 func (c *Controller) Delivered(p *noc.Packet) {
-	c.inflight[p.Stamp]--
+	c.inflight[p.Stamp.Uint()]--
 }
 
 // Tick advances the barrier: when the head frame has no in-flight packets
 // and the barrier network is free, the frame retires after BarrierLatency
 // cycles and the window slides.
-func (c *Controller) Tick(now uint64) {
+func (c *Controller) Tick(now noc.Cycle) {
 	if now < c.barrierBusyUntil {
 		return
 	}
@@ -169,9 +169,9 @@ func NewArbiter(n int, ctl *Controller) *Arbiter {
 }
 
 // Arbitrate implements arb.Arbiter: earliest frame wins; LRG breaks ties.
-func (a *Arbiter) Arbitrate(now uint64, reqs []arb.Request) int {
+func (a *Arbiter) Arbitrate(now noc.Cycle, reqs []arb.Request) int {
 	best := -1
-	var bestFrame uint64
+	var bestFrame noc.VTime
 	bestRank := a.state.Size()
 	for i, r := range reqs {
 		f := r.Packet.Stamp
@@ -184,11 +184,11 @@ func (a *Arbiter) Arbitrate(now uint64, reqs []arb.Request) int {
 }
 
 // Granted implements arb.Arbiter.
-func (a *Arbiter) Granted(now uint64, req arb.Request) { a.state.Grant(req.Input) }
+func (a *Arbiter) Granted(now noc.Cycle, req arb.Request) { a.state.Grant(req.Input) }
 
 // Tick implements arb.Arbiter; the controller's barrier advances once per
 // cycle through whichever arbiter ticks first (Tick is idempotent per
 // cycle because retiring re-checks the in-flight count).
-func (a *Arbiter) Tick(now uint64) { a.ctl.Tick(now) }
+func (a *Arbiter) Tick(now noc.Cycle) { a.ctl.Tick(now) }
 
 var _ arb.Arbiter = (*Arbiter)(nil)

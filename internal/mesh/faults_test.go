@@ -41,7 +41,7 @@ func TestMeshFailStopNodeKillsInjection(t *testing.T) {
 	alive := noc.FlowSpec{Src: 1, Dst: 5, Class: noc.BestEffort, PacketLength: 4}
 	addFlow(t, m, dead, traffic.NewBacklogged(&seq, dead, 4))
 	addFlow(t, m, alive, traffic.NewBacklogged(&seq, alive, 4))
-	var lastDead uint64
+	var lastDead noc.Cycle
 	aliveAfter := 0
 	m.OnDeliver(func(p *noc.Packet) {
 		switch {
@@ -84,7 +84,7 @@ func TestMeshDeadLinkDropsRoutedTraffic(t *testing.T) {
 	local := noc.FlowSpec{Src: 5, Dst: 1, Class: noc.BestEffort, PacketLength: 4}
 	addFlow(t, m, crossing, traffic.NewBacklogged(&seq, crossing, 4))
 	addFlow(t, m, local, traffic.NewBacklogged(&seq, local, 4))
-	var lastCrossing uint64
+	var lastCrossing noc.Cycle
 	localAfter := 0
 	m.OnDeliver(func(p *noc.Packet) {
 		switch {

@@ -107,7 +107,7 @@ type Mesh struct {
 	cfg     Config
 	routers []*router
 	sources *fabric.Sources // one injection group per flow
-	now     uint64
+	now     noc.Cycle
 	err     error // terminal invariant violation; freezes the engine
 
 	faults *faults.Injector
@@ -196,7 +196,7 @@ func (m *Mesh) flatPort(r *router, p Port) int {
 }
 
 // Now returns the current cycle.
-func (m *Mesh) Now() uint64 { return m.now }
+func (m *Mesh) Now() noc.Cycle { return m.now }
 
 // Diameter returns the mesh diameter in hops.
 func (m *Mesh) Diameter() int { return m.cfg.Width + m.cfg.Height - 2 }
@@ -314,8 +314,8 @@ func (m *Mesh) Step() {
 }
 
 // Run advances n cycles, stopping early if the engine fails sick.
-func (m *Mesh) Run(n uint64) {
-	for i := uint64(0); i < n; i++ {
+func (m *Mesh) Run(n noc.Cycle) {
+	for i := noc.Cycle(0); i < n; i++ {
 		if m.err != nil {
 			return
 		}
@@ -324,7 +324,7 @@ func (m *Mesh) Run(n uint64) {
 }
 
 //ssvc:hotpath
-func (m *Mesh) inject(now uint64) {
+func (m *Mesh) inject(now noc.Cycle) {
 	m.Injected += m.sources.Generate(now)
 	try := func(p *noc.Packet) bool {
 		// A fail-stopped node generates into a dead local port: accept
@@ -399,7 +399,7 @@ func (m *Mesh) abortTx(r *router, out Port) {
 // retry budget is spent.
 //
 //ssvc:hotpath
-func (m *Mesh) transfer(now uint64) {
+func (m *Mesh) transfer(now noc.Cycle) {
 	for _, r := range m.routers {
 		for out := Port(0); out < numPorts; out++ {
 			tx := r.out[out]
@@ -448,7 +448,7 @@ func (m *Mesh) transfer(now uint64) {
 // (L-flit packets occupy a link for L+1 cycles).
 //
 //ssvc:hotpath
-func (m *Mesh) arbitrate(now uint64) {
+func (m *Mesh) arbitrate(now noc.Cycle) {
 	for _, r := range m.routers {
 		if m.err != nil {
 			return

@@ -56,7 +56,7 @@ func TestSinglePacketCrossesTheMesh(t *testing.T) {
 	m := mustMesh(t, 4, 4)
 	var seq traffic.Sequence
 	spec := noc.FlowSpec{Src: 0, Dst: 15, Class: noc.BestEffort, PacketLength: 4}
-	addFlow(t, m, spec, traffic.NewTrace(&seq, spec, []uint64{0}))
+	addFlow(t, m, spec, traffic.NewTrace(&seq, spec, []noc.Cycle{0}))
 	var got *noc.Packet
 	m.OnDeliver(func(p *noc.Packet) { got = p })
 	m.Run(200)
@@ -64,7 +64,7 @@ func TestSinglePacketCrossesTheMesh(t *testing.T) {
 		t.Fatal("packet not delivered")
 	}
 	// 6 hops plus ejection, each (4+1) cycles of link occupancy minimum.
-	min := uint64((m.Diameter() + 1) * (spec.PacketLength + 1))
+	min := noc.Cycle((m.Diameter() + 1) * (spec.PacketLength + 1))
 	if got.TotalLatency() < min-7 || got.TotalLatency() > min+14 {
 		t.Fatalf("latency %d, want near %d (no contention)", got.TotalLatency(), min)
 	}
@@ -81,7 +81,7 @@ func TestXYRoutingIsMinimal(t *testing.T) {
 			continue
 		}
 		spec := noc.FlowSpec{Src: src, Dst: dst, Class: noc.BestEffort, PacketLength: 2}
-		addFlow(t, m, spec, traffic.NewTrace(&seq, spec, []uint64{uint64(src) * 500}))
+		addFlow(t, m, spec, traffic.NewTrace(&seq, spec, []noc.Cycle{noc.Cycle(src) * 500}))
 	}
 	m.Run(6000)
 	if m.Delivered != m.Injected || m.Delivered == 0 {
@@ -189,7 +189,7 @@ func TestCustomArbiter(t *testing.T) {
 	}
 	var seq traffic.Sequence
 	spec := noc.FlowSpec{Src: 0, Dst: 1, Class: noc.BestEffort, PacketLength: 4}
-	addFlow(t, m, spec, traffic.NewTrace(&seq, spec, []uint64{0}))
+	addFlow(t, m, spec, traffic.NewTrace(&seq, spec, []noc.Cycle{0}))
 	m.Run(100)
 	if m.Delivered != 1 {
 		t.Fatalf("delivered %d, want 1", m.Delivered)
@@ -222,7 +222,7 @@ func BenchmarkMeshCycle(b *testing.B) {
 	}
 	m.Run(1000)
 	b.ResetTimer()
-	m.Run(uint64(b.N))
+	m.Run(noc.Cycle(b.N))
 	b.ReportMetric(float64(m.Delivered)/float64(m.Now()), "pkts/cycle")
 }
 
@@ -247,6 +247,6 @@ func BenchmarkMeshCycleRecycled(b *testing.B) {
 	m.Run(1000) // fill pipelines and prime the free lists
 	b.ReportAllocs()
 	b.ResetTimer()
-	m.Run(uint64(b.N))
+	m.Run(noc.Cycle(b.N))
 	b.ReportMetric(float64(m.Delivered)/float64(m.Now()), "pkts/cycle")
 }

@@ -36,9 +36,9 @@ func TestQuickMeshConservationAndDrain(t *testing.T) {
 			}
 			spec := noc.FlowSpec{Src: i, Dst: dst, Class: noc.BestEffort, PacketLength: pktLen}
 			// Finite trace so the network can drain.
-			var times []uint64
+			var times []noc.Cycle
 			for k := 0; k < 20; k++ {
-				times = append(times, uint64(rng.Intn(2000)))
+				times = append(times, noc.Cycle(rng.Intn(2000)))
 			}
 			sortU64(times)
 			if err := m.AddFlow(traffic.Flow{Spec: spec, Gen: traffic.NewTrace(&seq, spec, times)}); err != nil {
@@ -72,7 +72,7 @@ func TestQuickMeshConservationAndDrain(t *testing.T) {
 	}
 }
 
-func sortU64(v []uint64) {
+func sortU64(v []noc.Cycle) {
 	for i := 1; i < len(v); i++ {
 		for j := i; j > 0 && v[j] < v[j-1]; j-- {
 			v[j], v[j-1] = v[j-1], v[j]

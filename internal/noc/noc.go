@@ -60,12 +60,12 @@ type Packet struct {
 	// used only by the original Virtual Clock arbiter, which transmits
 	// packets in increasing stamp order; SSVC keeps its state per
 	// crosspoint instead.
-	Stamp uint64
+	Stamp VTime
 
-	CreatedAt   uint64 // cycle the source generated the packet
-	EnqueuedAt  uint64 // cycle the packet entered the input buffer
-	GrantedAt   uint64 // cycle switch arbitration granted the packet
-	DeliveredAt uint64 // cycle the last flit left the output channel
+	CreatedAt   Cycle // cycle the source generated the packet
+	EnqueuedAt  Cycle // cycle the packet entered the input buffer
+	GrantedAt   Cycle // cycle switch arbitration granted the packet
+	DeliveredAt Cycle // cycle the last flit left the output channel
 
 	// Retries counts link-level retransmission attempts after a modeled
 	// CRC failure (see internal/faults). Zero on a clean first delivery.
@@ -73,19 +73,19 @@ type Packet struct {
 	// HoldUntil is the cycle before which a NACKed packet may not be
 	// re-offered to arbitration (exponential backoff). Zero means the
 	// packet is eligible immediately.
-	HoldUntil uint64
+	HoldUntil Cycle
 }
 
 // TotalLatency is the cycles from generation to delivery of the last flit.
-func (p *Packet) TotalLatency() uint64 { return p.DeliveredAt - p.CreatedAt }
+func (p *Packet) TotalLatency() Cycle { return SatSub(p.DeliveredAt, p.CreatedAt) }
 
 // NetworkLatency is the cycles from entering the input buffer to delivery.
-func (p *Packet) NetworkLatency() uint64 { return p.DeliveredAt - p.EnqueuedAt }
+func (p *Packet) NetworkLatency() Cycle { return SatSub(p.DeliveredAt, p.EnqueuedAt) }
 
 // WaitingTime is the cycles a packet waited at the switch before being
 // granted, measured from input-buffer arrival. This is the quantity bounded
 // by the paper's guaranteed-latency equation (Eq. 1).
-func (p *Packet) WaitingTime() uint64 { return p.GrantedAt - p.EnqueuedAt }
+func (p *Packet) WaitingTime() Cycle { return SatSub(p.GrantedAt, p.EnqueuedAt) }
 
 // FlowSpec describes one flow's traffic contract.
 type FlowSpec struct {
@@ -135,7 +135,7 @@ func (f FlowSpec) Validate(radix int) error {
 // inter-packet time of a flow sending PacketLength-flit packets at its
 // reserved rate. Transmitting one packet advances the flow's virtual clock
 // by this amount (paper §2.2).
-func (f FlowSpec) Vtick() uint64 {
+func (f FlowSpec) Vtick() VTime {
 	if f.Rate <= 0 {
 		return 0
 	}
@@ -143,5 +143,5 @@ func (f FlowSpec) Vtick() uint64 {
 	if v < 1 {
 		v = 1
 	}
-	return uint64(v + 0.5)
+	return VTimeOf(uint64(v + 0.5))
 }

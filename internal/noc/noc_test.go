@@ -82,7 +82,7 @@ func TestVtick(t *testing.T) {
 	cases := []struct {
 		rate float64
 		len  int
-		want uint64
+		want VTime
 	}{
 		// Figure 4's reserved fractions with 8-flit packets.
 		{0.40, 8, 20},

@@ -1,0 +1,98 @@
+package noc
+
+// This file defines the simulator's two time domains as distinct types,
+// so the compiler — and the ssvc-lint units analyzer layered on top —
+// keeps them from being mixed silently:
+//
+//   - Cycle is the real-time clock domain: the simulated cycle counter,
+//     packet timestamps, stall windows, backoff deadlines.
+//   - VTime is the virtual-clock domain: auxVC counters, Vtick
+//     increments, Virtual Clock packet stamps, leaky-bucket clocks.
+//
+// The paper's central hazard (§3.1) is exactly at the seam between the
+// two: Virtual Clock step 1, auxVC <- max(auxVC, real time), reads a
+// real-time value into the virtual domain, and every finite-counter
+// policy (Subtract/Halve/Reset) manipulates virtual values against
+// real-time epochs. Each legal crossing goes through one of the named
+// conversion helpers below, so `grep VTimeOfCycle` lists every place a
+// real-time value enters the virtual domain. Direct conversions such as
+// uint64(now) or VTime(now) outside this file are rejected by the units
+// analyzer (see internal/analysis and DESIGN.md "Invariants").
+//
+// The saturating helpers (SatSub, SatAdd, SatShl) are the sanctioned
+// way to do counter arithmetic that could wrap: the countersafety
+// analyzer treats them as safe sinks, while an unguarded `a - b` on
+// unsigned operands is a finding.
+
+// Cycle is a point in (or span of) simulated real time, measured in
+// cycles of the switch clock. The zero value is cycle 0.
+type Cycle uint64
+
+// Uint returns the raw cycle count, for statistics aggregation and
+// rendering. This is the only sanctioned Cycle -> uint64 conversion.
+func (c Cycle) Uint() uint64 { return uint64(c) }
+
+// VTime is a point in (or span of) virtual-clock time: the domain of
+// auxVC counters, Vticks, and Virtual Clock stamps. Virtual time is
+// cycle-granular but advances per grant, not per cycle.
+type VTime uint64
+
+// Uint returns the raw virtual-clock value, for statistics aggregation
+// and rendering. This is the only sanctioned VTime -> uint64 conversion.
+func (v VTime) Uint() uint64 { return uint64(v) }
+
+// CycleOf enters the real-time domain from a raw count (configuration
+// boundaries: flag parsing, option structs).
+func CycleOf(n uint64) Cycle { return Cycle(n) }
+
+// VTimeOf enters the virtual-clock domain from a raw count
+// (configuration boundaries: derived Vticks, counter widths).
+func VTimeOf(n uint64) VTime { return VTime(n) }
+
+// VTimeOfCycle reads a real-time value into the virtual-clock domain —
+// Virtual Clock step 1, auxVC <- max(auxVC, real time), and the leaky
+// bucket's comparison of its virtual clock against real time (§3.4).
+func VTimeOfCycle(c Cycle) VTime { return VTime(c) }
+
+// CycleOfVTime reads a virtual-clock span back into real time — the
+// real-time clock epoch advancing by one auxVC quantum (§3.1).
+func CycleOfVTime(v VTime) Cycle { return Cycle(v) }
+
+// Counter constrains the saturating helpers to the simulator's unsigned
+// counter types: raw uint64 and the two time domains.
+type Counter interface{ ~uint64 }
+
+// SatSub returns a-b, saturating at zero instead of wrapping. It is the
+// shared guard for counter subtraction near the zero boundary — the bug
+// class behind the glbound burst-scheduling underflow fixed in PR 1 —
+// and the countersafety analyzer recognizes it as a safe sink.
+func SatSub[T Counter](a, b T) T {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// SatAdd returns a+b, saturating at the maximum value instead of
+// wrapping. A wrapped addition under-reports a counter and, in the
+// SSVC, would let an auxVC slip past its saturation policy undetected.
+func SatAdd[T Counter](a, b T) T {
+	s := a + b
+	if s < a {
+		return ^T(0)
+	}
+	return s
+}
+
+// SatShl returns v<<k, saturating at the maximum value when the shift
+// overflows (k >= 64, or set bits shifted out). It replaces the
+// hand-guarded exponential backoff arithmetic in internal/faults.
+func SatShl[T Counter](v T, k uint) T {
+	if v == 0 {
+		return 0
+	}
+	if k >= 64 || v > ^T(0)>>k {
+		return ^T(0)
+	}
+	return v << k
+}

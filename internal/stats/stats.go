@@ -97,8 +97,8 @@ func (f *FlowStats) LatencyPercentileUpperBound(p float64) uint64 {
 // Deliveries before Warmup or at/after End (when End > 0) are ignored, so
 // reported throughput reflects steady state.
 type Collector struct {
-	Warmup uint64
-	End    uint64
+	Warmup noc.Cycle
+	End    noc.Cycle
 
 	flows map[FlowKey]*FlowStats
 	// free recycles FlowStats structs across Reset calls, so a worker
@@ -110,7 +110,7 @@ type Collector struct {
 // NewCollector returns a collector measuring cycles [warmup, end). end 0
 // means "until the run stops"; call Close with the final cycle to fix the
 // window length for throughput computation.
-func NewCollector(warmup, end uint64) *Collector {
+func NewCollector(warmup, end noc.Cycle) *Collector {
 	return &Collector{Warmup: warmup, End: end, flows: make(map[FlowKey]*FlowStats)}
 }
 
@@ -118,7 +118,7 @@ func NewCollector(warmup, end uint64) *Collector {
 // allocations (the flow map and per-flow structs) for reuse. Results read
 // from the collector before Reset must have been copied out — FlowStats
 // pointers obtained earlier are recycled.
-func (c *Collector) Reset(warmup, end uint64) {
+func (c *Collector) Reset(warmup, end noc.Cycle) {
 	c.Warmup, c.End = warmup, end
 	for k, f := range c.flows {
 		delete(c.flows, k)
@@ -128,14 +128,14 @@ func (c *Collector) Reset(warmup, end uint64) {
 }
 
 // Close fixes the window end for throughput computations when End was 0.
-func (c *Collector) Close(finalCycle uint64) {
+func (c *Collector) Close(finalCycle noc.Cycle) {
 	if c.End == 0 {
 		c.End = finalCycle
 	}
 }
 
 // Window returns the measurement window length in cycles.
-func (c *Collector) Window() uint64 {
+func (c *Collector) Window() noc.Cycle {
 	if c.End <= c.Warmup {
 		return 0
 	}
@@ -158,8 +158,8 @@ func (c *Collector) OnDeliver(p *noc.Packet) {
 		}
 		c.flows[k] = f
 	}
-	lat := p.TotalLatency()
-	wait := p.WaitingTime()
+	lat := p.TotalLatency().Uint()
+	wait := p.WaitingTime().Uint()
 	f.Packets++
 	f.Flits += uint64(p.Length)
 	f.LatSum += lat
@@ -169,7 +169,7 @@ func (c *Collector) OnDeliver(p *noc.Packet) {
 	if lat > f.LatMax {
 		f.LatMax = lat
 	}
-	f.NetLatSum += p.NetworkLatency()
+	f.NetLatSum += p.NetworkLatency().Uint()
 	f.WaitSum += wait
 	if wait > f.WaitMax {
 		f.WaitMax = wait
@@ -210,7 +210,7 @@ func (c *Collector) Throughput(k FlowKey) float64 {
 	if f == nil || w == 0 {
 		return 0
 	}
-	return float64(f.Flits) / float64(w)
+	return float64(f.Flits) / float64(w.Uint())
 }
 
 // OutputThroughput returns the total accepted throughput of one output
@@ -226,7 +226,7 @@ func (c *Collector) OutputThroughput(dst int) float64 {
 			flits += f.Flits
 		}
 	}
-	return float64(flits) / float64(w)
+	return float64(flits) / float64(w.Uint())
 }
 
 // Adherence returns a flow's guarantee-adherence ratio: accepted

@@ -7,7 +7,7 @@ import (
 	"swizzleqos/internal/noc"
 )
 
-func delivered(src, dst int, class noc.Class, length int, created, enqueued, granted, deliveredAt uint64) *noc.Packet {
+func delivered(src, dst int, class noc.Class, length int, created, enqueued, granted, deliveredAt noc.Cycle) *noc.Packet {
 	return &noc.Packet{
 		Src: src, Dst: dst, Class: class, Length: length,
 		CreatedAt: created, EnqueuedAt: enqueued, GrantedAt: granted, DeliveredAt: deliveredAt,

@@ -6,14 +6,14 @@ import "swizzleqos/internal/noc"
 // cycles, for convergence and transient analysis (how quickly the
 // scheduler re-establishes reservations after a workload change).
 type Series struct {
-	window uint64
+	window noc.Cycle
 	flits  map[FlowKey][]uint64
 	// last is the highest window index observed, so rows can be padded.
 	last int
 }
 
 // NewSeries returns a sampler with the given window length in cycles.
-func NewSeries(window uint64) *Series {
+func NewSeries(window noc.Cycle) *Series {
 	if window == 0 {
 		panic("stats: series window must be positive")
 	}
@@ -21,11 +21,11 @@ func NewSeries(window uint64) *Series {
 }
 
 // Window returns the window length in cycles.
-func (s *Series) Window() uint64 { return s.window }
+func (s *Series) Window() noc.Cycle { return s.window }
 
 // OnDeliver accounts a delivered packet to its window.
 func (s *Series) OnDeliver(p *noc.Packet) {
-	idx := int(p.DeliveredAt / s.window)
+	idx := int((p.DeliveredAt / s.window).Uint())
 	k := KeyOf(p)
 	buf := s.flits[k]
 	for len(buf) <= idx {
@@ -47,7 +47,7 @@ func (s *Series) Throughput(k FlowKey, idx int) float64 {
 	if idx < 0 || idx >= len(buf) {
 		return 0
 	}
-	return float64(buf[idx]) / float64(s.window)
+	return float64(buf[idx]) / float64(s.window.Uint())
 }
 
 // TotalThroughput returns the summed flits/cycle of all flows toward dst
@@ -60,7 +60,7 @@ func (s *Series) TotalThroughput(dst, idx int) float64 {
 		}
 		flits += buf[idx]
 	}
-	return float64(flits) / float64(s.window)
+	return float64(flits) / float64(s.window.Uint())
 }
 
 // FirstWindowAtLeast returns the first window index >= from where flow

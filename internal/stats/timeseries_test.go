@@ -10,7 +10,7 @@ func TestSeriesWindowsAndThroughput(t *testing.T) {
 	s := NewSeries(100)
 	k := FlowKey{Src: 1, Dst: 2, Class: noc.BestEffort}
 	// 3 packets of 4 flits in window 0, one in window 2.
-	for _, at := range []uint64{10, 50, 99, 250} {
+	for _, at := range []noc.Cycle{10, 50, 99, 250} {
 		s.OnDeliver(delivered(1, 2, noc.BestEffort, 4, at-5, at-5, at-2, at))
 	}
 	if s.Windows() != 3 {

@@ -15,7 +15,7 @@ type Windowed struct {
 // consecutive phases; phase i observes deliveries in cycles
 // [bounds[i], bounds[i+1]). Bounds must be non-decreasing and there
 // must be at least two.
-func NewWindowed(bounds ...uint64) *Windowed {
+func NewWindowed(bounds ...noc.Cycle) *Windowed {
 	if len(bounds) < 2 {
 		panic("stats: windowed collector needs at least two bounds")
 	}

@@ -26,7 +26,7 @@ func TestWindowedDispatchesByDeliveryCycle(t *testing.T) {
 		t.Fatalf("phases = %d, want 3", w.Phases())
 	}
 	k := FlowKey{Src: 0, Dst: 0, Class: noc.GuaranteedBandwidth}
-	cycles := []uint64{50, 150, 250, 250, 350, 350, 350, 450}
+	cycles := []noc.Cycle{50, 150, 250, 250, 350, 350, 350, 450}
 	for _, at := range cycles {
 		w.OnDeliver(delivered(0, 0, noc.GuaranteedBandwidth, 8, at-10, at-10, at-5, at))
 	}

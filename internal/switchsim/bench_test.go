@@ -37,7 +37,7 @@ func benchSwitch(b *testing.B, radix int, newArb func(int) arb.Arbiter) (*Switch
 // saturated switches at the paper's radices under LRG and SSVC.
 func BenchmarkSwitchCycle(b *testing.B) {
 	for _, radix := range []int{8, 16, 32, 64} {
-		vticks := make([]uint64, radix)
+		vticks := make([]core.VTime, radix)
 		for i := range vticks {
 			vticks[i] = 16
 		}
@@ -56,7 +56,7 @@ func BenchmarkSwitchCycle(b *testing.B) {
 				sw.Run(1000) // fill pipelines
 				b.ReportAllocs()
 				b.ResetTimer()
-				sw.Run(uint64(b.N))
+				sw.Run(noc.Cycle(b.N))
 				b.ReportMetric(float64(sw.Delivered)/float64(sw.Now()), "pkts/cycle")
 			})
 		}
@@ -69,7 +69,7 @@ func BenchmarkSwitchCycle(b *testing.B) {
 // allocations per cycle once the pipelines and free lists are warm.
 func BenchmarkSwitchCycleRecycled(b *testing.B) {
 	for _, radix := range []int{8, 16, 32, 64} {
-		vticks := make([]uint64, radix)
+		vticks := make([]core.VTime, radix)
 		for i := range vticks {
 			vticks[i] = 16
 		}
@@ -84,7 +84,7 @@ func BenchmarkSwitchCycleRecycled(b *testing.B) {
 			sw.Run(1000) // fill pipelines and prime the free lists
 			b.ReportAllocs()
 			b.ResetTimer()
-			sw.Run(uint64(b.N))
+			sw.Run(noc.Cycle(b.N))
 			b.ReportMetric(float64(sw.Delivered)/float64(sw.Now()), "pkts/cycle")
 		})
 	}

@@ -11,7 +11,7 @@ import (
 )
 
 // ssvcGLFactory builds SSVC arbiters with an enabled, policed GL class.
-func ssvcGLFactory(radix int, vticks []uint64, glVtick uint64, glBurst int) func(int) arb.Arbiter {
+func ssvcGLFactory(radix int, vticks []core.VTime, glVtick core.VTime, glBurst int) func(int) arb.Arbiter {
 	return func(int) arb.Arbiter {
 		return core.NewSSVC(core.Config{
 			Radix:       radix,
@@ -33,7 +33,7 @@ func TestGLPolicingCapsLongRunRate(t *testing.T) {
 	// continues.
 	const glRate = 0.05
 	glVtick := noc.FlowSpec{Rate: glRate, PacketLength: 2}.Vtick() // 40 cycles/packet
-	vticks := make([]uint64, 8)
+	vticks := make([]core.VTime, 8)
 	for i := 0; i < 4; i++ {
 		vticks[i] = noc.FlowSpec{Rate: 0.2, PacketLength: 8}.Vtick()
 	}
@@ -68,7 +68,7 @@ func TestGLPolicingCapsLongRunRate(t *testing.T) {
 func TestBEStarvedByStrictClassPriority(t *testing.T) {
 	// §3: BE "has the lowest priority in the network" — saturated GB
 	// traffic starves it completely, unlike LRG where it would share.
-	vticks := make([]uint64, 8)
+	vticks := make([]core.VTime, 8)
 	vticks[0] = noc.FlowSpec{Rate: 0.5, PacketLength: 8}.Vtick()
 	sw := mustNew(t, testConfig(), ssvcGLFactory(8, vticks, 0, 0))
 	var seq traffic.Sequence
@@ -90,7 +90,7 @@ func TestBEStarvedByStrictClassPriority(t *testing.T) {
 func TestBEUsesLeftoverWhenGBIdle(t *testing.T) {
 	// With GB injecting at only half its reservation, BE soaks up the
 	// leftover — work conservation across classes.
-	vticks := make([]uint64, 8)
+	vticks := make([]core.VTime, 8)
 	vticks[0] = noc.FlowSpec{Rate: 0.4, PacketLength: 8}.Vtick()
 	sw := mustNew(t, testConfig(), ssvcGLFactory(8, vticks, 0, 0))
 	var seq traffic.Sequence
@@ -115,14 +115,14 @@ func TestChainingDoesNotBypassGL(t *testing.T) {
 	// pending GL packet must still preempt at the next arbitration.
 	cfg := testConfig()
 	cfg.PacketChaining = true
-	vticks := make([]uint64, 8)
+	vticks := make([]core.VTime, 8)
 	vticks[0] = noc.FlowSpec{Rate: 0.5, PacketLength: 8}.Vtick()
 	sw := mustNew(t, cfg, ssvcGLFactory(8, vticks, 0, 0))
 	var seq traffic.Sequence
 	addFlow(t, sw, backloggedGB(&seq, 0, 0, 8, 0.5))
 	glSpec := noc.FlowSpec{Src: 7, Dst: 0, Class: noc.GuaranteedLatency, Rate: 0.05, PacketLength: 2}
-	addFlow(t, sw, traffic.Flow{Spec: glSpec, Gen: traffic.NewTrace(&seq, glSpec, []uint64{5000})})
-	var glWait uint64
+	addFlow(t, sw, traffic.Flow{Spec: glSpec, Gen: traffic.NewTrace(&seq, glSpec, []noc.Cycle{5000})})
+	var glWait noc.Cycle
 	var glSeen bool
 	sw.OnDeliver(func(p *noc.Packet) {
 		if p.Class == noc.GuaranteedLatency {
@@ -149,7 +149,7 @@ func TestPreemptionAbortsAndRetransmits(t *testing.T) {
 	// victim retries from its queue head and still completes.
 	cfg := testConfig()
 	cfg.Preemption = true
-	vticks := []uint64{2000, 20, 0, 0, 0, 0, 0, 0}
+	vticks := []core.VTime{2000, 20, 0, 0, 0, 0, 0, 0}
 	var pvc *arb.PVC
 	sw, err := New(cfg, func(out int) arb.Arbiter {
 		a := arb.NewPVC(8, vticks, 10)
@@ -166,8 +166,8 @@ func TestPreemptionAbortsAndRetransmits(t *testing.T) {
 	fast := noc.FlowSpec{Src: 1, Dst: 0, Class: noc.GuaranteedBandwidth, Rate: 0.4, PacketLength: 8}
 	// The slow packet arrives first and starts transmitting; the fast
 	// one arrives mid-flight with a much smaller stamp.
-	addFlow(t, sw, traffic.Flow{Spec: slow, Gen: traffic.NewTrace(&seq, slow, []uint64{0})})
-	addFlow(t, sw, traffic.Flow{Spec: fast, Gen: traffic.NewTrace(&seq, fast, []uint64{3})})
+	addFlow(t, sw, traffic.Flow{Spec: slow, Gen: traffic.NewTrace(&seq, slow, []noc.Cycle{0})})
+	addFlow(t, sw, traffic.Flow{Spec: fast, Gen: traffic.NewTrace(&seq, fast, []noc.Cycle{3})})
 	var order []int
 	sw.OnDeliver(func(p *noc.Packet) { order = append(order, p.Src) })
 	sw.Run(100)
@@ -190,7 +190,7 @@ func TestPreemptionAbortsAndRetransmits(t *testing.T) {
 
 func TestPreemptionDisabledByDefault(t *testing.T) {
 	// Without cfg.Preemption the same scenario lets the holder finish.
-	vticks := []uint64{2000, 20, 0, 0, 0, 0, 0, 0}
+	vticks := []core.VTime{2000, 20, 0, 0, 0, 0, 0, 0}
 	sw, err := New(testConfig(), func(int) arb.Arbiter { return arb.NewPVC(8, vticks, 10) })
 	if err != nil {
 		t.Fatal(err)
@@ -198,8 +198,8 @@ func TestPreemptionDisabledByDefault(t *testing.T) {
 	var seq traffic.Sequence
 	slow := noc.FlowSpec{Src: 0, Dst: 0, Class: noc.GuaranteedBandwidth, Rate: 0.004, PacketLength: 8}
 	fast := noc.FlowSpec{Src: 1, Dst: 0, Class: noc.GuaranteedBandwidth, Rate: 0.4, PacketLength: 8}
-	addFlow(t, sw, traffic.Flow{Spec: slow, Gen: traffic.NewTrace(&seq, slow, []uint64{0})})
-	addFlow(t, sw, traffic.Flow{Spec: fast, Gen: traffic.NewTrace(&seq, fast, []uint64{3})})
+	addFlow(t, sw, traffic.Flow{Spec: slow, Gen: traffic.NewTrace(&seq, slow, []noc.Cycle{0})})
+	addFlow(t, sw, traffic.Flow{Spec: fast, Gen: traffic.NewTrace(&seq, fast, []noc.Cycle{3})})
 	var order []int
 	sw.OnDeliver(func(p *noc.Packet) { order = append(order, p.Src) })
 	sw.Run(100)

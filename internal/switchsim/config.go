@@ -63,7 +63,7 @@ type Config struct {
 	// schemes such as Globally Synchronized Frames regulate injection
 	// here rather than at the switch arbiter. The gate may stamp the
 	// packet (e.g. with a frame number) when it admits it.
-	AdmissionGate func(now uint64, p *noc.Packet) bool
+	AdmissionGate func(now noc.Cycle, p *noc.Packet) bool
 }
 
 // Validate reports a descriptive error for malformed configurations.

@@ -42,10 +42,10 @@ func TestFailStopInputKillsFlowAndFiresHook(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	var hookNow uint64
+	var hookNow noc.Cycle
 	var hookFault faults.FailStop
 	hooks := 0
-	sw.OnFailStop(func(now uint64, f faults.FailStop) {
+	sw.OnFailStop(func(now noc.Cycle, f faults.FailStop) {
 		hooks++
 		hookNow, hookFault = now, f
 	})
@@ -56,7 +56,7 @@ func TestFailStopInputKillsFlowAndFiresHook(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	var lastDeadDelivery uint64
+	var lastDeadDelivery noc.Cycle
 	survivorAfter := 0
 	sw.OnDeliver(func(p *noc.Packet) {
 		switch {
@@ -105,7 +105,7 @@ func TestFailStopOutputDropsItsTraffic(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	var lastDead uint64
+	var lastDead noc.Cycle
 	aliveAfter := 0
 	sw.OnDeliver(func(p *noc.Packet) {
 		switch {

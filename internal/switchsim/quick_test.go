@@ -40,7 +40,7 @@ func TestQuickConservationAndCapacity(t *testing.T) {
 		}
 		rng := traffic.NewRNG(seed)
 		var seq traffic.Sequence
-		stopAt := uint64(3000)
+		stopAt := noc.Cycle(3000)
 		for i := 0; i < radix; i++ {
 			spec := noc.FlowSpec{
 				Src: i, Dst: rng.Intn(radix),
@@ -97,7 +97,7 @@ func TestQuickSSVCNeverStarvesReservedFlows(t *testing.T) {
 			ws[i] = 0.1 + rng.Float64()
 			wsum += ws[i]
 		}
-		vticks := make([]uint64, radix)
+		vticks := make([]core.VTime, radix)
 		specs := make([]noc.FlowSpec, radix)
 		for i := range rates {
 			rates[i] = ws[i] / wsum * total

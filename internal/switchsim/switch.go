@@ -33,7 +33,7 @@ type request struct {
 // input offers nothing. A head sitting out a retransmission backoff
 // (HoldUntil > now, see internal/faults) blocks its own queue but not
 // the input's other queues; HoldUntil is always zero in fault-free runs.
-func (in *inputPort) currentRequest(now uint64) (request, bool) {
+func (in *inputPort) currentRequest(now noc.Cycle) (request, bool) {
 	if in.busy {
 		return request{}, false
 	}
@@ -95,11 +95,11 @@ type Switch struct {
 	outputs []*outputPort
 	sources *fabric.Sources // flow source queues, grouped by input port
 
-	now uint64
+	now noc.Cycle
 	err error // terminal invariant violation; freezes the engine
 
 	faults     *faults.Injector
-	onFailStop func(now uint64, f faults.FailStop)
+	onFailStop func(now noc.Cycle, f faults.FailStop)
 
 	offers  [][]arb.Request // scratch: this cycle's offers, bucketed by destination output
 	arbReqs []arb.Request   // scratch: requests handed to one arbitration
@@ -163,7 +163,7 @@ func New(cfg Config, newArb func(output int) arb.Arbiter) (*Switch, error) {
 func (s *Switch) Config() Config { return s.cfg }
 
 // Now returns the current cycle.
-func (s *Switch) Now() uint64 { return s.now }
+func (s *Switch) Now() noc.Cycle { return s.now }
 
 // Arbiter returns output o's arbiter, for inspection in tests.
 func (s *Switch) Arbiter(o int) arb.Arbiter { return s.outputs[o].arb }
@@ -199,7 +199,7 @@ func (s *Switch) SetFaults(cfg faults.Config) error {
 // graceful-degradation policy lives in this hook: the experiments layer
 // uses it to re-derive SSVC Vticks so surviving flows absorb the failed
 // flows' reservations (core.SSVC.SetVticks).
-func (s *Switch) OnFailStop(fn func(now uint64, f faults.FailStop)) { s.onFailStop = fn }
+func (s *Switch) OnFailStop(fn func(now noc.Cycle, f faults.FailStop)) { s.onFailStop = fn }
 
 // FaultTotals returns the injector's fault counters (zero if no schedule
 // is installed).
@@ -258,8 +258,8 @@ func (s *Switch) Step() {
 
 // Run advances the simulation by n cycles, stopping early if the engine
 // fails sick (see Err).
-func (s *Switch) Run(n uint64) {
-	for i := uint64(0); i < n; i++ {
+func (s *Switch) Run(n noc.Cycle) {
+	for i := noc.Cycle(0); i < n; i++ {
 		if s.err != nil {
 			return
 		}
@@ -273,7 +273,7 @@ func (s *Switch) Run(n uint64) {
 // (original Virtual Clock, WFQ) stamp the packet here.
 //
 //ssvc:hotpath
-func (s *Switch) admit(now uint64) {
+func (s *Switch) admit(now noc.Cycle) {
 	try := func(p *noc.Packet) bool {
 		// Packets from a fail-stopped input or toward a fail-stopped
 		// output are doomed: accept them out of the source queue and
@@ -310,7 +310,7 @@ func (s *Switch) admit(now uint64) {
 // (L-flit packets achieve at most L/(L+1) flits/cycle without chaining).
 //
 //ssvc:hotpath
-func (s *Switch) serveOutputs(now uint64) {
+func (s *Switch) serveOutputs(now noc.Cycle) {
 	// Snapshot each input's offer before any grants this cycle, so an
 	// input freed by a completion at one output cannot be granted at
 	// another in the same cycle (its channel is still draining the last
@@ -376,7 +376,7 @@ func (s *Switch) serveOutputs(now uint64) {
 // NACKed to the head of its queue for full retransmission.
 //
 //ssvc:hotpath
-func (s *Switch) tryPreempt(out *outputPort, now uint64) bool {
+func (s *Switch) tryPreempt(out *outputPort, now noc.Cycle) bool {
 	pre := out.pre
 	reqs := s.arbReqs[:0]
 	for _, r := range s.offers[out.id] {
@@ -411,7 +411,7 @@ func (s *Switch) tryPreempt(out *outputPort, now uint64) bool {
 // budget is spent. Either way the channel cycles it consumed are wasted.
 //
 //ssvc:hotpath
-func (s *Switch) transfer(out *outputPort, now uint64) {
+func (s *Switch) transfer(out *outputPort, now noc.Cycle) {
 	s.DataCycles++
 	tx := out.tx
 	tx.Remaining--
@@ -449,7 +449,7 @@ func (s *Switch) transfer(out *outputPort, now uint64) {
 // as in a dedicated cycle — chaining buys throughput, never ordering.
 //
 //ssvc:hotpath
-func (s *Switch) tryChain(out *outputPort, now uint64) {
+func (s *Switch) tryChain(out *outputPort, now noc.Cycle) {
 	reqs := s.arbReqs[:0]
 	for _, in := range s.inputs {
 		if r, ok := in.currentRequest(now); ok && r.dst == out.id {
@@ -472,7 +472,7 @@ func (s *Switch) tryChain(out *outputPort, now uint64) {
 // back-to-back transmission.
 //
 //ssvc:hotpath
-func (s *Switch) grant(out *outputPort, now uint64, req arb.Request, chained bool) {
+func (s *Switch) grant(out *outputPort, now noc.Cycle, req arb.Request, chained bool) {
 	in := s.inputs[req.Input]
 	buf := in.bufferFor(req.Class, out.id)
 	p := buf.Pop()
@@ -514,7 +514,7 @@ func (s *Switch) dropPkt(p *noc.Packet) {
 // new packet for the dead port enters a buffer afterwards, so a
 // surviving input's round-robin offer can never pin on a dead output.
 // This is a cold path; its closures may allocate.
-func (s *Switch) applyFailStop(now uint64, f faults.FailStop) {
+func (s *Switch) applyFailStop(now noc.Cycle, f faults.FailStop) {
 	all := func(*noc.Packet) bool { return true }
 	if f.Input {
 		in := s.inputs[f.Port]

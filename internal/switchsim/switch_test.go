@@ -19,7 +19,7 @@ func lrgFactory(radix int) func(int) arb.Arbiter {
 	return func(int) arb.Arbiter { return arb.NewLRG(radix) }
 }
 
-func ssvcFactory(radix int, vticks []uint64) func(int) arb.Arbiter {
+func ssvcFactory(radix int, vticks []core.VTime) func(int) arb.Arbiter {
 	return func(int) arb.Arbiter {
 		return core.NewSSVC(core.Config{
 			Radix:       radix,
@@ -65,7 +65,7 @@ func TestSinglePacketTiming(t *testing.T) {
 	var seq traffic.Sequence
 	sw := mustNew(t, testConfig(), lrgFactory(8))
 	spec := noc.FlowSpec{Src: 0, Dst: 3, Class: noc.BestEffort, PacketLength: 8}
-	addFlow(t, sw, traffic.Flow{Spec: spec, Gen: traffic.NewTrace(&seq, spec, []uint64{0})})
+	addFlow(t, sw, traffic.Flow{Spec: spec, Gen: traffic.NewTrace(&seq, spec, []noc.Cycle{0})})
 
 	var got *noc.Packet
 	sw.OnDeliver(func(p *noc.Packet) { got = p })
@@ -144,7 +144,7 @@ func TestSSVCReservedRatesEndToEnd(t *testing.T) {
 	// Figure 4(b) in miniature: saturated GB flows with reservations
 	// that fit in the channel each receive at least their reservation.
 	rates := []float64{0.3, 0.15, 0.1, 0.1, 0.05, 0.05, 0.05, 0.05}
-	vticks := make([]uint64, 8)
+	vticks := make([]core.VTime, 8)
 	var seq traffic.Sequence
 	for i, r := range rates {
 		vticks[i] = noc.FlowSpec{Rate: r, PacketLength: 8}.Vtick()
@@ -234,7 +234,7 @@ func TestGLPriorityAndLatency(t *testing.T) {
 	// A GL interrupt cuts ahead of saturated GB traffic: its waiting
 	// time is bounded by draining the in-flight packet, not the queue.
 	rates := []float64{0.2, 0.2, 0.2, 0.2, 0, 0, 0, 0}
-	vticks := make([]uint64, 8)
+	vticks := make([]core.VTime, 8)
 	for i, r := range rates {
 		if r > 0 {
 			vticks[i] = noc.FlowSpec{Rate: r, PacketLength: 8}.Vtick()
@@ -255,9 +255,9 @@ func TestGLPriorityAndLatency(t *testing.T) {
 		addFlow(t, sw, backloggedGB(&seq, i, 0, 8, rates[i]))
 	}
 	glSpec := noc.FlowSpec{Src: 7, Dst: 0, Class: noc.GuaranteedLatency, Rate: 0.05, PacketLength: 2}
-	addFlow(t, sw, traffic.Flow{Spec: glSpec, Gen: traffic.NewTrace(&seq, glSpec, []uint64{5000, 6000, 7000})})
+	addFlow(t, sw, traffic.Flow{Spec: glSpec, Gen: traffic.NewTrace(&seq, glSpec, []noc.Cycle{5000, 6000, 7000})})
 
-	var worstWait uint64
+	var worstWait noc.Cycle
 	var glDelivered int
 	sw.OnDeliver(func(p *noc.Packet) {
 		if p.Class == noc.GuaranteedLatency {
@@ -303,7 +303,7 @@ func TestConservation(t *testing.T) {
 	sw := mustNew(t, testConfig(), lrgFactory(8))
 	for i := 0; i < 8; i++ {
 		spec := noc.FlowSpec{Src: i, Dst: (i + 3) % 8, Class: noc.BestEffort, PacketLength: 4}
-		addFlow(t, sw, traffic.Flow{Spec: spec, Gen: traffic.NewTrace(&seq, spec, []uint64{0, 10, 20, 30})})
+		addFlow(t, sw, traffic.Flow{Spec: spec, Gen: traffic.NewTrace(&seq, spec, []noc.Cycle{0, 10, 20, 30})})
 	}
 	sw.Run(2000)
 	if sw.Delivered != sw.Admitted || sw.Admitted != sw.Injected {

@@ -56,7 +56,7 @@ func (s *Sequence) take() *noc.Packet {
 // cycle with the flow's current source-queue depth (in packets) and
 // returns a packet created this cycle, or nil.
 type Generator interface {
-	Tick(now uint64, queued int) *noc.Packet
+	Tick(now noc.Cycle, queued int) *noc.Packet
 }
 
 // Flow couples a traffic contract with the process generating its packets.
@@ -65,7 +65,7 @@ type Flow struct {
 	Gen  Generator
 }
 
-func newPacket(seq *Sequence, spec noc.FlowSpec, now uint64) *noc.Packet {
+func newPacket(seq *Sequence, spec noc.FlowSpec, now noc.Cycle) *noc.Packet {
 	p := seq.take()
 	// Full struct reset: a recycled packet must not leak stamps or
 	// timestamps from its previous life.
@@ -105,7 +105,7 @@ func NewBernoulli(seq *Sequence, spec noc.FlowSpec, rate float64, seed uint64) *
 }
 
 // Tick implements Generator.
-func (g *Bernoulli) Tick(now uint64, queued int) *noc.Packet {
+func (g *Bernoulli) Tick(now noc.Cycle, queued int) *noc.Packet {
 	if !g.rng.Bernoulli(g.p) {
 		return nil
 	}
@@ -118,12 +118,12 @@ func (g *Bernoulli) Tick(now uint64, queued int) *noc.Packet {
 type Periodic struct {
 	spec     noc.FlowSpec
 	seq      *Sequence
-	interval uint64
-	offset   uint64
+	interval noc.Cycle
+	offset   noc.Cycle
 }
 
 // NewPeriodic returns a periodic source. interval must be positive.
-func NewPeriodic(seq *Sequence, spec noc.FlowSpec, interval, offset uint64) *Periodic {
+func NewPeriodic(seq *Sequence, spec noc.FlowSpec, interval, offset noc.Cycle) *Periodic {
 	if interval == 0 {
 		panic("traffic: periodic interval must be positive")
 	}
@@ -131,8 +131,8 @@ func NewPeriodic(seq *Sequence, spec noc.FlowSpec, interval, offset uint64) *Per
 }
 
 // Tick implements Generator.
-func (g *Periodic) Tick(now uint64, queued int) *noc.Packet {
-	if now < g.offset || (now-g.offset)%g.interval != 0 {
+func (g *Periodic) Tick(now noc.Cycle, queued int) *noc.Packet {
+	if now < g.offset || noc.SatSub(now, g.offset)%g.interval != 0 {
 		return nil
 	}
 	return newPacket(g.seq, g.spec, now)
@@ -148,7 +148,7 @@ type Bursty struct {
 	rng  *RNG
 
 	on        bool
-	nextEmit  uint64
+	nextEmit  noc.Cycle
 	exitProb  float64 // per-packet probability of ending a burst
 	enterProb float64 // per-cycle probability of starting a burst
 }
@@ -183,7 +183,7 @@ func NewBursty(seq *Sequence, spec noc.FlowSpec, rate float64, meanBurstPackets 
 }
 
 // Tick implements Generator.
-func (g *Bursty) Tick(now uint64, queued int) *noc.Packet {
+func (g *Bursty) Tick(now noc.Cycle, queued int) *noc.Packet {
 	if !g.on {
 		if !g.rng.Bernoulli(g.enterProb) {
 			return nil
@@ -195,7 +195,7 @@ func (g *Bursty) Tick(now uint64, queued int) *noc.Packet {
 		return nil
 	}
 	pkt := newPacket(g.seq, g.spec, now)
-	g.nextEmit = now + uint64(g.spec.PacketLength)
+	g.nextEmit = now + noc.CycleOf(uint64(g.spec.PacketLength))
 	if g.rng.Bernoulli(g.exitProb) {
 		g.on = false
 	}
@@ -221,7 +221,7 @@ func NewBacklogged(seq *Sequence, spec noc.FlowSpec, depth int) *Backlogged {
 }
 
 // Tick implements Generator.
-func (g *Backlogged) Tick(now uint64, queued int) *noc.Packet {
+func (g *Backlogged) Tick(now noc.Cycle, queued int) *noc.Packet {
 	if queued >= g.depth {
 		return nil
 	}
@@ -233,23 +233,23 @@ func (g *Backlogged) Tick(now uint64, queued int) *noc.Packet {
 type Trace struct {
 	spec  noc.FlowSpec
 	seq   *Sequence
-	times []uint64
+	times []noc.Cycle
 	pos   int
 }
 
 // NewTrace returns a trace-driven source; times must be non-decreasing.
-func NewTrace(seq *Sequence, spec noc.FlowSpec, times []uint64) *Trace {
+func NewTrace(seq *Sequence, spec noc.FlowSpec, times []noc.Cycle) *Trace {
 	for i := 1; i < len(times); i++ {
 		if times[i] < times[i-1] {
 			panic(fmt.Sprintf("traffic: trace times out of order at %d: %d < %d", i, times[i], times[i-1]))
 		}
 	}
-	return &Trace{spec: spec, seq: seq, times: append([]uint64(nil), times...)}
+	return &Trace{spec: spec, seq: seq, times: append([]noc.Cycle(nil), times...)}
 }
 
 // Tick implements Generator. Multiple packets stamped with the same cycle
 // are injected on consecutive Ticks.
-func (g *Trace) Tick(now uint64, queued int) *noc.Packet {
+func (g *Trace) Tick(now noc.Cycle, queued int) *noc.Packet {
 	if g.pos >= len(g.times) || g.times[g.pos] > now {
 		return nil
 	}

@@ -89,7 +89,7 @@ func TestBernoulliRate(t *testing.T) {
 	g := NewBernoulli(&seq, spec, 0.4, 1)
 	const cycles = 200000
 	flits := 0
-	for c := uint64(0); c < cycles; c++ {
+	for c := noc.Cycle(0); c < cycles; c++ {
 		if p := g.Tick(c, 0); p != nil {
 			flits += p.Length
 			if p.CreatedAt != c || p.Length != 8 || p.Class != noc.GuaranteedBandwidth {
@@ -116,13 +116,13 @@ func TestBernoulliPanicsOnImpossibleRate(t *testing.T) {
 func TestPeriodicExact(t *testing.T) {
 	var seq Sequence
 	g := NewPeriodic(&seq, specGB(0.1, 4), 40, 3)
-	var got []uint64
-	for c := uint64(0); c < 200; c++ {
+	var got []noc.Cycle
+	for c := noc.Cycle(0); c < 200; c++ {
 		if p := g.Tick(c, 0); p != nil {
 			got = append(got, c)
 		}
 	}
-	want := []uint64{3, 43, 83, 123, 163}
+	want := []noc.Cycle{3, 43, 83, 123, 163}
 	if len(got) != len(want) {
 		t.Fatalf("injection times %v, want %v", got, want)
 	}
@@ -139,18 +139,18 @@ func TestBurstyRateAndBurstiness(t *testing.T) {
 	g := NewBursty(&seq, spec, 0.2, 4, 99)
 	const cycles = 500000
 	flits := 0
-	var gaps []uint64
-	last := uint64(0)
+	var gaps []noc.Cycle
+	last := noc.Cycle(0)
 	backToBack := 0
 	packets := 0
-	for c := uint64(0); c < cycles; c++ {
+	for c := noc.Cycle(0); c < cycles; c++ {
 		if p := g.Tick(c, 0); p != nil {
 			flits += p.Length
 			packets++
 			if packets > 1 {
 				gap := c - last
 				gaps = append(gaps, gap)
-				if gap == uint64(spec.PacketLength) {
+				if gap == noc.Cycle(spec.PacketLength) {
 					backToBack++
 				}
 			}
@@ -203,15 +203,15 @@ func TestBackloggedMaintainsDepth(t *testing.T) {
 
 func TestTraceOrderAndDone(t *testing.T) {
 	var seq Sequence
-	g := NewTrace(&seq, specGB(0.1, 4), []uint64{5, 5, 9})
-	var got []uint64
-	for c := uint64(0); c < 20; c++ {
+	g := NewTrace(&seq, specGB(0.1, 4), []noc.Cycle{5, 5, 9})
+	var got []noc.Cycle
+	for c := noc.Cycle(0); c < 20; c++ {
 		if p := g.Tick(c, 0); p != nil {
 			got = append(got, c)
 		}
 	}
 	// Two packets at cycle 5 arrive on consecutive ticks (5 and 6).
-	want := []uint64{5, 6, 9}
+	want := []noc.Cycle{5, 6, 9}
 	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
 		t.Fatalf("injections at %v, want %v", got, want)
 	}
@@ -227,5 +227,5 @@ func TestTracePanicsOnUnsortedTimes(t *testing.T) {
 			t.Fatal("unsorted trace did not panic")
 		}
 	}()
-	NewTrace(&seq, specGB(0.1, 4), []uint64{9, 5})
+	NewTrace(&seq, specGB(0.1, 4), []noc.Cycle{9, 5})
 }

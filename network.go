@@ -33,13 +33,13 @@ const (
 // values with the Inject helpers for readable call sites.
 type Injection struct {
 	Kind      InjectionKind
-	Rate      float64  // Bernoulli, Bursty: offered flits/cycle
-	MeanBurst float64  // Bursty: average packets per burst
-	Interval  uint64   // Periodic
-	Offset    uint64   // Periodic
-	Depth     int      // Backlogged
-	Times     []uint64 // Trace
-	Seed      uint64   // Bernoulli, Bursty
+	Rate      float64 // Bernoulli, Bursty: offered flits/cycle
+	MeanBurst float64 // Bursty: average packets per burst
+	Interval  Cycle   // Periodic
+	Offset    Cycle   // Periodic
+	Depth     int     // Backlogged
+	Times     []Cycle // Trace
+	Seed      uint64  // Bernoulli, Bursty
 }
 
 // injectors groups the Injection constructors; use the package-level
@@ -60,7 +60,7 @@ func (injectors) Bursty(rate, meanBurst float64, seed uint64) Injection {
 }
 
 // Periodic emits one packet every interval cycles, starting at offset.
-func (injectors) Periodic(interval, offset uint64) Injection {
+func (injectors) Periodic(interval, offset Cycle) Injection {
 	return Injection{Kind: InjectPeriodic, Interval: interval, Offset: offset}
 }
 
@@ -70,7 +70,7 @@ func (injectors) Backlogged(depth int) Injection {
 }
 
 // Trace replays packets at the given (sorted) cycles.
-func (injectors) Trace(times ...uint64) Injection {
+func (injectors) Trace(times ...Cycle) Injection {
 	return Injection{Kind: InjectTrace, Times: times}
 }
 
@@ -185,7 +185,7 @@ func (n *Network) generator(w Workload) (traffic.Generator, error) {
 func (n *Network) Config() Config { return n.cfg }
 
 // Now returns the current simulation cycle.
-func (n *Network) Now() uint64 { return n.sw.Now() }
+func (n *Network) Now() Cycle { return n.sw.Now() }
 
 // Err returns the terminal error that froze the underlying switch, or
 // nil. A frozen network ignores further Run calls; statistics reflect
@@ -193,7 +193,7 @@ func (n *Network) Now() uint64 { return n.sw.Now() }
 func (n *Network) Err() error { return n.sw.Err() }
 
 // Run advances the simulation by the given number of cycles.
-func (n *Network) Run(cycles uint64) { n.sw.Run(cycles) }
+func (n *Network) Run(cycles Cycle) { n.sw.Run(cycles) }
 
 // OnDeliver registers an observer called for every delivered packet.
 func (n *Network) OnDeliver(fn func(*Packet)) { n.onDeliver = fn }
@@ -222,7 +222,7 @@ type Report struct {
 }
 
 // Window returns the measurement window length in cycles.
-func (r *Report) Window() uint64 { return r.col.Window() }
+func (r *Report) Window() Cycle { return r.col.Window() }
 
 // Flows returns the measured flow keys in deterministic order.
 func (r *Report) Flows() []FlowKey { return r.col.Keys() }
@@ -262,7 +262,7 @@ type Series = stats.Series
 // StartSeries attaches a time-series sampler with the given window length
 // in cycles, recording per-flow accepted throughput from now on. It is
 // independent of StartMeasurement and may run alongside it.
-func (n *Network) StartSeries(windowCycles uint64) *Series {
+func (n *Network) StartSeries(windowCycles Cycle) *Series {
 	s := stats.NewSeries(windowCycles)
 	prev := n.onDeliver
 	n.onDeliver = func(p *Packet) {

@@ -66,6 +66,21 @@ type FlowSpec = noc.FlowSpec
 // for the latency accessors.
 type Packet = noc.Packet
 
+// Cycle is a point in (or span of) simulated real time, in switch-clock
+// cycles; VTime is virtual-clock time (auxVC counters, Vticks, stamps).
+// See internal/noc for the domain discipline and conversion helpers.
+type (
+	Cycle = noc.Cycle
+	VTime = noc.VTime
+)
+
+// CycleOf enters the real-time domain from a raw cycle count, for
+// configuration boundaries (flags, JSON scenarios).
+func CycleOf(n uint64) Cycle { return noc.CycleOf(n) }
+
+// VTimeOf enters the virtual-clock domain from a raw count.
+func VTimeOf(n uint64) VTime { return noc.VTimeOf(n) }
+
 // CounterPolicy selects how SSVC's finite auxVC counters handle
 // saturation.
 type CounterPolicy = core.CounterPolicy
@@ -225,8 +240,8 @@ func (c *Config) fillDefaults(enableGL bool) error {
 // arbFactory builds the per-output arbiter constructor for the configured
 // arbitration family.
 func (c Config) arbFactory(specs []noc.FlowSpec) (func(int) arb.Arbiter, error) {
-	vticksFor := func(out int) []uint64 {
-		vt := make([]uint64, c.Radix)
+	vticksFor := func(out int) []noc.VTime {
+		vt := make([]noc.VTime, c.Radix)
 		for _, s := range specs {
 			if s.Dst == out && s.Class == noc.GuaranteedBandwidth {
 				vt[s.Src] = s.Vtick()
@@ -236,7 +251,7 @@ func (c Config) arbFactory(specs []noc.FlowSpec) (func(int) arb.Arbiter, error) 
 	}
 	switch c.Arbitration {
 	case SSVC:
-		glVtick := uint64(0)
+		glVtick := noc.VTime(0)
 		if c.GL.Rate > 0 {
 			glVtick = noc.FlowSpec{Rate: c.GL.Rate, PacketLength: c.GL.PacketLength}.Vtick()
 		}

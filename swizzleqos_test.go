@@ -102,7 +102,7 @@ func TestGLInterruptLatency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var worst uint64
+	var worst swizzleqos.Cycle
 	var delivered int
 	net.OnDeliver(func(p *swizzleqos.Packet) {
 		if p.Class == swizzleqos.GuaranteedLatency {
