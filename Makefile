@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race vet fmt lint benchguard staticcheck govulncheck bench experiments verify examples cover fuzz
+.PHONY: all check build test race vet fmt lint benchguard bench-arb staticcheck govulncheck bench experiments verify examples cover fuzz
 
 all: build vet test
 
@@ -33,9 +33,23 @@ vet:
 lint:
 	$(GO) run ./cmd/ssvc-lint -strict ./...
 
-# Rerun the steady-state *CycleRecycled benchmarks and fail if B/op or
-# allocs/op regress past the BENCH_baseline.json "after" values.
+# Rerun the steady-state engine benchmarks and fail if B/op or
+# allocs/op regress past the recorded "after" values. Baselines layer:
+# BENCH_bitplane.json overrides BENCH_baseline.json per benchmark and
+# adds the idle-regime and arbitrate-kernel benches.
 benchguard:
+	$(GO) run ./cmd/ssvc-benchguard
+
+# Perf gate for the word-parallel arbitration path (BENCH_bitplane.json):
+# the bitplane/scalar equivalence fuzz seed corpus, a short-benchtime
+# sweep of the arbitration and cycle-loop benchmarks, then the
+# allocation benchguard. Fixed iteration counts keep the sweep fast and
+# its allocation columns deterministic; ns/op here is informational
+# (CI hardware is too noisy to gate on time).
+bench-arb:
+	$(GO) test ./internal/circuit/ -run 'FuzzBitplaneEquivalence'
+	$(GO) test -run='^$$' -bench='BitplaneArbitrate|SwitchCycleRecycled|SwitchCycleIdle|MeshCycleRecycled|ComposeCycleRecycled' \
+		-benchmem -benchtime=10000x ./internal/core/ ./internal/switchsim/ ./internal/mesh/ ./internal/compose/
 	$(GO) run ./cmd/ssvc-benchguard
 
 # Optional linters: run when present, skip with a notice otherwise. The
@@ -100,4 +114,5 @@ fuzz:
 	$(GO) test ./internal/core/ -fuzz FuzzSSVCGrantSequence -fuzztime 30s
 	$(GO) test ./internal/core/ -fuzz FuzzThermRoundTrip -fuzztime 30s
 	$(GO) test ./internal/fabric/ -fuzz FuzzBufferInvariants -fuzztime 30s
+	$(GO) test ./internal/circuit/ -fuzz FuzzBitplaneEquivalence -fuzztime 30s
 	$(GO) test ./cmd/ssvc-sim/ -fuzz FuzzScenarioParse -fuzztime 30s

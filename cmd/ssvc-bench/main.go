@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ssvc-bench [-exp all|fig4a|fig4b|fig5|adherence|table1|table2|area|lanes|energy|glbound|glbursts|chaining|fixedpriority|static|sigbits|motivation|scale64|convergence|decoupling|gsf|compose|pvc|faults]
+//	ssvc-bench [-exp all|fig4a|fig4b|fig5|adherence|table1|table2|area|lanes|energy|glbound|glbursts|chaining|fixedpriority|static|sigbits|motivation|scale64|convergence|decoupling|gsf|compose|pvc|faults|idleskip]
 //	           [-faults] [-quick] [-csv] [-cycles N] [-warmup N] [-seed N] [-workers N]
 //	           [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -209,6 +209,9 @@ func benchMain(args []string, stdout, stderr io.Writer) int {
 	}
 	if want("motivation") {
 		show(experiments.MotivationTable(experiments.Motivation(o)))
+	}
+	if want("idleskip") {
+		show(experiments.IdleSkipTable(experiments.IdleSkip(o)))
 	}
 	if want("faults") {
 		show(experiments.FaultsTable(experiments.Faults(o)))

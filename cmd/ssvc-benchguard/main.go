@@ -1,6 +1,10 @@
-// Command ssvc-benchguard reruns the steady-state *CycleRecycled
-// benchmarks and fails when their allocation counts regress past the
-// values recorded in BENCH_baseline.json.
+// Command ssvc-benchguard reruns the steady-state engine benchmarks and
+// fails when their allocation counts regress past the values recorded in
+// the baseline files. -baseline takes a comma-separated list; later files
+// override earlier ones per benchmark, so BENCH_bitplane.json (this
+// repo's most recent perf PR) supersedes BENCH_baseline.json where both
+// record the same benchmark and contributes the idle-regime and
+// arbitrate-kernel benchmarks the older file predates.
 //
 // Only B/op and allocs/op are guarded: they are deterministic at a
 // fixed -benchtime, so the gate cannot flake the way an ns/op bound
@@ -23,8 +27,10 @@ import (
 // guarded maps each benchmark to the package that defines it.
 var guarded = map[string]string{
 	"BenchmarkSwitchCycleRecycled":  "./internal/switchsim/",
+	"BenchmarkSwitchCycleIdle":      "./internal/switchsim/",
 	"BenchmarkMeshCycleRecycled":    "./internal/mesh/",
 	"BenchmarkComposeCycleRecycled": "./internal/compose/",
+	"BenchmarkBitplaneArbitrate":    "./internal/core/",
 }
 
 // metric is one benchmark result (or baseline entry). Only the
@@ -35,13 +41,19 @@ type metric struct {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline file to compare against")
+	baselinePath := flag.String("baseline", "BENCH_baseline.json,BENCH_bitplane.json", "comma-separated baseline files; later files override earlier entries")
 	benchtime := flag.String("benchtime", "20000x", "go test -benchtime value (iteration counts keep allocs/op deterministic; long enough to amortise residual pool warm-up below 0.5 B/op)")
 	flag.Parse()
 
-	base, err := loadBaseline(*baselinePath)
-	if err != nil {
-		fatal(err)
+	base := map[string]metric{}
+	for _, path := range strings.Split(*baselinePath, ",") {
+		layer, err := loadBaseline(strings.TrimSpace(path))
+		if err != nil {
+			fatal(err)
+		}
+		for name, m := range layer {
+			base[name] = m
+		}
 	}
 	got, err := runBenchmarks(*benchtime)
 	if err != nil {
@@ -120,9 +132,13 @@ func loadBaseline(path string) (map[string]metric, error) {
 func runBenchmarks(benchtime string) (map[string]metric, error) {
 	names := make([]string, 0, len(guarded))
 	pkgs := make([]string, 0, len(guarded))
+	seen := map[string]bool{}
 	for name, pkg := range guarded {
 		names = append(names, name)
-		pkgs = append(pkgs, pkg)
+		if !seen[pkg] {
+			seen[pkg] = true
+			pkgs = append(pkgs, pkg)
+		}
 	}
 	pattern := "^(" + strings.Join(names, "|") + ")$"
 	args := append([]string{"test", "-run", "^$", "-bench", pattern, "-benchmem", "-benchtime", benchtime}, pkgs...)

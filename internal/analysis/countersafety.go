@@ -20,8 +20,10 @@ import (
 //     `if a < b { return 0 }; return a - b` — the shape of noc.SatSub —
 //     passes, as do guards established by loop conditions, &&-chains,
 //     negations, and tagless switch cases. Constant reasoning covers
-//     `x > 0` justifying `x - 1`, subtraction from a type's maximum
-//     value, and the `1<<k - 1` mask idiom.
+//     `x > 0` justifying `x - 1` (with `x != 0` on an unsigned x
+//     recognized as exactly `x > 0`, admitting the bitmask-iteration
+//     idiom `for m != 0 { m &= m - 1 }`), subtraction from a type's
+//     maximum value, and the `1<<k - 1` mask idiom.
 //  2. Narrowing conversion: a non-constant 64-bit unsigned value
 //     converted to an integer type narrower than 64 bits ('int' and
 //     'uint' count as 64-bit; the simulator only targets 64-bit

@@ -93,6 +93,42 @@ func addFact(info *types.Info, fs factSet, a, b ast.Expr, strict bool) {
 	}
 }
 
+// addNonzeroFacts handles the edge where `x != y` is known true (spelled
+// either as a taken != branch or a refuted == one). Over an unsigned
+// domain, x != 0 is exactly x > 0 — the fact that lets checkSub's
+// constant reasoning accept `x - 1`, which is what the bitmask-iteration
+// idiom `for m != 0 { ...; m &= m - 1 }` relies on. Both orientations of
+// the literal are recognized; signed operands get nothing (x != 0 says
+// nothing about sign there).
+func addNonzeroFacts(info *types.Info, fs factSet, x, y ast.Expr) {
+	if isConstZero(info, y) && isUnsignedExpr(info, x) {
+		addFact(info, fs, x, y, true)
+	}
+	if isConstZero(info, x) && isUnsignedExpr(info, y) {
+		addFact(info, fs, y, x, true)
+	}
+}
+
+// isConstZero reports whether e is the integer constant zero.
+func isConstZero(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToInt(tv.Value)
+	return v.Kind() == constant.Int && constant.Sign(v) == 0
+}
+
+// isUnsignedExpr reports whether e is a non-constant expression of
+// unsigned integer type (named unsigned types included).
+func isUnsignedExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return false
+	}
+	return isUnsignedInt(tv.Type)
+}
+
 func collectIdents(e ast.Expr, into map[string]bool) {
 	ast.Inspect(e, func(n ast.Node) bool {
 		if id, ok := n.(*ast.Ident); ok {
@@ -154,11 +190,15 @@ func addEdgeFacts(info *types.Info, cond ast.Expr, branch bool, fs factSet) {
 			if branch {
 				addFact(info, fs, c.X, c.Y, false)
 				addFact(info, fs, c.Y, c.X, false)
+			} else {
+				addNonzeroFacts(info, fs, c.X, c.Y)
 			}
 		case token.NEQ:
 			if !branch {
 				addFact(info, fs, c.X, c.Y, false)
 				addFact(info, fs, c.Y, c.X, false)
+			} else {
+				addNonzeroFacts(info, fs, c.X, c.Y)
 			}
 		}
 	}

@@ -229,6 +229,54 @@ func ClosureNoLeak(a, b uint64) func() uint64 {
 	}
 }
 
+// BitmaskLoop: the canonical set-bit iteration. The loop condition
+// m != 0 on an unsigned m proves m >= 1 on every iteration, so
+// clearing the lowest set bit with m &= m - 1 cannot wrap. This is the
+// word-parallel engines' hot idiom (masked input/output walks).
+func BitmaskLoop(m uint64) int {
+	n := 0
+	for m != 0 {
+		n++
+		m &= m - 1
+	}
+	return n
+}
+
+// NonzeroEarlyReturn: the same fact from a refuted == 0 test.
+func NonzeroEarlyReturn(m uint64) uint64 {
+	if m == 0 {
+		return 0
+	}
+	return m - 1
+}
+
+// NonzeroMirror: the zero literal on the left.
+func NonzeroMirror(m uint64) uint64 {
+	if 0 != m {
+		return m - 1
+	}
+	return 0
+}
+
+// NonzeroTooWeak: m != 0 proves only m >= 1; subtracting 2 still wraps
+// at m == 1.
+func NonzeroTooWeak(m uint64) uint64 {
+	for m != 0 {
+		m = m - 2 // want:countersafety
+	}
+	return m
+}
+
+// NonzeroKilled: reassigning m between the test and the subtraction
+// drops the fact.
+func NonzeroKilled(m, x uint64) uint64 {
+	if m != 0 {
+		m = x
+		return m - 1 // want:countersafety
+	}
+	return 0
+}
+
 // Narrow truncates a 64-bit counter (rule 2).
 func Narrow(x uint64) uint32 {
 	return uint32(x) // want:countersafety

@@ -1,0 +1,90 @@
+package arb
+
+import "math/bits"
+
+// This file holds the word-parallel bitmask primitives behind the
+// bitplane arbitration path (see DESIGN.md "Bitplane arbitration"). A
+// mask is a []uint64 in little-endian bit order: input i lives at bit
+// i%64 of word i/64. One word covers the paper's radix-64 switch; the
+// slice generalises the same code to any radix, so a 256-input arbiter
+// is four words, not a different algorithm.
+
+// MaskWords returns the number of uint64 words a mask over n inputs
+// needs.
+func MaskWords(n int) int { return (n + 63) / 64 }
+
+// MaskSet sets bit i.
+//
+//ssvc:hotpath
+func MaskSet(m []uint64, i int) { m[i>>6] |= 1 << (uint(i) & 63) }
+
+// MaskClear clears bit i.
+//
+//ssvc:hotpath
+func MaskClear(m []uint64, i int) { m[i>>6] &^= 1 << (uint(i) & 63) }
+
+// MaskHas reports whether bit i is set.
+//
+//ssvc:hotpath
+func MaskHas(m []uint64, i int) bool { return m[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// MaskZero clears every bit.
+//
+//ssvc:hotpath
+func MaskZero(m []uint64) {
+	for w := range m {
+		m[w] = 0
+	}
+}
+
+// MaskAny reports whether any bit is set.
+//
+//ssvc:hotpath
+func MaskAny(m []uint64) bool {
+	for _, w := range m {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// MaskCount returns the number of set bits.
+func MaskCount(m []uint64) int {
+	n := 0
+	for _, w := range m {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// MaskFirst returns the lowest set bit, or -1 when the mask is empty.
+//
+//ssvc:hotpath
+func MaskFirst(m []uint64) int {
+	for w, v := range m {
+		if v != 0 {
+			return w<<6 + bits.TrailingZeros64(v)
+		}
+	}
+	return -1
+}
+
+// MaskNextFrom returns the first set bit at or above from, wrapping to
+// the lowest set bit when none exists at or above from — the rotated
+// scan a round-robin pointer needs. It returns -1 when the mask is
+// empty. from must lie in [0, 64*len(m)).
+//
+//ssvc:hotpath
+func MaskNextFrom(m []uint64, from int) int {
+	w := from >> 6
+	if v := m[w] >> (uint(from) & 63); v != 0 {
+		return from + bits.TrailingZeros64(v)
+	}
+	for w++; w < len(m); w++ {
+		if v := m[w]; v != 0 {
+			return w<<6 + bits.TrailingZeros64(v)
+		}
+	}
+	return MaskFirst(m)
+}

@@ -187,6 +187,10 @@ func TestFabricExhaustiveEquivalence(t *testing.T) {
 		options = append(options, gbPoint(v, gbLanes))
 	}
 
+	bp, err := NewBitplaneArbiter(radix, gbLanes)
+	if err != nil {
+		t.Fatal(err)
+	}
 	perms := permutations(radix)
 	points := make([]Crosspoint, radix)
 	idx := make([]int, radix)
@@ -204,6 +208,9 @@ func TestFabricExhaustiveEquivalence(t *testing.T) {
 			want := ReferenceWinner(points, lrg)
 			if got != want {
 				t.Fatalf("divergence: points=%+v order=%v: circuit=%d reference=%d", points, order, got, want)
+			}
+			if bw := bp.Winner(points, lrg); bw != want {
+				t.Fatalf("divergence: points=%+v order=%v: bitplane=%d reference=%d", points, order, bw, want)
 			}
 			checked++
 		}
@@ -233,6 +240,10 @@ func TestFabricRandomEquivalenceRadix8(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	bp, err := NewBitplaneArbiter(radix, f.GBLanes())
+	if err != nil {
+		t.Fatal(err)
+	}
 	rng := traffic.NewRNG(0xC1BC51)
 	points := make([]Crosspoint, radix)
 	for trial := 0; trial < 20000; trial++ {
@@ -253,6 +264,10 @@ func TestFabricRandomEquivalenceRadix8(t *testing.T) {
 		if got != want {
 			t.Fatalf("trial %d divergence: circuit=%d reference=%d points=%+v order=%v",
 				trial, got, want, points, lrg.Order())
+		}
+		if bw := bp.Winner(points, lrg); bw != want {
+			t.Fatalf("trial %d divergence: bitplane=%d reference=%d points=%+v order=%v",
+				trial, bw, want, points, lrg.Order())
 		}
 	}
 }

@@ -22,6 +22,7 @@ package compose
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"swizzleqos/internal/arb"
@@ -194,6 +195,16 @@ type Network struct {
 	heads   []*noc.Packet // scratch: per-node head snapshot
 	routes  []int         // scratch: cached Route(node, head.Dst) per head
 	txPool  fabric.TxPool
+
+	// Event-driven work tracking (see DESIGN.md "Event-driven idle
+	// skipping"): work[nd] counts node nd's buffered packets, in-flight
+	// transmissions, and pending cooldowns; active masks the nodes where
+	// it is nonzero. Fault-free cycle loops walk only active nodes; a
+	// skipped node provably has no transfer to advance, no head to
+	// arbitrate, and no cooldown to clear. Fault runs keep the full walks.
+	work       []int
+	active     []uint64
+	totalPorts int
 }
 
 // Network is driven through the shared engine interface by the
@@ -251,7 +262,51 @@ func New(cfg Config) (*Network, error) {
 		}
 		net.nodes = append(net.nodes, n)
 	}
+	net.work = make([]int, len(net.nodes))
+	net.active = make([]uint64, arb.MaskWords(len(net.nodes)))
+	net.totalPorts = totalPorts
 	return net, nil
+}
+
+// addWork records one more work item (buffered packet, transmission, or
+// cooldown) at node nd.
+//
+//ssvc:hotpath
+func (n *Network) addWork(nd int) {
+	if n.work[nd]++; n.work[nd] == 1 {
+		arb.MaskSet(n.active, nd)
+	}
+}
+
+// subWork records a completed work item at node nd.
+//
+//ssvc:hotpath
+func (n *Network) subWork(nd int) {
+	if n.work[nd]--; n.work[nd] == 0 {
+		arb.MaskClear(n.active, nd)
+	}
+}
+
+// recomputeActive rebuilds the work counts and activity mask from first
+// principles after fault handling has flushed state wholesale. Cold path.
+func (n *Network) recomputeActive() {
+	arb.MaskZero(n.active)
+	for i, nd := range n.nodes {
+		c := 0
+		for port := range nd.in {
+			c += nd.in[port].Len()
+			if nd.out[port] != nil {
+				c++
+			}
+			if nd.cooldown[port] {
+				c++
+			}
+		}
+		n.work[i] = c
+		if c > 0 {
+			arb.MaskSet(n.active, i)
+		}
+	}
 }
 
 // Terminals returns the number of attachable endpoints.
@@ -331,8 +386,11 @@ func (n *Network) Step() {
 	}
 	now := n.now
 	if n.faults != nil {
-		for _, f := range n.faults.BeginCycle(now) {
-			n.applyFailStop(f)
+		if fs := n.faults.BeginCycle(now); len(fs) > 0 {
+			for _, f := range fs {
+				n.applyFailStop(f)
+			}
+			n.recomputeActive()
 		}
 	}
 	n.inject(now)
@@ -431,148 +489,230 @@ func (n *Network) inject(now noc.Cycle) {
 		}
 		p.EnqueuedAt = now
 		n.Admitted++
+		n.addWork(at.Node)
 		return true
 	}
-	for term := 0; term < n.sources.Groups(); term++ {
-		n.sources.AdmitGroup(term, try)
+	if n.faults != nil {
+		for term := 0; term < n.sources.Groups(); term++ {
+			n.sources.AdmitGroup(term, try)
+		}
+		return
 	}
+	// Fault-free fast path: an empty-queue terminal cannot admit, so only
+	// scan terminals the sources layer marked nonempty. Pops clear bits
+	// in place; the per-word snapshot keeps this cycle's scan set fixed.
+	visited := 0
+	for w, mm := range n.sources.NonEmptyMask() {
+		for mm != 0 {
+			term := w<<6 + bits.TrailingZeros64(mm)
+			mm &= mm - 1
+			n.sources.AdmitGroup(term, try)
+			visited++
+		}
+	}
+	n.SkippedAdmits += uint64(n.sources.Groups() - visited)
 }
 
 //ssvc:hotpath
 func (n *Network) transfer(now noc.Cycle) {
-	for _, nd := range n.nodes {
-		for port := range nd.out {
-			tx := nd.out[port]
-			if tx == nil {
-				continue
-			}
-			if n.faults != nil && n.faults.StallOutput(now, n.portBase[nd.id]+port) {
-				continue // stalled link: the in-flight transfer freezes
-			}
-			n.DataCycles++
-			tx.Remaining--
-			if tx.Remaining > 0 {
-				continue
-			}
-			pkt, from := tx.Pkt, tx.Input
-			nd.inBusy[from] = false
-			nd.out[port] = nil
-			nd.cooldown[port] = true
-			n.txPool.Put(tx)
-			// Receiver-side modeled CRC check (see internal/faults): a
-			// corrupted hop is NACKed back to the upstream queue head
-			// (reservation released) or dropped once out of retries.
-			if n.faults != nil && n.faults.CorruptArrival(pkt) {
-				if nd.hasNext[port] {
-					next := nd.next[port]
-					n.nodes[next.Node].in[next.Port].Unreserve(pkt.Length)
-				}
-				if n.faults.Retry(now, pkt) {
-					nd.in[from].PushFront(pkt)
-				} else {
-					n.dropPkt(pkt)
-				}
-				continue
-			}
+	if n.faults != nil {
+		for _, nd := range n.nodes {
+			n.transferNode(nd, now)
+		}
+		return
+	}
+	// Fault-free fast path: a transfer only advances a non-nil output
+	// channel, and every in-flight transmission is a counted work item,
+	// so inactive nodes are provably no-ops. Completions committing into
+	// a downstream node may set its bit mid-walk; the full walk would
+	// find that node transfer-idle too (a committed packet is not a
+	// transmission), so visiting or skipping it is equivalent.
+	for w, mm := range n.active {
+		for mm != 0 {
+			i := w<<6 + bits.TrailingZeros64(mm)
+			mm &= mm - 1
+			n.transferNode(n.nodes[i], now)
+		}
+	}
+}
+
+// transferNode advances node nd's busy output channels one flit.
+//
+//ssvc:hotpath
+func (n *Network) transferNode(nd *node, now noc.Cycle) {
+	for port := range nd.out {
+		tx := nd.out[port]
+		if tx == nil {
+			continue
+		}
+		if n.faults != nil && n.faults.StallOutput(now, n.portBase[nd.id]+port) {
+			continue // stalled link: the in-flight transfer freezes
+		}
+		n.DataCycles++
+		tx.Remaining--
+		if tx.Remaining > 0 {
+			continue
+		}
+		// Channel teardown swaps the transmission work item for the
+		// cooldown one, so nd's work count is unchanged here.
+		pkt, from := tx.Pkt, tx.Input
+		nd.inBusy[from] = false
+		nd.out[port] = nil
+		nd.cooldown[port] = true
+		n.txPool.Put(tx)
+		// Receiver-side modeled CRC check (see internal/faults): a
+		// corrupted hop is NACKed back to the upstream queue head
+		// (reservation released) or dropped once out of retries.
+		if n.faults != nil && n.faults.CorruptArrival(pkt) {
 			if nd.hasNext[port] {
 				next := nd.next[port]
-				n.nodes[next.Node].in[next.Port].Commit(pkt)
-				continue
+				n.nodes[next.Node].in[next.Port].Unreserve(pkt.Length)
 			}
-			// No link: this port is a terminal ejection.
-			pkt.DeliveredAt = now
-			n.Delivered++
-			n.Deliver(pkt)
+			if n.faults.Retry(now, pkt) {
+				nd.in[from].PushFront(pkt)
+				n.addWork(nd.id)
+			} else {
+				n.dropPkt(pkt)
+			}
+			continue
 		}
+		if nd.hasNext[port] {
+			next := nd.next[port]
+			n.nodes[next.Node].in[next.Port].Commit(pkt)
+			n.addWork(next.Node)
+			continue
+		}
+		// No link: this port is a terminal ejection.
+		pkt.DeliveredAt = now
+		n.Delivered++
+		n.Deliver(pkt)
 	}
 }
 
 //ssvc:hotpath
 func (n *Network) arbitrate(now noc.Cycle) {
-	for _, nd := range n.nodes {
-		if n.err != nil {
-			return
-		}
-		// Snapshot head packets once per node so one input cannot be
-		// granted by two outputs in the same cycle, and cache each
-		// head's route (Route is pure, so once per cycle suffices).
-		ports := len(nd.in)
-		heads := n.heads[:ports]
-		routes := n.routes[:ports]
-		for port := range nd.in {
-			heads[port] = nil
-			if nd.inBusy[port] {
-				continue
-			}
-			p := nd.in[port].Head()
-			if p == nil || p.HoldUntil > now {
-				continue // empty, or backing off a retransmission
-			}
-			route := n.cfg.Topology.Route(nd.id, p.Dst)
-			if n.faults != nil && n.faults.OutputDead(n.portBase[nd.id]+route) {
-				// The static route dead-ends here: discard so upstream
-				// buffers keep draining toward the fault point.
-				n.dropPkt(nd.in[port].Pop())
-				continue
-			}
-			heads[port] = p
-			routes[port] = route
-		}
-		for out := range nd.out {
-			if nd.out[out] != nil {
-				continue
-			}
-			if n.faults != nil && (n.faults.OutputDead(n.portBase[nd.id]+out) || n.faults.StallOutput(now, n.portBase[nd.id]+out)) {
-				continue
-			}
-			if nd.cooldown[out] {
-				nd.cooldown[out] = false
-				continue
-			}
-			reqs := n.arbReqs[:0]
-			for in, p := range heads {
-				if p == nil || routes[in] != out {
-					continue
-				}
-				if nd.hasNext[out] {
-					next := nd.next[out]
-					if !n.nodes[next.Node].in[next.Port].CanAccept(p.Length) {
-						continue
-					}
-				}
-				reqs = append(reqs, arb.Request{Input: in, Class: p.Class, Packet: p})
-			}
-			if len(reqs) == 0 {
-				n.IdleCycles++
-				continue
-			}
-			n.ArbCycles++
-			w := nd.arbs[out].Arbitrate(now, reqs)
-			if w < 0 {
-				continue
-			}
-			req := reqs[w]
-			p := nd.in[req.Input].Pop()
-			if p != req.Packet {
-				//ssvc:coldpath the engine freezes sick here, so this error path may allocate
-				head := "empty queue"
-				if p != nil {
-					head = fmt.Sprintf("packet %d", p.ID)
-				}
-				n.fail(fmt.Errorf("compose: cycle %d: node %d granted packet %d but head is %s",
-					now, nd.id, req.Packet.ID, head))
+	if n.faults != nil {
+		for _, nd := range n.nodes {
+			if n.err != nil {
 				return
 			}
-			if p.GrantedAt == 0 {
-				p.GrantedAt = now
+			n.arbitrateNode(nd, now)
+		}
+		return
+	}
+	// Fault-free fast path: an inactive node has no head to grant, no
+	// cooldown to clear, and no busy output — the full walk would count
+	// all its outputs idle and move on. Bulk-account those outputs as
+	// skipped idle cycles instead of touching them. Fault-free
+	// arbitration never pushes packets, so no bit sets mid-walk; clears
+	// only affect the node being visited.
+	visitedPorts := 0
+	for w, mm := range n.active {
+		for mm != 0 {
+			i := w<<6 + bits.TrailingZeros64(mm)
+			mm &= mm - 1
+			if n.err != nil {
+				return
+			}
+			nd := n.nodes[i]
+			n.arbitrateNode(nd, now)
+			visitedPorts += len(nd.out)
+		}
+	}
+	if n.err == nil {
+		skipped := uint64(n.totalPorts - visitedPorts)
+		n.IdleCycles += skipped
+		n.SkippedOutputs += skipped
+	}
+}
+
+// arbitrateNode grants node nd's idle outputs.
+//
+//ssvc:hotpath
+func (n *Network) arbitrateNode(nd *node, now noc.Cycle) {
+	// Snapshot head packets once per node so one input cannot be
+	// granted by two outputs in the same cycle, and cache each
+	// head's route (Route is pure, so once per cycle suffices).
+	ports := len(nd.in)
+	heads := n.heads[:ports]
+	routes := n.routes[:ports]
+	for port := range nd.in {
+		heads[port] = nil
+		if nd.inBusy[port] {
+			continue
+		}
+		p := nd.in[port].Head()
+		if p == nil || p.HoldUntil > now {
+			continue // empty, or backing off a retransmission
+		}
+		route := n.cfg.Topology.Route(nd.id, p.Dst)
+		if n.faults != nil && n.faults.OutputDead(n.portBase[nd.id]+route) {
+			// The static route dead-ends here: discard so upstream
+			// buffers keep draining toward the fault point.
+			n.dropPkt(nd.in[port].Pop())
+			n.subWork(nd.id)
+			continue
+		}
+		heads[port] = p
+		routes[port] = route
+	}
+	for out := range nd.out {
+		if nd.out[out] != nil {
+			continue
+		}
+		if n.faults != nil && (n.faults.OutputDead(n.portBase[nd.id]+out) || n.faults.StallOutput(now, n.portBase[nd.id]+out)) {
+			continue
+		}
+		if nd.cooldown[out] {
+			nd.cooldown[out] = false
+			n.subWork(nd.id)
+			continue
+		}
+		reqs := n.arbReqs[:0]
+		for in, p := range heads {
+			if p == nil || routes[in] != out {
+				continue
 			}
 			if nd.hasNext[out] {
 				next := nd.next[out]
-				n.nodes[next.Node].in[next.Port].Reserve(p.Length)
+				if !n.nodes[next.Node].in[next.Port].CanAccept(p.Length) {
+					continue
+				}
 			}
-			nd.inBusy[req.Input] = true
-			nd.out[out] = n.txPool.Get(p, req.Input)
-			nd.arbs[out].Granted(now, req)
+			reqs = append(reqs, arb.Request{Input: in, Class: p.Class, Packet: p})
 		}
+		if len(reqs) == 0 {
+			n.IdleCycles++
+			continue
+		}
+		n.ArbCycles++
+		w := nd.arbs[out].Arbitrate(now, reqs)
+		if w < 0 {
+			continue
+		}
+		req := reqs[w]
+		p := nd.in[req.Input].Pop()
+		if p != req.Packet {
+			//ssvc:coldpath the engine freezes sick here, so this error path may allocate
+			head := "empty queue"
+			if p != nil {
+				head = fmt.Sprintf("packet %d", p.ID)
+			}
+			n.fail(fmt.Errorf("compose: cycle %d: node %d granted packet %d but head is %s",
+				now, nd.id, req.Packet.ID, head))
+			return
+		}
+		if p.GrantedAt == 0 {
+			p.GrantedAt = now
+		}
+		if nd.hasNext[out] {
+			next := nd.next[out]
+			n.nodes[next.Node].in[next.Port].Reserve(p.Length)
+		}
+		// The granted head leaves the buffer but becomes an in-flight
+		// transmission, so nd's work count is unchanged.
+		nd.inBusy[req.Input] = true
+		nd.out[out] = n.txPool.Get(p, req.Input)
+		nd.arbs[out].Granted(now, req)
 	}
 }

@@ -36,6 +36,46 @@ func BenchmarkSSVCArbitrate(b *testing.B) {
 	}
 }
 
+// BenchmarkBitplaneArbitrate isolates the arbitration decision on a
+// fully contended input set: the word-parallel bitplane path against the
+// element-wise scalar scan it replaced, at one-word and multi-word
+// radices. No Granted/Tick in the loop — this is the pure decision cost.
+func BenchmarkBitplaneArbitrate(b *testing.B) {
+	for _, radix := range []int{64, 256} {
+		vticks := make([]VTime, radix)
+		for i := range vticks {
+			vticks[i] = VTime(20 + 7*i)
+		}
+		s := NewSSVC(Config{Radix: radix, CounterBits: 12, SigBits: 4,
+			Policy: SubtractRealTime, Vticks: vticks})
+		reqs := make([]arb.Request, radix)
+		for i := range reqs {
+			reqs[i] = gbReq(i)
+		}
+		// Spread the counters so the level planes are non-trivial.
+		for i := 0; i < radix; i++ {
+			s.Granted(Cycle(i), reqs[i])
+		}
+		name := map[int]string{64: "radix64", 256: "radix256"}[radix]
+		b.Run(name+"/bitplane", func(b *testing.B) {
+			b.ReportAllocs()
+			for n := 0; n < b.N; n++ {
+				if w := s.Arbitrate(Cycle(n), reqs); w < 0 {
+					b.Fatal("no winner")
+				}
+			}
+		})
+		b.Run(name+"/scalar", func(b *testing.B) {
+			b.ReportAllocs()
+			for n := 0; n < b.N; n++ {
+				if w := s.arbitrateScalar(Cycle(n), reqs); w < 0 {
+					b.Fatal("no winner")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSSVCTick measures the real-time-clock maintenance sweep.
 func BenchmarkSSVCTick(b *testing.B) {
 	s := NewSSVC(testConfig(uniformVticks(8, 300)))

@@ -111,11 +111,28 @@ type SSVC struct {
 
 	aux  []VTime // per-input auxVC, relative to base
 	base Cycle   // real-time epoch the aux values are relative to
+	next Cycle   // next quantum boundary: base + CycleOfVTime(quantum)
 	lrg  *arb.LRGState
 
 	glVC VTime // absolute leaky-bucket clock for the shared GL budget
 
 	saturations uint64 // number of policy events (halve/reset), for tests
+
+	// Bitplane state (see bitplane.go and DESIGN.md "Bitplane
+	// arbitration"). lvl[k] masks the inputs whose coarse auxVC value is
+	// exactly k — the word-wide image of the per-lane thermometer codes —
+	// and is maintained incrementally by Granted/Tick/onSaturation.
+	// reserved masks inputs with a nonzero Vtick.
+	lvl      [][]uint64
+	reserved []uint64
+	allMask  []uint64 // bits 0..Radix-1 set
+	glM      []uint64 // Arbitrate scratch: GL requesters
+	gbM      []uint64 // Arbitrate scratch: reserved GB requesters
+	beM      []uint64 // Arbitrate scratch: BE + unreserved GB requesters
+	lvlS     []uint64 // Arbitrate scratch: per-level candidates
+	reqIdx   []int32  // Arbitrate scratch: input -> index in reqs; only
+	// the winner's entry is read back, and the winner is always one of
+	// the current call's inputs, so stale entries are never observed.
 }
 
 // Statically ensure SSVC satisfies the switch arbitration contract.
@@ -133,10 +150,38 @@ func NewSSVC(cfg Config) *SSVC {
 		levels:  1 << cfg.SigBits,
 		quantum: 1 << (cfg.CounterBits - cfg.SigBits),
 		max:     1<<cfg.CounterBits - 1,
+		next:    noc.CycleOfVTime(1 << (cfg.CounterBits - cfg.SigBits)),
 		aux:     make([]VTime, cfg.Radix),
 		lrg:     arb.NewLRGState(cfg.Radix),
 	}
+	words := arb.MaskWords(cfg.Radix)
+	s.lvl = make([][]uint64, s.levels)
+	for k := range s.lvl {
+		s.lvl[k] = make([]uint64, words)
+	}
+	s.reserved = make([]uint64, words)
+	s.allMask = make([]uint64, words)
+	s.glM = make([]uint64, words)
+	s.gbM = make([]uint64, words)
+	s.beM = make([]uint64, words)
+	s.lvlS = make([]uint64, words)
+	s.reqIdx = make([]int32, cfg.Radix)
+	for i := 0; i < cfg.Radix; i++ {
+		arb.MaskSet(s.allMask, i)
+	}
+	copy(s.lvl[0], s.allMask) // every auxVC starts at zero: coarse level 0
+	s.rebuildReserved()
 	return s
+}
+
+// rebuildReserved re-derives the reserved-input mask from the Vticks.
+func (s *SSVC) rebuildReserved() {
+	arb.MaskZero(s.reserved)
+	for i, vt := range s.cfg.Vticks {
+		if vt != 0 {
+			arb.MaskSet(s.reserved, i)
+		}
+	}
 }
 
 // Levels returns the number of distinct coarse priority levels (GB lanes
@@ -156,6 +201,7 @@ func (s *SSVC) SetVticks(vt []VTime) error {
 		return fmt.Errorf("core: got %d vticks for radix %d", len(vt), s.cfg.Radix)
 	}
 	copy(s.cfg.Vticks, vt)
+	s.rebuildReserved()
 	return nil
 }
 
@@ -201,13 +247,13 @@ func (s *SSVC) glEligible(now Cycle) bool {
 	return s.glVC <= noc.SatAdd(noc.VTimeOfCycle(now), allowance)
 }
 
-// Arbitrate implements arb.Arbiter.
+// arbitrateScalar is the element-wise reference decision: one comparison
+// per request, mirroring a sequential walk of the crosspoints. It remains
+// the fallback for request lists that repeat an input (which a bitmask
+// cannot represent) and the differential oracle for the bitplane path.
 //
 //ssvc:hotpath
-func (s *SSVC) Arbitrate(now noc.Cycle, reqs []arb.Request) int {
-	if len(reqs) == 0 {
-		return -1
-	}
+func (s *SSVC) arbitrateScalar(now noc.Cycle, reqs []arb.Request) int {
 	// Guaranteed latency: absolute priority while within budget; LRG
 	// picks among simultaneous GL requesters (Fig 3).
 	if s.cfg.EnableGL && s.glEligible(now) {
@@ -277,6 +323,7 @@ func (s *SSVC) Granted(now noc.Cycle, req arb.Request) {
 		if vt == 0 {
 			return
 		}
+		c0 := s.Coarse(req.Input)
 		a := s.aux[req.Input]
 		if r := s.rel(now); r > a {
 			a = r
@@ -285,10 +332,12 @@ func (s *SSVC) Granted(now noc.Cycle, req arb.Request) {
 		if a > s.max {
 			a = s.max
 			s.aux[req.Input] = a
+			s.moveLevel(req.Input, c0, s.levels-1)
 			s.onSaturation(now)
 			return
 		}
 		s.aux[req.Input] = a
+		s.moveLevel(req.Input, c0, s.Coarse(req.Input))
 	}
 }
 
@@ -309,10 +358,26 @@ func (s *SSVC) onSaturation(now noc.Cycle) {
 		for i := range s.aux {
 			s.aux[i] /= 2
 		}
+		// coarse' = floor(coarse/2): merge level pairs downward — the
+		// hardware's "copy the top half of the thermometer code to the
+		// bottom half", one OR per plane pair.
+		for k := 0; k < s.levels/2; k++ {
+			lo, hi, dst := s.lvl[2*k], s.lvl[2*k+1], s.lvl[k]
+			for w := range dst {
+				dst[w] = lo[w] | hi[w]
+			}
+		}
+		for k := s.levels / 2; k < s.levels; k++ {
+			arb.MaskZero(s.lvl[k])
+		}
 	case Reset:
 		s.saturations++
 		for i := range s.aux {
 			s.aux[i] = 0
+		}
+		copy(s.lvl[0], s.allMask)
+		for k := 1; k < s.levels; k++ {
+			arb.MaskZero(s.lvl[k])
 		}
 	}
 }
@@ -326,6 +391,12 @@ func (s *SSVC) onSaturation(now noc.Cycle) {
 //
 //ssvc:hotpath
 func (s *SSVC) Tick(now Cycle) {
+	// Fast path: between quantum boundaries the tick is a no-op, and the
+	// cycle loop calls Tick on every arbiter every cycle. base never
+	// exceeds now, so the loop condition below is exactly now >= next.
+	if now < s.next {
+		return
+	}
 	for noc.VTimeOfCycle(noc.SatSub(now, s.base)) >= s.quantum {
 		for i := range s.aux {
 			if s.aux[i] > s.quantum {
@@ -335,5 +406,17 @@ func (s *SSVC) Tick(now Cycle) {
 			}
 		}
 		s.base += noc.CycleOfVTime(s.quantum)
+		// coarse' = max(coarse-1, 0): shift every level plane down one
+		// position, folding level 1 into level 0. Rotating the plane
+		// headers (rather than copying words) keeps this O(levels).
+		l0, l1 := s.lvl[0], s.lvl[1]
+		for w := range l0 {
+			l0[w] |= l1[w]
+			l1[w] = 0
+		}
+		spare := l1
+		copy(s.lvl[1:], s.lvl[2:])
+		s.lvl[s.levels-1] = spare
 	}
+	s.next = s.base + noc.CycleOfVTime(s.quantum)
 }

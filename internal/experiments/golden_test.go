@@ -35,6 +35,7 @@ func TestGoldenTables(t *testing.T) {
 		{"motivation.txt", MotivationTable(Motivation(o)).String()},
 		{"compose.txt", ComposeTable(ComposeQoS(o)).String()},
 		{"faults.txt", FaultsTable(Faults(o)).String()},
+		{"idleskip.txt", IdleSkipTable(IdleSkip(o)).String()},
 	}
 	for _, tc := range cases {
 		path := filepath.Join("testdata", tc.name)

@@ -39,6 +39,14 @@ type Counters struct {
 	ArbCycles  uint64 // output-cycles spent arbitrating (with requests)
 	IdleCycles uint64 // output-cycles with no requests and no data
 	DataCycles uint64 // output-cycles moving a flit
+
+	// Event-driven skip accounting. The engines' cycle loops visit only
+	// ports with work; these counters record what the loops proved they
+	// could skip, making the fast path's coverage observable. A skipped
+	// output-cycle is also counted in IdleCycles (skipping never changes
+	// the simulated schedule, only the host work to compute it).
+	SkippedOutputs uint64 // idle output-cycles skipped without a visit
+	SkippedAdmits  uint64 // admission scans skipped (provably nothing to admit)
 }
 
 // Totals returns a copy of the counter block.

@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"swizzleqos/internal/arb"
 	"swizzleqos/internal/noc"
 	"swizzleqos/internal/traffic"
 )
@@ -53,15 +54,30 @@ func (f *FlowQueue) push(p *noc.Packet) { f.queue = append(f.queue, p) }
 // independently). Admission rotates round-robin within a group so
 // co-located flows share their injection port fairly.
 type Sources struct {
-	flows  []*FlowQueue
-	groups [][]int // flow indices per group
-	rr     []int   // per-group admission rotation
+	flows    []*FlowQueue
+	groups   [][]int  // flow indices per group
+	rr       []int    // per-group admission rotation
+	groupOf  []int    // flow index -> group
+	depth    []int    // per-group queued packets
+	nonempty []uint64 // mask of groups with at least one queued packet
+
+	// onNewHead, if set, fires when a flow queue goes empty -> nonempty:
+	// the one generation event that can change a group's admission
+	// outcome (a push behind an existing head leaves every admission
+	// decision as it was). Engines use it to invalidate admission-skip
+	// state.
+	onNewHead func(group int)
 }
 
 // NewSources returns a source set with the given number of injection
 // groups.
 func NewSources(groups int) *Sources {
-	return &Sources{groups: make([][]int, groups), rr: make([]int, groups)}
+	return &Sources{
+		groups:   make([][]int, groups),
+		rr:       make([]int, groups),
+		depth:    make([]int, groups),
+		nonempty: make([]uint64, arb.MaskWords(groups)),
+	}
 }
 
 // Add attaches a flow to an injection group and returns its flow index.
@@ -69,6 +85,7 @@ func NewSources(groups int) *Sources {
 func (s *Sources) Add(f traffic.Flow, group int) int {
 	s.flows = append(s.flows, &FlowQueue{Flow: f})
 	s.groups[group] = append(s.groups[group], len(s.flows)-1)
+	s.groupOf = append(s.groupOf, group)
 	return len(s.flows) - 1
 }
 
@@ -79,8 +96,26 @@ func (s *Sources) Add(f traffic.Flow, group int) int {
 func (s *Sources) AddOwnGroup(f traffic.Flow) int {
 	s.groups = append(s.groups, nil)
 	s.rr = append(s.rr, 0)
+	s.depth = append(s.depth, 0)
+	if w := arb.MaskWords(len(s.groups)); w > len(s.nonempty) {
+		s.nonempty = append(s.nonempty, 0)
+	}
 	return s.Add(f, len(s.groups)-1)
 }
+
+// SetOnNewHead registers the empty->nonempty queue transition callback.
+func (s *Sources) SetOnNewHead(fn func(group int)) { s.onNewHead = fn }
+
+// GroupQueued returns the total source-queue depth of a group's flows.
+func (s *Sources) GroupQueued(group int) int { return s.depth[group] }
+
+// NonEmptyMask returns the mask of groups with at least one queued
+// packet, maintained at every depth transition. Engines iterate it to
+// visit only injection points that can possibly admit this cycle; an
+// AdmitGroup on a clear-bit group is provably barren. The slice aliases
+// internal state: treat it as read-only, valid until the next
+// Generate/AdmitGroup/AddOwnGroup call.
+func (s *Sources) NonEmptyMask() []uint64 { return s.nonempty }
 
 // Len returns the number of attached flows.
 func (s *Sources) Len() int { return len(s.flows) }
@@ -95,10 +130,17 @@ func (s *Sources) Flow(i int) *FlowQueue { return s.flows[i] }
 // source queue and returns the number of packets created this cycle.
 func (s *Sources) Generate(now noc.Cycle) uint64 {
 	var injected uint64
-	for _, fq := range s.flows {
+	for i, fq := range s.flows {
 		if p := fq.Flow.Gen.Tick(now, fq.Queued()); p != nil {
 			fq.push(p)
 			injected++
+			g := s.groupOf[i]
+			if s.depth[g]++; s.depth[g] == 1 {
+				arb.MaskSet(s.nonempty, g)
+			}
+			if fq.Queued() == 1 && s.onNewHead != nil {
+				s.onNewHead(g)
+			}
 		}
 	}
 	return injected
@@ -122,6 +164,9 @@ func (s *Sources) AdmitGroup(group int, try func(*noc.Packet) bool) *noc.Packet 
 			continue
 		}
 		fq.Pop()
+		if s.depth[group]--; s.depth[group] == 0 {
+			arb.MaskClear(s.nonempty, group)
+		}
 		s.rr[group] = (s.rr[group] + k + 1) % n
 		return p
 	}

@@ -17,6 +17,7 @@ package mesh
 
 import (
 	"fmt"
+	"math/bits"
 
 	"swizzleqos/internal/arb"
 	"swizzleqos/internal/fabric"
@@ -82,6 +83,7 @@ func (c Config) Validate() error {
 // accounting of virtual cut-through: a granted packet's space is reserved
 // at its next hop before it starts moving, making the transfer safe.
 type router struct {
+	id   int
 	x, y int
 	in   [numPorts]*fabric.Buffer
 	out  [numPorts]*fabric.Transmission
@@ -114,6 +116,15 @@ type Mesh struct {
 
 	arbReqs []arb.Request // scratch: requests handed to one arbitration
 	txPool  fabric.TxPool
+
+	// Event-driven work tracking (see DESIGN.md "Event-driven idle
+	// skipping"): work[r] counts router r's buffered packets, in-flight
+	// transmissions, and pending cooldowns; active masks the routers where
+	// it is nonzero. Fault-free cycle loops walk only active routers; a
+	// skipped router provably has no transfer to advance, no head to
+	// arbitrate, and no cooldown to clear. Fault runs keep the full walks.
+	work   []int
+	active []uint64
 }
 
 // Mesh is driven through the shared engine interface by the experiments
@@ -137,7 +148,7 @@ func New(cfg Config) (*Mesh, error) {
 	m.txPool.Preload(cfg.Width * cfg.Height * int(numPorts))
 	for y := 0; y < cfg.Height; y++ {
 		for x := 0; x < cfg.Width; x++ {
-			r := &router{x: x, y: y}
+			r := &router{id: y*cfg.Width + x, x: x, y: y}
 			for p := Port(0); p < numPorts; p++ {
 				r.in[p] = fabric.NewBuffer(cfg.BufferFlits)
 				r.arbs[p] = newArb()
@@ -145,6 +156,8 @@ func New(cfg Config) (*Mesh, error) {
 			m.routers = append(m.routers, r)
 		}
 	}
+	m.work = make([]int, len(m.routers))
+	m.active = make([]uint64, arb.MaskWords(len(m.routers)))
 	return m, nil
 }
 
@@ -298,8 +311,11 @@ func (m *Mesh) Step() {
 	}
 	now := m.now
 	if m.faults != nil {
-		for _, f := range m.faults.BeginCycle(now) {
-			m.applyFailStop(f)
+		if fs := m.faults.BeginCycle(now); len(fs) > 0 {
+			for _, f := range fs {
+				m.applyFailStop(f)
+			}
+			m.recomputeActive()
 		}
 	}
 	m.inject(now)
@@ -338,17 +354,75 @@ func (m *Mesh) inject(now noc.Cycle) {
 		}
 		p.EnqueuedAt = now
 		m.Admitted++
+		m.addWork(p.Src)
 		return true
 	}
-	for g := 0; g < m.sources.Groups(); g++ {
-		m.sources.AdmitGroup(g, try)
+	if m.faults != nil {
+		for g := 0; g < m.sources.Groups(); g++ {
+			m.sources.AdmitGroup(g, try)
+		}
+		return
 	}
+	// Fault-free fast path: an empty-queue group cannot admit, so only
+	// scan groups the sources layer marked nonempty. Pops clear bits in
+	// place; the per-word snapshot keeps this cycle's scan set fixed.
+	visited := 0
+	for w, mm := range m.sources.NonEmptyMask() {
+		for mm != 0 {
+			g := w<<6 + bits.TrailingZeros64(mm)
+			mm &= mm - 1
+			m.sources.AdmitGroup(g, try)
+			visited++
+		}
+	}
+	m.SkippedAdmits += uint64(m.sources.Groups() - visited)
 }
 
 // dropPkt counts and releases a packet discarded by a fault.
 func (m *Mesh) dropPkt(p *noc.Packet) {
 	m.Dropped++
 	m.Drop(p)
+}
+
+// addWork records one more work item (buffered packet, transmission, or
+// cooldown) at router r.
+//
+//ssvc:hotpath
+func (m *Mesh) addWork(r int) {
+	if m.work[r]++; m.work[r] == 1 {
+		arb.MaskSet(m.active, r)
+	}
+}
+
+// subWork records a completed work item at router r.
+//
+//ssvc:hotpath
+func (m *Mesh) subWork(r int) {
+	if m.work[r]--; m.work[r] == 0 {
+		arb.MaskClear(m.active, r)
+	}
+}
+
+// recomputeActive rebuilds the work counts and activity mask from first
+// principles after fault handling has flushed state wholesale. Cold path.
+func (m *Mesh) recomputeActive() {
+	arb.MaskZero(m.active)
+	for i, r := range m.routers {
+		n := 0
+		for p := Port(0); p < numPorts; p++ {
+			n += r.in[p].Len()
+			if r.out[p] != nil {
+				n++
+			}
+			if r.cooldown[p] {
+				n++
+			}
+		}
+		m.work[i] = n
+		if n > 0 {
+			arb.MaskSet(m.active, i)
+		}
+	}
 }
 
 // applyFailStop flushes state referencing a port that just died. Input
@@ -400,45 +474,72 @@ func (m *Mesh) abortTx(r *router, out Port) {
 //
 //ssvc:hotpath
 func (m *Mesh) transfer(now noc.Cycle) {
-	for _, r := range m.routers {
-		for out := Port(0); out < numPorts; out++ {
-			tx := r.out[out]
-			if tx == nil {
-				continue
-			}
-			if m.faults != nil && m.faults.StallOutput(now, m.flatPort(r, out)) {
-				continue
-			}
-			m.DataCycles++
-			tx.Remaining--
-			if tx.Remaining > 0 {
-				continue
-			}
-			pkt, from := tx.Pkt, Port(tx.Input)
-			r.inBusy[from] = false
-			r.out[out] = nil
-			r.cooldown[out] = true
-			m.txPool.Put(tx)
-			if m.faults != nil && m.faults.CorruptArrival(pkt) {
-				if out != Local {
-					m.neighbor(r, out).in[entryPort(out)].Unreserve(pkt.Length)
-				}
-				if m.faults.Retry(now, pkt) {
-					r.in[from].PushFront(pkt)
-				} else {
-					m.dropPkt(pkt)
-				}
-				continue
-			}
-			if out == Local {
-				pkt.DeliveredAt = now
-				m.Delivered++
-				m.Deliver(pkt)
-				continue
-			}
-			next := m.neighbor(r, out)
-			next.in[entryPort(out)].Commit(pkt)
+	if m.faults != nil {
+		for _, r := range m.routers {
+			m.transferRouter(r, now)
 		}
+		return
+	}
+	// Fault-free fast path: a transfer only advances a non-nil output
+	// channel, and every in-flight transmission is a counted work item, so
+	// inactive routers are provably no-ops. Completions committing into a
+	// downstream router may set its bit mid-walk; the full walk would find
+	// that router transfer-idle too (a committed packet is not a
+	// transmission), so visiting or skipping it is equivalent.
+	for w, mm := range m.active {
+		for mm != 0 {
+			i := w<<6 + bits.TrailingZeros64(mm)
+			mm &= mm - 1
+			m.transferRouter(m.routers[i], now)
+		}
+	}
+}
+
+// transferRouter advances router r's busy output channels one flit.
+//
+//ssvc:hotpath
+func (m *Mesh) transferRouter(r *router, now noc.Cycle) {
+	for out := Port(0); out < numPorts; out++ {
+		tx := r.out[out]
+		if tx == nil {
+			continue
+		}
+		if m.faults != nil && m.faults.StallOutput(now, m.flatPort(r, out)) {
+			continue
+		}
+		m.DataCycles++
+		tx.Remaining--
+		if tx.Remaining > 0 {
+			continue
+		}
+		// Channel teardown swaps the transmission work item for the
+		// cooldown one, so r's work count is unchanged here.
+		pkt, from := tx.Pkt, Port(tx.Input)
+		r.inBusy[from] = false
+		r.out[out] = nil
+		r.cooldown[out] = true
+		m.txPool.Put(tx)
+		if m.faults != nil && m.faults.CorruptArrival(pkt) {
+			if out != Local {
+				m.neighbor(r, out).in[entryPort(out)].Unreserve(pkt.Length)
+			}
+			if m.faults.Retry(now, pkt) {
+				r.in[from].PushFront(pkt)
+				m.addWork(r.id)
+			} else {
+				m.dropPkt(pkt)
+			}
+			continue
+		}
+		if out == Local {
+			pkt.DeliveredAt = now
+			m.Delivered++
+			m.Deliver(pkt)
+			continue
+		}
+		next := m.neighbor(r, out)
+		next.in[entryPort(out)].Commit(pkt)
+		m.addWork(next.id)
 	}
 }
 
@@ -449,86 +550,127 @@ func (m *Mesh) transfer(now noc.Cycle) {
 //
 //ssvc:hotpath
 func (m *Mesh) arbitrate(now noc.Cycle) {
-	for _, r := range m.routers {
-		if m.err != nil {
-			return
-		}
-		// Snapshot head packets once per router so one input cannot be
-		// granted by two outputs in the same cycle. A head backing off a
-		// retransmission (HoldUntil > now) sits this cycle out; a head
-		// routing onto a fail-stopped link is discarded here, which keeps
-		// upstream buffers draining toward the fault point.
-		var heads [numPorts]*noc.Packet
-		for in := Port(0); in < numPorts; in++ {
-			if r.inBusy[in] {
-				continue
-			}
-			p := r.in[in].Head()
-			if p == nil || p.HoldUntil > now {
-				continue
-			}
-			if m.faults != nil && m.faults.OutputDead(m.flatPort(r, m.routeDir(r, p.Dst))) {
-				m.dropPkt(r.in[in].Pop())
-				continue
-			}
-			heads[in] = p
-		}
-		for out := Port(0); out < numPorts; out++ {
-			if r.out[out] != nil {
-				continue
-			}
-			if m.faults != nil && (m.faults.OutputDead(m.flatPort(r, out)) || m.faults.StallOutput(now, m.flatPort(r, out))) {
-				continue
-			}
-			if r.cooldown[out] {
-				r.cooldown[out] = false
-				continue
-			}
-			reqs := m.arbReqs[:0]
-			for in := Port(0); in < numPorts; in++ {
-				p := heads[in]
-				if p == nil || r.inBusy[in] || m.routeDir(r, p.Dst) != out {
-					continue
-				}
-				if out != Local {
-					next := m.neighbor(r, out)
-					if next == nil || !next.in[entryPort(out)].CanAccept(p.Length) {
-						continue
-					}
-				}
-				reqs = append(reqs, arb.Request{Input: int(in), Class: p.Class, Packet: p})
-			}
-			if len(reqs) == 0 {
-				m.IdleCycles++
-				continue
-			}
-			m.ArbCycles++
-			w := r.arbs[out].Arbitrate(now, reqs)
-			if w < 0 {
-				continue
-			}
-			req := reqs[w]
-			in := Port(req.Input)
-			p := r.in[in].Pop()
-			if p != req.Packet {
-				//ssvc:coldpath the engine freezes sick here, so this error path may allocate
-				head := "empty queue"
-				if p != nil {
-					head = fmt.Sprintf("packet %d", p.ID)
-				}
-				m.fail(fmt.Errorf("mesh: cycle %d: router (%d,%d) granted packet %d but head is %s",
-					now, r.x, r.y, req.Packet.ID, head))
+	if m.faults != nil {
+		for _, r := range m.routers {
+			if m.err != nil {
 				return
 			}
-			if p.GrantedAt == 0 && p.Src == r.y*m.cfg.Width+r.x {
-				p.GrantedAt = now
+			m.arbitrateRouter(r, now)
+		}
+		return
+	}
+	// Fault-free fast path: an inactive router has no head to grant, no
+	// cooldown to clear, and no busy output — the full walk would count
+	// all its outputs idle and move on. Bulk-account those outputs as
+	// skipped idle cycles instead of touching them. Fault-free
+	// arbitration never pushes packets, so no bit sets mid-walk; clears
+	// only affect the router being visited.
+	visited := 0
+	for w, mm := range m.active {
+		for mm != 0 {
+			i := w<<6 + bits.TrailingZeros64(mm)
+			mm &= mm - 1
+			if m.err != nil {
+				return
+			}
+			m.arbitrateRouter(m.routers[i], now)
+			visited++
+		}
+	}
+	if m.err == nil {
+		skipped := uint64(len(m.routers)-visited) * uint64(numPorts)
+		m.IdleCycles += skipped
+		m.SkippedOutputs += skipped
+	}
+}
+
+// arbitrateRouter grants router r's idle outputs.
+//
+//ssvc:hotpath
+func (m *Mesh) arbitrateRouter(r *router, now noc.Cycle) {
+	// Snapshot head packets once per router so one input cannot be
+	// granted by two outputs in the same cycle, caching each head's
+	// route (routeDir is pure, so once per cycle suffices). A head
+	// backing off a retransmission (HoldUntil > now) sits this cycle
+	// out; a head routing onto a fail-stopped link is discarded here,
+	// which keeps upstream buffers draining toward the fault point.
+	var heads [numPorts]*noc.Packet
+	var routes [numPorts]Port
+	for in := Port(0); in < numPorts; in++ {
+		if r.inBusy[in] {
+			continue
+		}
+		p := r.in[in].Head()
+		if p == nil || p.HoldUntil > now {
+			continue
+		}
+		route := m.routeDir(r, p.Dst)
+		if m.faults != nil && m.faults.OutputDead(m.flatPort(r, route)) {
+			m.dropPkt(r.in[in].Pop())
+			m.subWork(r.id)
+			continue
+		}
+		heads[in] = p
+		routes[in] = route
+	}
+	for out := Port(0); out < numPorts; out++ {
+		if r.out[out] != nil {
+			continue
+		}
+		if m.faults != nil && (m.faults.OutputDead(m.flatPort(r, out)) || m.faults.StallOutput(now, m.flatPort(r, out))) {
+			continue
+		}
+		if r.cooldown[out] {
+			r.cooldown[out] = false
+			m.subWork(r.id)
+			continue
+		}
+		reqs := m.arbReqs[:0]
+		for in := Port(0); in < numPorts; in++ {
+			p := heads[in]
+			if p == nil || r.inBusy[in] || routes[in] != out {
+				continue
 			}
 			if out != Local {
-				m.neighbor(r, out).in[entryPort(out)].Reserve(p.Length)
+				next := m.neighbor(r, out)
+				if next == nil || !next.in[entryPort(out)].CanAccept(p.Length) {
+					continue
+				}
 			}
-			r.inBusy[in] = true
-			r.out[out] = m.txPool.Get(p, int(in))
-			r.arbs[out].Granted(now, req)
+			reqs = append(reqs, arb.Request{Input: int(in), Class: p.Class, Packet: p})
 		}
+		if len(reqs) == 0 {
+			m.IdleCycles++
+			continue
+		}
+		m.ArbCycles++
+		w := r.arbs[out].Arbitrate(now, reqs)
+		if w < 0 {
+			continue
+		}
+		req := reqs[w]
+		in := Port(req.Input)
+		p := r.in[in].Pop()
+		if p != req.Packet {
+			//ssvc:coldpath the engine freezes sick here, so this error path may allocate
+			head := "empty queue"
+			if p != nil {
+				head = fmt.Sprintf("packet %d", p.ID)
+			}
+			m.fail(fmt.Errorf("mesh: cycle %d: router (%d,%d) granted packet %d but head is %s",
+				now, r.x, r.y, req.Packet.ID, head))
+			return
+		}
+		if p.GrantedAt == 0 && p.Src == r.id {
+			p.GrantedAt = now
+		}
+		if out != Local {
+			m.neighbor(r, out).in[entryPort(out)].Reserve(p.Length)
+		}
+		// The granted head leaves the buffer but becomes an in-flight
+		// transmission, so r's work count is unchanged.
+		r.inBusy[in] = true
+		r.out[out] = m.txPool.Get(p, int(in))
+		r.arbs[out].Granted(now, req)
 	}
 }

@@ -2,6 +2,7 @@ package switchsim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"swizzleqos/internal/arb"
 	"swizzleqos/internal/fabric"
@@ -12,12 +13,13 @@ import (
 
 // inputPort holds one input's buffering and channel state.
 type inputPort struct {
-	id   int
-	be   *fabric.Buffer
-	gl   *fabric.Buffer
-	gb   []*fabric.Buffer // one virtual output queue per output
-	busy bool             // transmitting a granted packet
-	gbRR int              // round-robin pointer over GB queues
+	id    int
+	be    *fabric.Buffer
+	gl    *fabric.Buffer
+	gb    []*fabric.Buffer // one virtual output queue per output
+	busy  bool             // transmitting a granted packet
+	gbRR  int              // round-robin pointer over GB queues
+	gbOcc []uint64         // mask of nonempty GB virtual output queues
 }
 
 // request is the single (output, class, packet) offer an input makes in a
@@ -40,11 +42,23 @@ func (in *inputPort) currentRequest(now noc.Cycle) (request, bool) {
 	if p := in.gl.Head(); p != nil && p.HoldUntil <= now {
 		return request{dst: p.Dst, req: arb.Request{Input: in.id, Class: noc.GuaranteedLatency, Packet: p}}, true
 	}
-	n := len(in.gb)
-	for k := 0; k < n; k++ {
-		o := (in.gbRR + k) % n
-		if p := in.gb[o].Head(); p != nil && p.HoldUntil <= now {
-			return request{dst: o, req: arb.Request{Input: in.id, Class: noc.GuaranteedBandwidth, Packet: p}}, true
+	// The occupancy mask turns the round-robin scan over all radix
+	// virtual output queues into a rotated walk of the nonempty ones
+	// (usually a single MaskNextFrom). The head re-check keeps the
+	// HoldUntil (retransmission backoff) semantics of the full scan.
+	if first := arb.MaskNextFrom(in.gbOcc, in.gbRR); first >= 0 {
+		n := len(in.gb)
+		for o := first; ; {
+			if p := in.gb[o].Head(); p != nil && p.HoldUntil <= now {
+				return request{dst: o, req: arb.Request{Input: in.id, Class: noc.GuaranteedBandwidth, Packet: p}}, true
+			}
+			next := o + 1
+			if next == n {
+				next = 0
+			}
+			if o = arb.MaskNextFrom(in.gbOcc, next); o == first {
+				break
+			}
 		}
 	}
 	if p := in.be.Head(); p != nil && p.HoldUntil <= now {
@@ -105,6 +119,18 @@ type Switch struct {
 	arbReqs []arb.Request   // scratch: requests handed to one arbitration
 	txPool  fabric.TxPool
 
+	// Event-driven work masks (see DESIGN.md "Event-driven idle
+	// skipping"): the cycle loop visits only ports these masks prove have
+	// work. They are maintained at every state transition (push, pop,
+	// grant, completion) and rebuilt wholesale after the cold fail-stop
+	// path.
+	pkts      []int    // per-input buffered packet count (all classes)
+	inQ       []uint64 // inputs with at least one buffered packet
+	inBusy    []uint64 // inputs currently transmitting
+	outTx     []uint64 // outputs with an in-flight transmission
+	offerDst  []uint64 // scratch: outputs offered at least one request this cycle
+	admitSkip []uint64 // inputs whose admission scan is provably barren
+
 	// Crossbar-specific counters, alongside the embedded common block.
 	Chained     uint64 // packets granted by chaining (no arbitration cycle)
 	Preempted   uint64 // in-flight packets aborted by a Preemptor
@@ -123,23 +149,35 @@ func New(cfg Config, newArb func(output int) arb.Arbiter) (*Switch, error) {
 	if newArb == nil {
 		return nil, fmt.Errorf("switchsim: nil arbiter factory")
 	}
+	words := arb.MaskWords(cfg.Radix)
 	s := &Switch{
-		cfg:     cfg,
-		inputs:  make([]*inputPort, cfg.Radix),
-		outputs: make([]*outputPort, cfg.Radix),
-		sources: fabric.NewSources(cfg.Radix),
-		offers:  make([][]arb.Request, cfg.Radix),
-		arbReqs: make([]arb.Request, 0, cfg.Radix),
+		cfg:       cfg,
+		inputs:    make([]*inputPort, cfg.Radix),
+		outputs:   make([]*outputPort, cfg.Radix),
+		sources:   fabric.NewSources(cfg.Radix),
+		offers:    make([][]arb.Request, cfg.Radix),
+		arbReqs:   make([]arb.Request, 0, cfg.Radix),
+		pkts:      make([]int, cfg.Radix),
+		inQ:       make([]uint64, words),
+		inBusy:    make([]uint64, words),
+		outTx:     make([]uint64, words),
+		offerDst:  make([]uint64, words),
+		admitSkip: make([]uint64, words),
 	}
+	// An admission skip is invalidated the moment a source queue turns
+	// nonempty: a fresh head is the only generation event that can make a
+	// barren input admissible again.
+	s.sources.SetOnNewHead(func(group int) { arb.MaskClear(s.admitSkip, group) })
 	// Pre-seed the transmission free list (one in-flight packet per
 	// output is the maximum) so the steady-state loop never allocates.
 	s.txPool.Preload(cfg.Radix)
 	for i := range s.inputs {
 		in := &inputPort{
-			id: i,
-			be: fabric.NewBuffer(cfg.BEBufferFlits),
-			gl: fabric.NewBuffer(cfg.GLBufferFlits),
-			gb: make([]*fabric.Buffer, cfg.Radix),
+			id:    i,
+			be:    fabric.NewBuffer(cfg.BEBufferFlits),
+			gl:    fabric.NewBuffer(cfg.GLBufferFlits),
+			gb:    make([]*fabric.Buffer, cfg.Radix),
+			gbOcc: make([]uint64, words),
 		}
 		for o := range in.gb {
 			in.gb[o] = fabric.NewBuffer(cfg.GBBufferFlits)
@@ -293,14 +331,71 @@ func (s *Switch) admit(now noc.Cycle) {
 		}
 		p.EnqueuedAt = now
 		buf.Push(p)
+		s.notePush(s.inputs[p.Src], p.Class, p.Dst)
 		s.Admitted++
 		if obs := s.outputs[p.Dst].obs; obs != nil {
 			obs.PacketArrived(now, p)
 		}
 		return true
 	}
+	if s.faults == nil && s.cfg.AdmissionGate == nil {
+		// Event-driven path: an input whose last scan admitted nothing is
+		// skipped until something that could change the outcome happens —
+		// a buffer pop frees space (grant clears the bit) or a source
+		// queue turns nonempty (the Sources new-head callback clears it).
+		// Fault dooming and admission gates are time-varying, so those
+		// configurations always take the full scan below.
+		s.SkippedAdmits += uint64(arb.MaskCount(s.admitSkip))
+		for w := range s.admitSkip {
+			m := ^s.admitSkip[w]
+			if w == len(s.admitSkip)-1 {
+				m &= lastWordMask(s.cfg.Radix)
+			}
+			for m != 0 {
+				i := w<<6 + bits.TrailingZeros64(m)
+				m &= m - 1
+				if s.sources.AdmitGroup(i, try) == nil {
+					s.admitSkip[w] |= 1 << (uint(i) & 63)
+				}
+			}
+		}
+		return
+	}
 	for i := range s.inputs {
 		s.sources.AdmitGroup(i, try)
+	}
+}
+
+// lastWordMask returns the valid-bit mask for the final word of an
+// n-bit mask slice.
+func lastWordMask(n int) uint64 {
+	if r := uint(n) & 63; r != 0 {
+		return (1 << r) - 1
+	}
+	return ^uint64(0)
+}
+
+// notePush updates the work masks for a packet entering an input buffer.
+//
+//ssvc:hotpath
+func (s *Switch) notePush(in *inputPort, class noc.Class, dst int) {
+	s.pkts[in.id]++
+	arb.MaskSet(s.inQ, in.id)
+	if class == noc.GuaranteedBandwidth {
+		arb.MaskSet(in.gbOcc, dst)
+	}
+}
+
+// notePop updates the work masks for a packet leaving an input buffer.
+//
+//ssvc:hotpath
+func (s *Switch) notePop(in *inputPort, class noc.Class, dst int, buf *fabric.Buffer) {
+	s.pkts[in.id]--
+	if s.pkts[in.id] == 0 {
+		arb.MaskClear(s.inQ, in.id)
+	}
+	if class == noc.GuaranteedBandwidth && buf.Len() == 0 {
+		arb.MaskClear(in.gbOcc, dst)
 	}
 }
 
@@ -317,57 +412,114 @@ func (s *Switch) serveOutputs(now noc.Cycle) {
 	// flit). Offers are bucketed by destination up front: each output
 	// then sees only its own requesters, replacing the per-output scan
 	// over all offers (O(radix^2) per cycle) with one pass (O(radix)).
-	for o := range s.offers {
-		s.offers[o] = s.offers[o][:0]
+	// Only inputs with buffered packets and an idle channel can offer;
+	// the masked walk visits exactly those, in the same ascending order
+	// as the full scan.
+	// offerDst still holds last cycle's offered-output set, and offers[o]
+	// is non-empty only where its bit is set — so resetting just those
+	// buckets touches ~#offers slice headers instead of all radix.
+	for w := range s.offerDst {
+		m := s.offerDst[w]
+		s.offerDst[w] = 0
+		for m != 0 {
+			o := w<<6 + bits.TrailingZeros64(m)
+			m &= m - 1
+			s.offers[o] = s.offers[o][:0]
+		}
 	}
-	for _, in := range s.inputs {
-		if r, ok := in.currentRequest(now); ok {
-			s.offers[r.dst] = append(s.offers[r.dst], r.req)
+	for w := range s.inQ {
+		m := s.inQ[w] &^ s.inBusy[w]
+		for m != 0 {
+			i := w<<6 + bits.TrailingZeros64(m)
+			m &= m - 1
+			if r, ok := s.inputs[i].currentRequest(now); ok {
+				s.offers[r.dst] = append(s.offers[r.dst], r.req)
+				arb.MaskSet(s.offerDst, r.dst)
+			}
 		}
 	}
 
+	if s.faults != nil {
+		// Fault runs keep the full output walk: dead and stalled channels
+		// have their own counter semantics, and correctness there beats
+		// the skip win.
+		s.serveOutputsAll(now)
+		return
+	}
+	// Event-driven path: visit only outputs with an in-flight packet or
+	// at least one offer (ascending, like the full walk). Everything
+	// skipped is provably idle and accounted in bulk.
+	visited := 0
+	for w := range s.offerDst {
+		m := s.offerDst[w] | s.outTx[w]
+		visited += bits.OnesCount64(m)
+		for m != 0 {
+			o := w<<6 + bits.TrailingZeros64(m)
+			m &= m - 1
+			if s.err != nil {
+				return
+			}
+			s.serveOutput(s.outputs[o], now)
+		}
+	}
+	if s.err == nil {
+		skipped := uint64(s.cfg.Radix - visited)
+		s.IdleCycles += skipped
+		s.SkippedOutputs += skipped
+	}
+}
+
+// serveOutputsAll is the full per-output walk used under fault
+// injection.
+func (s *Switch) serveOutputsAll(now noc.Cycle) {
 	for _, out := range s.outputs {
 		if s.err != nil {
 			return
 		}
-		if s.faults != nil {
-			if s.faults.OutputDead(out.id) {
-				continue // a dead channel neither moves data nor arbitrates
-			}
-			if s.faults.StallOutput(now, out.id) {
-				continue // stalled: in-flight transfer freezes, no grants
-			}
+		if s.faults.OutputDead(out.id) {
+			continue // a dead channel neither moves data nor arbitrates
 		}
-		if out.tx != nil {
-			if s.cfg.Preemption && out.pre != nil {
-				if s.tryPreempt(out, now) {
-					continue
-				}
-			}
-			s.transfer(out, now)
-			continue
+		if s.faults.StallOutput(now, out.id) {
+			continue // stalled: in-flight transfer freezes, no grants
 		}
-		// The scratch slice is reused across outputs and cycles;
-		// arbiters must not retain it past the Arbitrate call. Inputs
-		// granted at an earlier output this cycle are busy again and
-		// filtered here.
-		reqs := s.arbReqs[:0]
-		for _, r := range s.offers[out.id] {
-			if !s.inputs[r.Input].busy {
-				reqs = append(reqs, r)
-			}
-		}
-		if len(reqs) == 0 {
-			s.IdleCycles++
-			continue
-		}
-		s.ArbCycles++
-		w := out.arb.Arbitrate(now, reqs)
-		if w < 0 {
-			continue
-		}
-		s.grant(out, now, reqs[w], false)
+		s.serveOutput(out, now)
 	}
+}
+
+// serveOutput advances one live output channel: move a flit or spend the
+// cycle arbitrating, never both.
+//
+//ssvc:hotpath
+func (s *Switch) serveOutput(out *outputPort, now noc.Cycle) {
+	if out.tx != nil {
+		if s.cfg.Preemption && out.pre != nil {
+			if s.tryPreempt(out, now) {
+				return
+			}
+		}
+		s.transfer(out, now)
+		return
+	}
+	// The scratch slice is reused across outputs and cycles;
+	// arbiters must not retain it past the Arbitrate call. Inputs
+	// granted at an earlier output this cycle are busy again and
+	// filtered here.
+	reqs := s.arbReqs[:0]
+	for _, r := range s.offers[out.id] {
+		if !s.inputs[r.Input].busy {
+			reqs = append(reqs, r)
+		}
+	}
+	if len(reqs) == 0 {
+		s.IdleCycles++
+		return
+	}
+	s.ArbCycles++
+	w := out.arb.Arbitrate(now, reqs)
+	if w < 0 {
+		return
+	}
+	s.grant(out, now, reqs[w], false)
 }
 
 // tryPreempt gives a Preemptor arbiter the chance to abort the in-flight
@@ -395,9 +547,13 @@ func (s *Switch) tryPreempt(out *outputPort, now noc.Cycle) bool {
 	}
 	s.Preempted++
 	s.WastedFlits += uint64(tx.Pkt.Length - tx.Remaining)
-	s.inputs[tx.Input].busy = false
-	s.inputs[tx.Input].bufferFor(tx.Pkt.Class, out.id).PushFront(tx.Pkt)
+	victim := s.inputs[tx.Input]
+	victim.busy = false
+	arb.MaskClear(s.inBusy, tx.Input)
+	victim.bufferFor(tx.Pkt.Class, out.id).PushFront(tx.Pkt)
+	s.notePush(victim, tx.Pkt.Class, out.id)
 	out.tx = nil
+	arb.MaskClear(s.outTx, out.id)
 	s.txPool.Put(tx)
 	s.grant(out, now, reqs[w], false)
 	return true
@@ -421,12 +577,15 @@ func (s *Switch) transfer(out *outputPort, now noc.Cycle) {
 	pkt := tx.Pkt
 	in := s.inputs[tx.Input]
 	in.busy = false
+	arb.MaskClear(s.inBusy, tx.Input)
 	out.tx = nil
+	arb.MaskClear(s.outTx, out.id)
 	s.txPool.Put(tx)
 	if s.faults != nil && s.faults.CorruptArrival(pkt) {
 		s.WastedFlits += uint64(pkt.Length)
 		if s.faults.Retry(now, pkt) {
 			in.bufferFor(pkt.Class, out.id).PushFront(pkt)
+			s.notePush(in, pkt.Class, out.id)
 		} else {
 			s.Dropped++
 			s.Drop(pkt)
@@ -451,9 +610,14 @@ func (s *Switch) transfer(out *outputPort, now noc.Cycle) {
 //ssvc:hotpath
 func (s *Switch) tryChain(out *outputPort, now noc.Cycle) {
 	reqs := s.arbReqs[:0]
-	for _, in := range s.inputs {
-		if r, ok := in.currentRequest(now); ok && r.dst == out.id {
-			reqs = append(reqs, r.req)
+	for w := range s.inQ {
+		m := s.inQ[w] &^ s.inBusy[w]
+		for m != 0 {
+			i := w<<6 + bits.TrailingZeros64(m)
+			m &= m - 1
+			if r, ok := s.inputs[i].currentRequest(now); ok && r.dst == out.id {
+				reqs = append(reqs, r.req)
+			}
 		}
 	}
 	if len(reqs) == 0 {
@@ -492,10 +656,15 @@ func (s *Switch) grant(out *outputPort, now noc.Cycle, req arb.Request, chained 
 	}
 	p.GrantedAt = now
 	in.busy = true
+	arb.MaskSet(s.inBusy, req.Input)
+	s.notePop(in, req.Class, out.id, buf)
+	// Freed buffer space can unblock a previously barren admission scan.
+	arb.MaskClear(s.admitSkip, req.Input)
 	if req.Class == noc.GuaranteedBandwidth {
 		in.gbRR = (out.id + 1) % s.cfg.Radix
 	}
 	out.tx = s.txPool.Get(p, req.Input)
+	arb.MaskSet(s.outTx, out.id)
 	// The arbiter's bandwidth accounting covers chained packets too:
 	// every transmitted packet advances the flow's virtual clock.
 	out.arb.Granted(now, req)
@@ -542,6 +711,40 @@ func (s *Switch) applyFailStop(now noc.Cycle, f faults.FailStop) {
 	}
 	if s.onFailStop != nil {
 		s.onFailStop(now, f)
+	}
+	s.recomputeMasks()
+}
+
+// recomputeMasks rebuilds every work mask from first principles. Fault
+// handling flushes buffers and aborts transfers wholesale; re-deriving
+// the masks afterwards is simpler and safer than patching them through
+// each drop. Cold path.
+func (s *Switch) recomputeMasks() {
+	arb.MaskZero(s.inQ)
+	arb.MaskZero(s.inBusy)
+	arb.MaskZero(s.outTx)
+	arb.MaskZero(s.admitSkip)
+	for i, in := range s.inputs {
+		n := in.gl.Len() + in.be.Len()
+		arb.MaskZero(in.gbOcc)
+		for o, q := range in.gb {
+			if q.Len() > 0 {
+				arb.MaskSet(in.gbOcc, o)
+			}
+			n += q.Len()
+		}
+		s.pkts[i] = n
+		if n > 0 {
+			arb.MaskSet(s.inQ, i)
+		}
+		if in.busy {
+			arb.MaskSet(s.inBusy, i)
+		}
+	}
+	for o, out := range s.outputs {
+		if out.tx != nil {
+			arb.MaskSet(s.outTx, o)
+		}
 	}
 }
 
