@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race vet fmt lint benchguard bench-arb staticcheck govulncheck bench experiments verify examples cover fuzz
+.PHONY: all check build test race vet fmt lint benchguard bench-arb bench-shard staticcheck govulncheck bench experiments verify examples cover fuzz
 
 all: build vet test
 
@@ -50,6 +50,16 @@ bench-arb:
 	$(GO) test ./internal/circuit/ -run 'FuzzBitplaneEquivalence'
 	$(GO) test -run='^$$' -bench='BitplaneArbitrate|SwitchCycleRecycled|SwitchCycleIdle|MeshCycleRecycled|ComposeCycleRecycled' \
 		-benchmem -benchtime=10000x ./internal/core/ ./internal/switchsim/ ./internal/mesh/ ./internal/compose/
+	$(GO) run ./cmd/ssvc-benchguard
+
+# Perf gate for the sharded pipeline (BENCH_shard.json): the shard
+# equivalence tests, then a short-benchtime sweep of the sharded cycle
+# benchmarks with the allocation benchguard over them. As with
+# bench-arb, only B/op and allocs/op gate; ns/op is informational.
+bench-shard:
+	$(GO) test ./internal/switchsim/ ./internal/mesh/ ./internal/compose/ -run 'Shard'
+	$(GO) test -run='^$$' -bench='SwitchCycleSharded|MeshCycleSharded' \
+		-benchmem -benchtime=20000x ./internal/switchsim/ ./internal/mesh/
 	$(GO) run ./cmd/ssvc-benchguard
 
 # Optional linters: run when present, skip with a notice otherwise. The

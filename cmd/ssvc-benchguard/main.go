@@ -1,10 +1,11 @@
 // Command ssvc-benchguard reruns the steady-state engine benchmarks and
 // fails when their allocation counts regress past the values recorded in
 // the baseline files. -baseline takes a comma-separated list; later files
-// override earlier ones per benchmark, so BENCH_bitplane.json (this
-// repo's most recent perf PR) supersedes BENCH_baseline.json where both
-// record the same benchmark and contributes the idle-regime and
-// arbitrate-kernel benchmarks the older file predates.
+// override earlier ones per benchmark, so BENCH_bitplane.json supersedes
+// BENCH_baseline.json where both record the same benchmark and
+// contributes the idle-regime and arbitrate-kernel benchmarks the older
+// file predates, and BENCH_shard.json adds the sharded cycle-loop
+// benchmarks on top.
 //
 // Only B/op and allocs/op are guarded: they are deterministic at a
 // fixed -benchtime, so the gate cannot flake the way an ns/op bound
@@ -28,7 +29,9 @@ import (
 var guarded = map[string]string{
 	"BenchmarkSwitchCycleRecycled":  "./internal/switchsim/",
 	"BenchmarkSwitchCycleIdle":      "./internal/switchsim/",
+	"BenchmarkSwitchCycleSharded":   "./internal/switchsim/",
 	"BenchmarkMeshCycleRecycled":    "./internal/mesh/",
+	"BenchmarkMeshCycleSharded":     "./internal/mesh/",
 	"BenchmarkComposeCycleRecycled": "./internal/compose/",
 	"BenchmarkBitplaneArbitrate":    "./internal/core/",
 }
@@ -41,7 +44,7 @@ type metric struct {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_baseline.json,BENCH_bitplane.json", "comma-separated baseline files; later files override earlier entries")
+	baselinePath := flag.String("baseline", "BENCH_baseline.json,BENCH_bitplane.json,BENCH_shard.json", "comma-separated baseline files; later files override earlier entries")
 	benchtime := flag.String("benchtime", "20000x", "go test -benchtime value (iteration counts keep allocs/op deterministic; long enough to amortise residual pool warm-up below 0.5 B/op)")
 	flag.Parse()
 

@@ -20,6 +20,15 @@ var DeterminismPackages = []string{
 	"internal/faults",
 	"internal/traffic",
 	"internal/stats",
+	// The shard executor sits under every engine's sharded pipeline;
+	// it is pure mechanism, so any nondeterminism here (time, global
+	// rand, map iteration) would silently break the byte-identical
+	// contract at shards > 1. It is deliberately NOT in
+	// PanicFreezePackages: executor misuse (stage panics, team size
+	// mismatches) is a programming error surfaced as a panic, and the
+	// engines above it translate their own invariant violations into
+	// frozen-sick errors before they ever reach the executor.
+	"internal/shard",
 }
 
 // PanicFreezePackages must freeze sick through fabric.ErrorReporter /

@@ -1,0 +1,159 @@
+package compose
+
+import (
+	"fmt"
+	"testing"
+
+	"swizzleqos/internal/faults"
+	"swizzleqos/internal/noc"
+	"swizzleqos/internal/traffic"
+)
+
+// netDelivery is one delivered packet's observable identity: every
+// field the statistics layer can see. Packet IDs are deliberately
+// excluded — ID allocation order depends on the generation walk, which
+// is shard-grouped, and nothing observable consumes IDs.
+type netDelivery struct {
+	src, dst  int
+	class     noc.Class
+	created   noc.Cycle
+	enqueued  noc.Cycle
+	granted   noc.Cycle
+	delivered noc.Cycle
+	length    int
+}
+
+// buildShardedClos assembles a 4-leaf Clos (5 nodes, 16 terminals) with
+// enough cross-leaf traffic that every run keeps the spine shard's halo
+// boxes busy in both directions.
+func buildShardedClos(t *testing.T, shards, workers int) (*Network, *traffic.Sequence) {
+	t.Helper()
+	topo, err := TwoLevelClos(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := New(Config{Topology: topo, BufferFlits: 16, Shards: shards, ShardWorkers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := new(traffic.Sequence)
+	terms := net.Terminals()
+	add := func(spec noc.FlowSpec, gen traffic.Generator) {
+		if err := net.AddFlow(traffic.Flow{Spec: spec, Gen: gen}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < terms; i++ {
+		cross := noc.FlowSpec{Src: i, Dst: (i + terms/2) % terms, Class: noc.BestEffort, PacketLength: 4}
+		add(cross, traffic.NewBernoulli(seq, cross, 0.06, uint64(i)+31))
+		if i%2 == 0 {
+			local := noc.FlowSpec{Src: i, Dst: (i+1)%4 + (i/4)*4, Class: noc.BestEffort, PacketLength: 2}
+			if local.Dst != local.Src {
+				add(local, traffic.NewBursty(seq, local, 0.15, 2, uint64(i)+97))
+			}
+		}
+		if i%4 == 1 {
+			bk := noc.FlowSpec{Src: i, Dst: (i + 5) % terms, Class: noc.BestEffort, PacketLength: 8}
+			add(bk, traffic.NewBacklogged(seq, bk, 2))
+		}
+	}
+	return net, seq
+}
+
+// runShardedClos drives the network and returns the ordered delivery
+// trace plus final counters.
+func runShardedClos(t *testing.T, shards, workers int, cycles noc.Cycle, fc *faults.Config) ([]netDelivery, Network) {
+	t.Helper()
+	net, seq := buildShardedClos(t, shards, workers)
+	if fc != nil {
+		if err := net.SetFaults(*fc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var trace []netDelivery
+	net.OnDeliver(func(p *noc.Packet) {
+		trace = append(trace, netDelivery{
+			src: p.Src, dst: p.Dst, class: p.Class,
+			created: p.CreatedAt, enqueued: p.EnqueuedAt,
+			granted: p.GrantedAt, delivered: p.DeliveredAt,
+			length: p.Length,
+		})
+	})
+	net.OnRelease(seq.Recycle)
+	net.Run(cycles)
+	if err := net.Err(); err != nil {
+		t.Fatalf("shards=%d workers=%d: engine froze: %v", shards, workers, err)
+	}
+	return trace, *net
+}
+
+// TestComposeShardEquivalence pins the tentpole guarantee for the
+// composed network: the sharded pipeline produces the bit-identical
+// ordered delivery trace and counter block of the serial walk at every
+// shard count (5 nodes clamp larger requests), with worker counts
+// forced above GOMAXPROCS so the -race run exercises the real barrier
+// path even on a single-core host.
+func TestComposeShardEquivalence(t *testing.T) {
+	const cycles = 3000
+	want, ref := runShardedClos(t, 1, 1, cycles, nil)
+	if ref.ParallelActive() {
+		t.Fatal("shards=1 must take the serial walk")
+	}
+	if len(want) == 0 {
+		t.Fatal("reference run delivered nothing — test is vacuous")
+	}
+	for _, tc := range []struct{ shards, workers int }{
+		{2, 2}, {3, 1}, {5, 5}, {8, 8},
+	} {
+		t.Run(fmt.Sprintf("shards%d_workers%d", tc.shards, tc.workers), func(t *testing.T) {
+			got, net := runShardedClos(t, tc.shards, tc.workers, cycles, nil)
+			if !net.ParallelActive() {
+				t.Fatal("sharded run fell back to the serial walk — test is vacuous")
+			}
+			if net.Totals() != ref.Totals() {
+				t.Fatalf("counters diverge:\n got %+v\nwant %+v", net.Totals(), ref.Totals())
+			}
+			if len(got) != len(want) {
+				t.Fatalf("delivered %d packets, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("delivery %d diverges:\n got %+v\nwant %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestComposeShardFaultsEquivalence: fault injection forces the serial
+// walk, and that walk over sharded state must match the single-shard
+// run bit for bit.
+func TestComposeShardFaultsEquivalence(t *testing.T) {
+	fc := faults.Config{
+		Seed:        5,
+		CorruptProb: 0.01,
+		Stalls:      []faults.StallWindow{{Port: 4, From: 300, Until: 500}},
+		FailStops:   []faults.FailStop{{Port: 9, At: 1000, Input: true}},
+	}
+	want, ref := runShardedClos(t, 1, 1, 2500, &fc)
+	for _, shards := range []int{2, 5} {
+		got, net := runShardedClos(t, shards, shards, 2500, &fc)
+		if net.ParallelActive() {
+			t.Fatal("fault run must stay serial")
+		}
+		if net.Totals() != ref.Totals() {
+			t.Fatalf("shards=%d: counters diverge:\n got %+v\nwant %+v", shards, net.Totals(), ref.Totals())
+		}
+		if net.FaultTotals() != ref.FaultTotals() {
+			t.Fatalf("shards=%d: fault counters diverge", shards)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: delivered %d packets, want %d", shards, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: delivery %d diverges:\n got %+v\nwant %+v", shards, i, got[i], want[i])
+			}
+		}
+	}
+}

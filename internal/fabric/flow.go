@@ -53,6 +53,14 @@ func (f *FlowQueue) push(p *noc.Packet) { f.queue = append(f.queue, p) }
 // terminal of a composition, or the flow itself when every flow injects
 // independently). Admission rotates round-robin within a group so
 // co-located flows share their injection port fairly.
+//
+// When every attached generator implements traffic.Scheduler, Generate
+// runs event-driven: a calendar of precomputed next-arrival cycles
+// replaces the per-flow poll, so an idle cycle costs one comparison
+// instead of one generator call per flow (the low-load hotspot named in
+// ROADMAP item 3). The calendar reproduces the polled protocol's RNG
+// draw order exactly, so the two modes emit bit-identical packet
+// streams (see TestSourcesEventDrivenMatchesPolled).
 type Sources struct {
 	flows    []*FlowQueue
 	groups   [][]int  // flow indices per group
@@ -67,6 +75,23 @@ type Sources struct {
 	// decision as it was). Engines use it to invalidate admission-skip
 	// state.
 	onNewHead func(group int)
+
+	// Event-driven generation state. calReady flips on the first
+	// Generate; eventMode requires every flow's generator to implement
+	// traffic.Scheduler (checked there) and not DisableEventDriven.
+	calReady  bool
+	eventMode bool
+	forcePoll bool
+	sched     []traffic.Scheduler // per flow; valid in event mode
+	blocked   []bool              // per flow: waiting on a queue pop to re-arm
+	cal       []calEntry          // min-heap on (at, flow index)
+	lastNow   noc.Cycle           // cycle of the most recent Generate
+}
+
+// calEntry is one armed flow in the arrival calendar.
+type calEntry struct {
+	at noc.Cycle
+	fi int32
 }
 
 // NewSources returns a source set with the given number of injection
@@ -126,24 +151,151 @@ func (s *Sources) Groups() int { return len(s.groups) }
 // Flow returns flow index i's queue.
 func (s *Sources) Flow(i int) *FlowQueue { return s.flows[i] }
 
+// DisableEventDriven forces Generate onto the per-cycle polling path
+// even when every generator could schedule. It must be called before
+// the first Generate; the differential tests use it as the reference,
+// and it is the escape hatch should a scheduling generator misbehave.
+func (s *Sources) DisableEventDriven() { s.forcePoll = true }
+
+// EventDriven reports whether Generate runs on the calendar path
+// (meaningful after the first Generate).
+func (s *Sources) EventDriven() bool { return s.eventMode }
+
+// initCalendar decides the generation mode on the first Generate and,
+// in event mode, arms every flow from the first generated cycle (no
+// Tick has ever run, so the generators' RNG streams start exactly where
+// the polled protocol would start them).
+func (s *Sources) initCalendar(now noc.Cycle) {
+	s.calReady = true
+	if s.forcePoll {
+		return
+	}
+	scheds := make([]traffic.Scheduler, len(s.flows))
+	for i, fq := range s.flows {
+		g, ok := fq.Flow.Gen.(traffic.Scheduler)
+		if !ok {
+			return // a non-scheduling generator keeps the whole set polled
+		}
+		scheds[i] = g
+	}
+	s.eventMode = true
+	s.sched = scheds
+	s.blocked = make([]bool, len(s.flows))
+	s.cal = make([]calEntry, 0, len(s.flows))
+	for i, fq := range s.flows {
+		s.armFlow(i, now, fq.Queued())
+	}
+}
+
+// armFlow asks flow i's scheduler for its next arrival at or after
+// `from` and files it in the calendar, or parks it as blocked.
+func (s *Sources) armFlow(i int, from noc.Cycle, queued int) {
+	if at, ok := s.sched[i].NextArrival(from, queued); ok {
+		s.calPush(calEntry{at: at, fi: int32(i)})
+	} else {
+		s.blocked[i] = true
+	}
+}
+
+// calPush files an entry in the min-heap. The heap is ordered on
+// (cycle, flow index), so same-cycle emissions pop in flow order —
+// the exact order of the polled walk.
+//
+//ssvc:hotpath
+func (s *Sources) calPush(e calEntry) {
+	s.cal = append(s.cal, e)
+	for c := len(s.cal) - 1; c > 0; {
+		parent := (c - 1) / 2
+		if !calLess(s.cal[c], s.cal[parent]) {
+			break
+		}
+		s.cal[c], s.cal[parent] = s.cal[parent], s.cal[c]
+		c = parent
+	}
+}
+
+// calPop removes and returns the earliest entry.
+//
+//ssvc:hotpath
+func (s *Sources) calPop() calEntry {
+	top := s.cal[0]
+	last := len(s.cal) - 1
+	s.cal[0] = s.cal[last]
+	s.cal = s.cal[:last]
+	for c := 0; ; {
+		l, r := 2*c+1, 2*c+2
+		min := c
+		if l < last && calLess(s.cal[l], s.cal[min]) {
+			min = l
+		}
+		if r < last && calLess(s.cal[r], s.cal[min]) {
+			min = r
+		}
+		if min == c {
+			break
+		}
+		s.cal[c], s.cal[min] = s.cal[min], s.cal[c]
+		c = min
+	}
+	return top
+}
+
+func calLess(a, b calEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.fi < b.fi
+}
+
 // Generate lets every flow's generator emit at most one packet into its
-// source queue and returns the number of packets created this cycle.
+// source queue and returns the number of packets created this cycle. In
+// event mode an idle cycle is a single heap-top comparison.
+//
+//ssvc:hotpath
 func (s *Sources) Generate(now noc.Cycle) uint64 {
+	if !s.calReady {
+		s.initCalendar(now)
+	}
+	s.lastNow = now
+	if !s.eventMode {
+		return s.generatePolled(now)
+	}
+	var injected uint64
+	for len(s.cal) > 0 && s.cal[0].at <= now {
+		i := int(s.calPop().fi)
+		fq := s.flows[i]
+		s.record(i, fq, s.sched[i].Emit(now))
+		injected++
+		s.armFlow(i, now+1, fq.Queued())
+	}
+	return injected
+}
+
+// generatePolled is the per-cycle reference path: poll every generator.
+func (s *Sources) generatePolled(now noc.Cycle) uint64 {
 	var injected uint64
 	for i, fq := range s.flows {
 		if p := fq.Flow.Gen.Tick(now, fq.Queued()); p != nil {
-			fq.push(p)
+			s.record(i, fq, p)
 			injected++
-			g := s.groupOf[i]
-			if s.depth[g]++; s.depth[g] == 1 {
-				arb.MaskSet(s.nonempty, g)
-			}
-			if fq.Queued() == 1 && s.onNewHead != nil {
-				s.onNewHead(g)
-			}
 		}
 	}
 	return injected
+}
+
+// record pushes a generated packet and maintains the group depth
+// accounting shared by both generation modes.
+//
+//ssvc:hotpath
+func (s *Sources) record(i int, fq *FlowQueue, p *noc.Packet) {
+	fq.push(p)
+	g := s.groupOf[i]
+	if s.depth[g]++; s.depth[g] == 1 {
+		arb.MaskSet(s.nonempty, g)
+	}
+	if fq.Queued() == 1 && s.onNewHead != nil {
+		s.onNewHead(g)
+	}
 }
 
 // AdmitGroup moves at most one packet from the group's source queues
@@ -164,6 +316,13 @@ func (s *Sources) AdmitGroup(group int, try func(*noc.Packet) bool) *noc.Packet 
 			continue
 		}
 		fq.Pop()
+		if s.eventMode && s.blocked[fi] {
+			// A depth-bounded flow was waiting on exactly this pop; re-arm
+			// it from the next cycle (Tick would next see the lower depth
+			// then — admission runs after generation within a cycle).
+			s.blocked[fi] = false
+			s.armFlow(fi, s.lastNow+1, fq.Queued())
+		}
 		if s.depth[group]--; s.depth[group] == 0 {
 			arb.MaskClear(s.nonempty, group)
 		}

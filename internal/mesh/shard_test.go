@@ -1,0 +1,148 @@
+package mesh
+
+import (
+	"fmt"
+	"testing"
+
+	"swizzleqos/internal/faults"
+	"swizzleqos/internal/noc"
+	"swizzleqos/internal/traffic"
+)
+
+// meshShardDelivery is one delivered packet's observable identity: every
+// field the statistics layer can see. Packet IDs are deliberately
+// excluded — ID allocation order depends on the generation walk, which
+// is shard-grouped, and nothing observable consumes IDs.
+type meshShardDelivery struct {
+	src, dst  int
+	class     noc.Class
+	created   noc.Cycle
+	enqueued  noc.Cycle
+	granted   noc.Cycle
+	delivered noc.Cycle
+	length    int
+}
+
+// buildShardedMesh assembles a 6x6 mesh with mixed traffic dense enough
+// that shard boundaries carry constant halo traffic in both directions.
+func buildShardedMesh(t *testing.T, shards, workers int) (*Mesh, *traffic.Sequence) {
+	t.Helper()
+	m, err := New(Config{Width: 6, Height: 6, BufferFlits: 16, Shards: shards, ShardWorkers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := new(traffic.Sequence)
+	nodes := m.Nodes()
+	for i := 0; i < nodes; i++ {
+		be := noc.FlowSpec{Src: i, Dst: (i + nodes/2 + 1) % nodes, Class: noc.BestEffort, PacketLength: 4}
+		addFlow(t, m, be, traffic.NewBernoulli(seq, be, 0.08, uint64(i)+11))
+		if i%3 == 0 {
+			burst := noc.FlowSpec{Src: i, Dst: (i*5 + 7) % nodes, Class: noc.BestEffort, PacketLength: 2}
+			addFlow(t, m, burst, traffic.NewBursty(seq, burst, 0.2, 3, uint64(i)+211))
+		}
+		if i%4 == 0 {
+			bk := noc.FlowSpec{Src: i, Dst: (i + 1) % nodes, Class: noc.BestEffort, PacketLength: 8}
+			addFlow(t, m, bk, traffic.NewBacklogged(seq, bk, 2))
+		}
+	}
+	return m, seq
+}
+
+// runShardedMesh drives the mesh and returns the ordered delivery trace
+// plus final counters.
+func runShardedMesh(t *testing.T, shards, workers int, cycles noc.Cycle, fc *faults.Config) ([]meshShardDelivery, Mesh) {
+	t.Helper()
+	m, seq := buildShardedMesh(t, shards, workers)
+	if fc != nil {
+		if err := m.SetFaults(*fc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var trace []meshShardDelivery
+	m.OnDeliver(func(p *noc.Packet) {
+		trace = append(trace, meshShardDelivery{
+			src: p.Src, dst: p.Dst, class: p.Class,
+			created: p.CreatedAt, enqueued: p.EnqueuedAt,
+			granted: p.GrantedAt, delivered: p.DeliveredAt,
+			length: p.Length,
+		})
+	})
+	m.OnRelease(seq.Recycle)
+	m.Run(cycles)
+	if err := m.Err(); err != nil {
+		t.Fatalf("shards=%d workers=%d: engine froze: %v", shards, workers, err)
+	}
+	return trace, *m
+}
+
+// TestMeshShardEquivalence pins the tentpole guarantee for the mesh:
+// the sharded pipeline (parallel injection/transfer/tick around the
+// serial arbitration commit) produces the bit-identical ordered
+// delivery trace and counter block of the serial walk at every shard
+// count, with worker counts forced above GOMAXPROCS so the -race run
+// exercises the real barrier path even on a single-core host.
+func TestMeshShardEquivalence(t *testing.T) {
+	const cycles = 3000
+	want, ref := runShardedMesh(t, 1, 1, cycles, nil)
+	if ref.ParallelActive() {
+		t.Fatal("shards=1 must take the serial walk")
+	}
+	if len(want) == 0 {
+		t.Fatal("reference run delivered nothing — test is vacuous")
+	}
+	for _, tc := range []struct{ shards, workers int }{
+		{2, 2}, {4, 1}, {4, 4}, {8, 8},
+	} {
+		t.Run(fmt.Sprintf("shards%d_workers%d", tc.shards, tc.workers), func(t *testing.T) {
+			got, m := runShardedMesh(t, tc.shards, tc.workers, cycles, nil)
+			if !m.ParallelActive() {
+				t.Fatal("sharded run fell back to the serial walk — test is vacuous")
+			}
+			if m.Totals() != ref.Totals() {
+				t.Fatalf("counters diverge:\n got %+v\nwant %+v", m.Totals(), ref.Totals())
+			}
+			if len(got) != len(want) {
+				t.Fatalf("delivered %d packets, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("delivery %d diverges:\n got %+v\nwant %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestMeshShardFaultsEquivalence: fault injection forces the serial
+// walk, and that walk over sharded state must match the single-shard
+// run bit for bit (shard-ascending local-mask iteration is
+// order-identical to the old global-mask iteration).
+func TestMeshShardFaultsEquivalence(t *testing.T) {
+	fc := faults.Config{
+		Seed:        3,
+		CorruptProb: 0.01,
+		Stalls:      []faults.StallWindow{{Port: 7*5 + int(East), From: 400, Until: 600}},
+		FailStops:   []faults.FailStop{{Port: 29, At: 1200, Input: true}},
+	}
+	want, ref := runShardedMesh(t, 1, 1, 2500, &fc)
+	for _, shards := range []int{2, 6} {
+		got, m := runShardedMesh(t, shards, shards, 2500, &fc)
+		if m.ParallelActive() {
+			t.Fatal("fault run must stay serial")
+		}
+		if m.Totals() != ref.Totals() {
+			t.Fatalf("shards=%d: counters diverge:\n got %+v\nwant %+v", shards, m.Totals(), ref.Totals())
+		}
+		if m.FaultTotals() != ref.FaultTotals() {
+			t.Fatalf("shards=%d: fault counters diverge", shards)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: delivered %d packets, want %d", shards, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: delivery %d diverges:\n got %+v\nwant %+v", shards, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Package shard partitions a simulation engine's state into
+// contiguously-numbered shards and executes a per-cycle stage program
+// over them with barrier synchronization — the conservative-PDES
+// structure (partitioned logical processes, bounded-lookahead barriers,
+// deterministic boundary-event exchange) specialized to the cycle-level
+// lookstep of this repository's engines.
+//
+// The conservative lookahead is exactly one cycle: every engine's
+// cut-through link latency is at least one cycle (a granted packet's
+// first flit moves the cycle after arbitration, and a committed packet
+// is arbitrated downstream no earlier than the next cycle), so state
+// written by shard A in cycle t is only ever read by shard B in cycle
+// t+1 or later. One barrier per stage therefore suffices; no shard can
+// run ahead and no rollback is needed.
+//
+// Determinism is by construction, not by scheduling: a parallel stage's
+// shard functions touch disjoint state, cross-shard effects travel as
+// boundary events applied in a serial stage in ascending shard order
+// (a sorted merge over the fixed shard numbering, never channel
+// arrival order), and the stage sequence is identical whether shards
+// execute on worker goroutines or inline on one. Running a program at
+// any worker count — including the sequential fallback the Executor
+// degrades to when the host has fewer processors than shards — yields
+// bit-identical simulation state.
+package shard
+
+// Partition maps n consecutively numbered simulation elements (crossbar
+// ports, mesh routers, composed-network nodes) onto contiguous shard
+// ranges of near-equal size. Contiguity is what makes the deterministic
+// boundary-exchange merge trivial: concatenating per-shard event lists
+// in ascending shard order reproduces the ascending element order of
+// the serial walk.
+type Partition struct {
+	n      int
+	bounds []int // len Shards()+1; shard k owns [bounds[k], bounds[k+1])
+	owner  []int // element -> shard
+}
+
+// NewPartition splits n elements into at most shards contiguous ranges.
+// The shard count is clamped to [1, n] so every shard is non-empty;
+// n must be positive.
+func NewPartition(n, shards int) Partition {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	p := Partition{
+		n:      n,
+		bounds: make([]int, shards+1),
+		owner:  make([]int, n),
+	}
+	for k := 1; k < shards; k++ {
+		p.bounds[k] = k * n / shards
+	}
+	p.bounds[shards] = n
+	for k := 0; k < shards; k++ {
+		for i := p.bounds[k]; i < p.bounds[k+1]; i++ {
+			p.owner[i] = k
+		}
+	}
+	return p
+}
+
+// Elems returns the number of partitioned elements.
+func (p Partition) Elems() int { return p.n }
+
+// Shards returns the number of shards after clamping.
+func (p Partition) Shards() int { return len(p.bounds) - 1 }
+
+// Range returns shard k's element range [lo, hi).
+func (p Partition) Range(k int) (lo, hi int) { return p.bounds[k], p.bounds[k+1] }
+
+// Of returns the shard owning element i.
+//
+//ssvc:hotpath
+func (p Partition) Of(i int) int { return p.owner[i] }

@@ -1,0 +1,227 @@
+package switchsim
+
+import (
+	"fmt"
+	"swizzleqos/internal/faults"
+	"testing"
+
+	"swizzleqos/internal/arb"
+	"swizzleqos/internal/core"
+	"swizzleqos/internal/noc"
+	"swizzleqos/internal/traffic"
+)
+
+// shardDelivery is one delivered packet's observable identity: every
+// field the statistics layer can see. Packet IDs are deliberately
+// excluded — ID allocation order depends on the generation walk, which
+// is shard-grouped, and nothing observable consumes IDs.
+type shardDelivery struct {
+	src, dst  int
+	class     noc.Class
+	created   noc.Cycle
+	enqueued  noc.Cycle
+	granted   noc.Cycle
+	delivered noc.Cycle
+	length    int
+}
+
+// buildShardedSwitch assembles a radix-16 switch with mixed traffic —
+// saturated GB, bursty BE, periodic GL — under SSVC arbitration, the
+// exact engine configuration the paper's experiments run.
+func buildShardedSwitch(t *testing.T, shards, workers int) (*Switch, *traffic.Sequence) {
+	t.Helper()
+	const radix = 16
+	vticks := make([]core.VTime, radix)
+	for i := range vticks {
+		vticks[i] = 32
+	}
+	sw, err := New(Config{
+		Radix: radix, BEBufferFlits: 16, GLBufferFlits: 16, GBBufferFlits: 16,
+		Shards: shards, ShardWorkers: workers,
+	}, func(int) arb.Arbiter {
+		return core.NewSSVC(core.Config{
+			Radix: radix, CounterBits: 12, SigBits: 4,
+			Policy: core.SubtractRealTime, Vticks: vticks,
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := new(traffic.Sequence)
+	add := func(spec noc.FlowSpec, gen traffic.Generator) {
+		if err := sw.AddFlow(traffic.Flow{Spec: spec, Gen: gen}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < radix; i++ {
+		gb := noc.FlowSpec{Src: i, Dst: (i * 7) % radix, Class: noc.GuaranteedBandwidth, Rate: 0.25, PacketLength: 8}
+		add(gb, traffic.NewBacklogged(seq, gb, 4))
+		be := noc.FlowSpec{Src: i, Dst: (i * 3) % radix, Class: noc.BestEffort, PacketLength: 4}
+		add(be, traffic.NewBursty(seq, be, 0.3, 3, uint64(i)+101))
+		if i%4 == 0 {
+			gl := noc.FlowSpec{Src: i, Dst: (i + 5) % radix, Class: noc.GuaranteedLatency, Rate: 0.05, PacketLength: 2}
+			add(gl, traffic.NewPeriodic(seq, gl, 97, noc.Cycle(i)))
+		}
+	}
+	return sw, seq
+}
+
+// runShardedSwitch drives the switch and returns the ordered delivery
+// trace plus final counters.
+func runShardedSwitch(t *testing.T, shards, workers int, cycles noc.Cycle) ([]shardDelivery, Switch) {
+	t.Helper()
+	sw, seq := buildShardedSwitch(t, shards, workers)
+	var trace []shardDelivery
+	sw.OnDeliver(func(p *noc.Packet) {
+		trace = append(trace, shardDelivery{
+			src: p.Src, dst: p.Dst, class: p.Class,
+			created: p.CreatedAt, enqueued: p.EnqueuedAt,
+			granted: p.GrantedAt, delivered: p.DeliveredAt,
+			length: p.Length,
+		})
+	})
+	sw.OnRelease(seq.Recycle)
+	sw.Run(cycles)
+	if err := sw.Err(); err != nil {
+		t.Fatalf("shards=%d workers=%d: engine froze: %v", shards, workers, err)
+	}
+	return trace, *sw
+}
+
+// TestSwitchShardEquivalence pins the tentpole guarantee: the sharded
+// parallel pipeline produces the bit-identical ordered delivery trace
+// and counter block of the serial walk, at every shard count and at
+// worker counts forced above GOMAXPROCS (the -race run then exercises
+// the real barrier path even on a single-core host).
+func TestSwitchShardEquivalence(t *testing.T) {
+	const cycles = 4000
+	want, ref := runShardedSwitch(t, 1, 1, cycles)
+	if ref.ParallelActive() {
+		t.Fatal("shards=1 must take the serial walk")
+	}
+	for _, tc := range []struct{ shards, workers int }{
+		{2, 2}, {4, 1}, {4, 4}, {8, 8},
+	} {
+		t.Run(fmt.Sprintf("shards%d_workers%d", tc.shards, tc.workers), func(t *testing.T) {
+			got, sw := runShardedSwitch(t, tc.shards, tc.workers, cycles)
+			if !sw.ParallelActive() {
+				t.Fatal("sharded run fell back to the serial walk — test is vacuous")
+			}
+			if sw.Totals() != ref.Totals() {
+				t.Fatalf("counters diverge:\n got %+v\nwant %+v", sw.Totals(), ref.Totals())
+			}
+			if len(got) != len(want) {
+				t.Fatalf("delivered %d packets, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("delivery %d diverges:\n got %+v\nwant %+v", i, got[i], want[i])
+				}
+			}
+			if want[len(want)-1].delivered == 0 {
+				t.Fatal("no packet carried a delivery timestamp")
+			}
+		})
+	}
+}
+
+// faultsConfigForShardTest is a busy fault schedule: corruption-driven
+// retransmissions, a stall window, and a mid-run output fail-stop.
+func faultsConfigForShardTest() faults.Config {
+	return faults.Config{
+		Seed:        7,
+		CorruptProb: 0.02,
+		Stalls:      []faults.StallWindow{{Port: 3, From: 500, Until: 700}},
+		FailStops:   []faults.FailStop{{Port: 11, At: 1500}},
+	}
+}
+
+// TestSwitchShardCoupledConfigsStaySerial pins the eligibility rule:
+// output-coupling features must force the serial walk even with
+// Shards > 1 (results would otherwise depend on intra-cycle cross-
+// output ordering the parallel stages cannot reproduce).
+func TestSwitchShardCoupledConfigsStaySerial(t *testing.T) {
+	base := Config{Radix: 8, BEBufferFlits: 16, GLBufferFlits: 16, GBBufferFlits: 16, Shards: 4}
+	lrg := func(int) arb.Arbiter { return arb.NewLRG(8) }
+	cases := []struct {
+		name string
+		cfg  Config
+		arb  func(int) arb.Arbiter
+	}{
+		{"chaining", func() Config { c := base; c.PacketChaining = true; return c }(), lrg},
+		{"preemption", func() Config { c := base; c.Preemption = true; return c }(), lrg},
+		{"gate", func() Config {
+			c := base
+			c.AdmissionGate = func(noc.Cycle, *noc.Packet) bool { return true }
+			return c
+		}(), lrg},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sw, err := New(tc.cfg, tc.arb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sw.Step()
+			if sw.ParallelActive() {
+				t.Fatalf("%s must force the serial walk", tc.name)
+			}
+		})
+	}
+	t.Run("faults", func(t *testing.T) {
+		sw, _ := buildShardedSwitch(t, 4, 4)
+		if err := sw.SetFaults(faultsConfigForShardTest()); err != nil {
+			t.Fatal(err)
+		}
+		sw.Step()
+		if sw.ParallelActive() {
+			t.Fatal("fault injection must force the serial walk")
+		}
+	})
+}
+
+// TestSwitchShardFaultsEquivalence: the serial walk over sharded state
+// (shards > 1 with faults) must match the single-shard serial walk —
+// the legacy path's shard-ascending mask iteration is order-identical
+// to the old global-mask iteration.
+func TestSwitchShardFaultsEquivalence(t *testing.T) {
+	run := func(shards int) ([]shardDelivery, Switch) {
+		sw, seq := buildShardedSwitch(t, shards, shards)
+		if err := sw.SetFaults(faultsConfigForShardTest()); err != nil {
+			t.Fatal(err)
+		}
+		var trace []shardDelivery
+		sw.OnDeliver(func(p *noc.Packet) {
+			trace = append(trace, shardDelivery{
+				src: p.Src, dst: p.Dst, class: p.Class,
+				created: p.CreatedAt, enqueued: p.EnqueuedAt,
+				granted: p.GrantedAt, delivered: p.DeliveredAt,
+				length: p.Length,
+			})
+		})
+		sw.OnRelease(seq.Recycle)
+		sw.Run(3000)
+		if err := sw.Err(); err != nil {
+			t.Fatalf("shards=%d: engine froze: %v", shards, err)
+		}
+		return trace, *sw
+	}
+	want, ref := run(1)
+	for _, shards := range []int{2, 8} {
+		got, sw := run(shards)
+		if sw.ParallelActive() {
+			t.Fatal("fault run must stay serial")
+		}
+		if sw.Totals() != ref.Totals() {
+			t.Fatalf("shards=%d: counters diverge:\n got %+v\nwant %+v", shards, sw.Totals(), ref.Totals())
+		}
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: delivered %d packets, want %d", shards, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: delivery %d diverges:\n got %+v\nwant %+v", shards, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package traffic
+
+import (
+	"testing"
+
+	"swizzleqos/internal/noc"
+)
+
+// The scheduler differential tests pin the core Scheduler contract: a
+// generator driven through NextArrival/Emit produces the bit-identical
+// emission stream (cycles and packet IDs) of the same generator driven
+// through per-cycle Tick, under a queue whose depth evolves the same
+// way in both runs.
+
+type emission struct {
+	at noc.Cycle
+	id uint64
+}
+
+// drivePolled runs the per-cycle reference protocol: Tick every cycle
+// with the current simulated queue depth, then let a consumer pop one
+// packet every popEvery cycles (popEvery == 0: never pop).
+func drivePolled(g Generator, n noc.Cycle, popEvery noc.Cycle) []emission {
+	var out []emission
+	queued := 0
+	for t := noc.Cycle(0); t < n; t++ {
+		if p := g.Tick(t, queued); p != nil {
+			out = append(out, emission{t, p.ID})
+			queued++
+		}
+		if popEvery > 0 && t%popEvery == 0 && queued > 0 {
+			queued--
+		}
+	}
+	return out
+}
+
+// driveScheduled runs the event protocol over the same consumer: strict
+// NextArrival/Emit alternation, re-arming blocked flows after a pop —
+// the exact discipline fabric.Sources follows.
+func driveScheduled(g Scheduler, n noc.Cycle, popEvery noc.Cycle) []emission {
+	var out []emission
+	queued := 0
+	next, ok := g.NextArrival(0, queued)
+	for t := noc.Cycle(0); t < n; t++ {
+		if ok && next == t {
+			p := g.Emit(t)
+			out = append(out, emission{t, p.ID})
+			queued++
+			next, ok = g.NextArrival(t+1, queued)
+		}
+		if popEvery > 0 && t%popEvery == 0 && queued > 0 {
+			queued--
+			if !ok {
+				next, ok = g.NextArrival(t+1, queued)
+			}
+		}
+	}
+	return out
+}
+
+func diffEmissions(t *testing.T, name string, polled, scheduled []emission) {
+	t.Helper()
+	if len(polled) != len(scheduled) {
+		t.Fatalf("%s: polled emitted %d packets, scheduled %d", name, len(polled), len(scheduled))
+	}
+	for i := range polled {
+		if polled[i] != scheduled[i] {
+			t.Fatalf("%s: emission %d differs: polled {at %d, id %d}, scheduled {at %d, id %d}",
+				name, i, polled[i].at, polled[i].id, scheduled[i].at, scheduled[i].id)
+		}
+	}
+	if len(polled) == 0 {
+		t.Fatalf("%s: no emissions in %s", name, "either run — test exercises nothing")
+	}
+}
+
+func specBE(length int) noc.FlowSpec {
+	return noc.FlowSpec{Src: 0, Dst: 1, Class: noc.BestEffort, PacketLength: length}
+}
+
+func TestBernoulliSchedulerMatchesTick(t *testing.T) {
+	const n = 5000
+	for _, rate := range []float64{0.05, 0.3, 0.9} {
+		var seqA, seqB Sequence
+		polled := drivePolled(NewBernoulli(&seqA, specBE(4), rate, 42), n, 0)
+		scheduled := driveScheduled(NewBernoulli(&seqB, specBE(4), rate, 42), n, 0)
+		diffEmissions(t, "bernoulli", polled, scheduled)
+	}
+}
+
+func TestPeriodicSchedulerMatchesTick(t *testing.T) {
+	const n = 500
+	for _, tc := range []struct{ interval, offset noc.Cycle }{
+		{7, 3}, {1, 0}, {13, 100},
+	} {
+		var seqA, seqB Sequence
+		polled := drivePolled(NewPeriodic(&seqA, specBE(4), tc.interval, tc.offset), n, 0)
+		scheduled := driveScheduled(NewPeriodic(&seqB, specBE(4), tc.interval, tc.offset), n, 0)
+		diffEmissions(t, "periodic", polled, scheduled)
+	}
+}
+
+func TestBurstySchedulerMatchesTick(t *testing.T) {
+	const n = 5000
+	for _, tc := range []struct {
+		rate, burst float64
+		length      int
+	}{
+		{0.2, 4, 4}, {0.9, 2, 1}, {1.0, 8, 4},
+	} {
+		var seqA, seqB Sequence
+		polled := drivePolled(NewBursty(&seqA, specBE(tc.length), tc.rate, tc.burst, 7), n, 0)
+		scheduled := driveScheduled(NewBursty(&seqB, specBE(tc.length), tc.rate, tc.burst, 7), n, 0)
+		diffEmissions(t, "bursty", polled, scheduled)
+	}
+}
+
+func TestBackloggedSchedulerMatchesTick(t *testing.T) {
+	const n = 200
+	for _, popEvery := range []noc.Cycle{1, 3, 7} {
+		var seqA, seqB Sequence
+		polled := drivePolled(NewBacklogged(&seqA, specBE(4), 3), n, popEvery)
+		scheduled := driveScheduled(NewBacklogged(&seqB, specBE(4), 3), n, popEvery)
+		diffEmissions(t, "backlogged", polled, scheduled)
+	}
+}
+
+func TestTraceSchedulerMatchesTick(t *testing.T) {
+	// Duplicate cycles force the consecutive-emission rule; a stale past
+	// entry (5, 5, 5) checks the max(entry, from) clamp.
+	times := []noc.Cycle{2, 5, 5, 5, 9, 40, 40, 41}
+	var seqA, seqB Sequence
+	polled := drivePolled(NewTrace(&seqA, specBE(4), times), 100, 0)
+	scheduled := driveScheduled(NewTrace(&seqB, specBE(4), times), 100, 0)
+	diffEmissions(t, "trace", polled, scheduled)
+	if len(polled) != len(times) {
+		t.Fatalf("trace emitted %d of %d entries", len(polled), len(times))
+	}
+}
