@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race vet fmt lint benchguard bench-arb bench-shard staticcheck govulncheck bench experiments verify examples cover fuzz
+.PHONY: all check build test race vet fmt lint benchguard bench-arb bench-shard serve-check staticcheck govulncheck bench experiments verify examples cover fuzz
 
 all: build vet test
 
@@ -61,6 +61,14 @@ bench-shard:
 	$(GO) test -run='^$$' -bench='SwitchCycleSharded|MeshCycleSharded' \
 		-benchmem -benchtime=20000x ./internal/switchsim/ ./internal/mesh/
 	$(GO) run ./cmd/ssvc-benchguard
+
+# End-to-end crash-recovery gate for the control plane: run the scripted
+# ssvc-serve scenario uninterrupted, SIGKILL a paced copy mid-run and
+# resume it from its journal, then replay the journal offline — all
+# three delivery traces and recovered summaries must be byte-identical
+# (DESIGN.md "Control plane").
+serve-check:
+	sh scripts/serve_check.sh
 
 # Optional linters: run when present, skip with a notice otherwise. The
 # container baseline has no network, so these must never try to install.

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ssvc-bench [-exp all|fig4a|fig4b|fig5|adherence|table1|table2|area|lanes|energy|glbound|glbursts|chaining|fixedpriority|static|sigbits|motivation|scale64|convergence|decoupling|gsf|compose|pvc|faults|idleskip]
+//	ssvc-bench [-exp all|fig4a|fig4b|fig5|adherence|table1|table2|area|lanes|energy|glbound|glbursts|chaining|fixedpriority|static|sigbits|motivation|scale64|convergence|decoupling|gsf|compose|pvc|faults|idleskip|ctlplane]
 //	           [-faults] [-quick] [-csv] [-cycles N] [-warmup N] [-seed N] [-workers N]
 //	           [-shards N] [-shard-workers N] [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -219,6 +219,9 @@ func benchMain(args []string, stdout, stderr io.Writer) int {
 	}
 	if want("idleskip") {
 		show(experiments.IdleSkipTable(experiments.IdleSkip(o)))
+	}
+	if want("ctlplane") {
+		show(experiments.CtlPlaneTable(experiments.CtlPlane(o)))
 	}
 	if want("faults") {
 		show(experiments.FaultsTable(experiments.Faults(o)))

@@ -4,8 +4,9 @@
 // override earlier ones per benchmark, so BENCH_bitplane.json supersedes
 // BENCH_baseline.json where both record the same benchmark and
 // contributes the idle-regime and arbitrate-kernel benchmarks the older
-// file predates, and BENCH_shard.json adds the sharded cycle-loop
-// benchmarks on top.
+// file predates, BENCH_shard.json adds the sharded cycle-loop
+// benchmarks, and BENCH_ctlplane.json adds the control-plane-attached
+// idle benchmark on top.
 //
 // Only B/op and allocs/op are guarded: they are deterministic at a
 // fixed -benchtime, so the gate cannot flake the way an ns/op bound
@@ -34,6 +35,7 @@ var guarded = map[string]string{
 	"BenchmarkMeshCycleSharded":     "./internal/mesh/",
 	"BenchmarkComposeCycleRecycled": "./internal/compose/",
 	"BenchmarkBitplaneArbitrate":    "./internal/core/",
+	"BenchmarkCtlPlaneIdle":         "./internal/ctlplane/",
 }
 
 // metric is one benchmark result (or baseline entry). Only the
@@ -44,7 +46,7 @@ type metric struct {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_baseline.json,BENCH_bitplane.json,BENCH_shard.json", "comma-separated baseline files; later files override earlier entries")
+	baselinePath := flag.String("baseline", "BENCH_baseline.json,BENCH_bitplane.json,BENCH_shard.json,BENCH_ctlplane.json", "comma-separated baseline files; later files override earlier entries")
 	benchtime := flag.String("benchtime", "20000x", "go test -benchtime value (iteration counts keep allocs/op deterministic; long enough to amortise residual pool warm-up below 0.5 B/op)")
 	flag.Parse()
 

@@ -20,6 +20,16 @@ var globalRandFuncs = map[string]bool{
 	"N": true, "Uint32N": true, "Uint64N": true, "UintN": true, "Uint": true,
 }
 
+// timerFuncs are the time-package functions that schedule work against
+// the wall clock. In simulation code any deadline — a lease expiry, a
+// snapshot cadence, a retry backoff — must fire at a simulated cycle
+// derived from the command that created it, or replaying a journal
+// cannot reproduce the run.
+var timerFuncs = map[string]bool{
+	"Sleep": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
 // Determinism flags the three sources of run-to-run nondeterminism that
 // would break byte-identical golden tables: wall-clock time, the global
 // math/rand source, and iteration over maps. The packages argument
@@ -74,6 +84,11 @@ func (l *Loader) checkForbiddenSelector(pkg *Package, sel *ast.SelectorExpr) (Di
 		return Diagnostic{
 			File: file, Line: line, Analyzer: "determinism",
 			Message: "time." + name + " makes results depend on wall-clock time; derive everything from the simulated cycle count",
+		}, true
+	case path == "time" && timerFuncs[name]:
+		return Diagnostic{
+			File: file, Line: line, Analyzer: "determinism",
+			Message: "time." + name + " schedules against the wall clock; expirations (leases, deadlines, cadences) must fire at deterministic simulated cycles so journal replay reproduces them",
 		}, true
 	case (path == "math/rand" || path == "math/rand/v2") && globalRandFuncs[name]:
 		return Diagnostic{

@@ -20,6 +20,11 @@ var DeterminismPackages = []string{
 	"internal/faults",
 	"internal/traffic",
 	"internal/stats",
+	// The control plane journals commands with simulated-cycle stamps
+	// and replays them bit-for-bit; wall-clock time anywhere in its
+	// lease-expiry or snapshot paths (time.Now, but also timers like
+	// time.Sleep/After) would make recovery diverge from the live run.
+	"internal/ctlplane",
 	// The shard executor sits under every engine's sharded pipeline;
 	// it is pure mechanism, so any nondeterminism here (time, global
 	// rand, map iteration) would silently break the byte-identical

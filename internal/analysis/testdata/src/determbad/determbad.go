@@ -28,6 +28,27 @@ func Shuffle(xs []int) {
 	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want:determinism
 }
 
+// Expire schedules a lease expiry against the wall clock instead of a
+// simulated cycle; replay could never reproduce when it fired.
+func Expire(release func()) {
+	time.AfterFunc(time.Second, release) // want:determinism
+}
+
+// Pace sleeps inside simulation code, coupling results to host speed.
+func Pace() {
+	time.Sleep(time.Millisecond) // want:determinism
+}
+
+// Deadline builds a wall-clock timeout channel.
+func Deadline() <-chan time.Time {
+	return time.After(time.Minute) // want:determinism
+}
+
+// Cadence polls on a wall-clock ticker.
+func Cadence() *time.Ticker {
+	return time.NewTicker(time.Second) // want:determinism
+}
+
 // Sum iterates a map; even a commutative body must be allowlisted
 // explicitly, so the analyzer flags the range itself.
 func Sum(m map[int]float64) float64 {

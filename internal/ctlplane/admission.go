@@ -1,0 +1,640 @@
+package ctlplane
+
+import (
+	"fmt"
+	"sort"
+
+	"swizzleqos/internal/faults"
+	"swizzleqos/internal/glbound"
+	"swizzleqos/internal/noc"
+)
+
+// Frame is the fixed-point denominator for bandwidth accounting: a
+// reservation's cost is the number of Frame-ths of an output channel it
+// consumes. All admission arithmetic is integer arithmetic on costs, so
+// the over-commit invariant (sum of costs <= budget, per output) is
+// exact and the fuzz oracle can recompute it from scratch.
+const Frame = 1 << 20
+
+// Policy selects what happens to existing reservations when their
+// output's budget shrinks under them (a budget command, or fail-stop
+// degradation shifting the schedulable set).
+type Policy uint8
+
+const (
+	// PolicyDegrade keeps every reservation and scales granted rates
+	// proportionally to fit the new budget (the paper's graceful
+	// degradation, PR 3's SetVticks machinery). On an input fail-stop
+	// the freed bandwidth is redistributed to the survivors.
+	PolicyDegrade Policy = iota
+	// PolicyReject keeps granted == admitted always: a budget shrink
+	// revokes the newest reservations until the rest fit, and freed
+	// fail-stop bandwidth returns to best effort.
+	PolicyReject
+)
+
+// String names the policy as the line protocol spells it.
+func (p Policy) String() string {
+	if p == PolicyReject {
+		return "reject"
+	}
+	return "degrade"
+}
+
+// Reservation is one admitted flow. Cost is the admitted (requested)
+// rate in Frame units; GrantedCost is the currently granted rate, which
+// tracks Cost except under PolicyDegrade after a budget shrink (scaled
+// down) or an input fail-stop (survivors scaled up). GrantedCost 0
+// means the reservation is fully degraded: its traffic is demoted to
+// best-effort priority (SSVC Vtick 0) until budget returns.
+type Reservation struct {
+	ID          uint64    `json:"id"`
+	Req         FlowReq   `json:"req"`
+	Cost        uint64    `json:"cost"`
+	GrantedCost uint64    `json:"granted"`
+	ExpiresAt   noc.Cycle `json:"expiresAt,omitempty"` // 0 = no lease
+}
+
+// GrantedRate returns the granted rate in flits/cycle.
+func (r *Reservation) GrantedRate() float64 { return float64(r.GrantedCost) / Frame }
+
+// GrantedVtick returns the SSVC virtual-clock increment implied by the
+// granted rate: the inter-packet time of PacketLen-flit packets at that
+// rate, rounded up so the arbiter never over-serves the grant. Zero
+// (fully degraded) demotes the crosspoint to best-effort priority.
+func (r *Reservation) GrantedVtick() noc.VTime {
+	if r.GrantedCost == 0 {
+		return 0
+	}
+	num := Frame * uint64(r.Req.PacketLen)
+	q := num / r.GrantedCost
+	if num%r.GrantedCost != 0 {
+		q++ // round up: never over-serve the grant
+	}
+	return noc.VTimeOf(q)
+}
+
+// costOf returns the Frame-unit channel share a request consumes,
+// derived from its Vtick: a PacketLen-flit packet every Vtick cycles.
+// Deriving the cost from the (rounded) Vtick rather than the raw rate
+// makes "sum of admitted Vticks fits the frame" the literal invariant.
+func costOf(req FlowReq) uint64 {
+	vt := req.Spec().Vtick().Uint()
+	if vt == 0 {
+		return 0
+	}
+	num := Frame * uint64(req.PacketLen)
+	cost := num / vt
+	if num%vt != 0 {
+		cost++ // round up: admission must cover the full Vtick
+	}
+	return cost
+}
+
+// Reject describes a refused command.
+type Reject struct {
+	Reason     Reason
+	RetryAfter noc.Cycle
+	Msg        string
+}
+
+func reject(reason Reason, format string, args ...any) *Reject {
+	return &Reject{Reason: reason, Msg: fmt.Sprintf(format, args...)}
+}
+
+// TableConfig sizes an admission table.
+type TableConfig struct {
+	Radix int
+	// LMax is the largest packet length admissible anywhere in the
+	// network, in flits — the lmax of the Eq. 1-3 analysis.
+	LMax int
+	// GLBufferFlits is the per-input GL buffer depth b of Eq. 1.
+	GLBufferFlits int
+	// GBShare and GLShare are the per-output budget fractions for the
+	// two reserving classes (GB per-output budgets can be moved later
+	// with budget commands; the GL share is fixed at construction
+	// because SSVC GL policing is configured once).
+	GBShare float64
+	GLShare float64
+	Policy  Policy
+}
+
+// Validate reports a descriptive error for malformed configurations.
+func (tc TableConfig) Validate() error {
+	if tc.Radix < 2 {
+		return fmt.Errorf("ctlplane: radix %d must be at least 2", tc.Radix)
+	}
+	if tc.LMax < 1 {
+		return fmt.Errorf("ctlplane: lmax %d must be at least 1", tc.LMax)
+	}
+	if tc.GLBufferFlits < 1 {
+		return fmt.Errorf("ctlplane: GL buffer depth %d must be at least 1 flit", tc.GLBufferFlits)
+	}
+	if tc.GBShare < 0 || tc.GLShare < 0 || tc.GBShare+tc.GLShare > 1 {
+		return fmt.Errorf("ctlplane: shares GB=%g GL=%g must be non-negative and sum to at most 1", tc.GBShare, tc.GLShare)
+	}
+	return nil
+}
+
+// Table is the pure admission-control state machine: no simulation, no
+// I/O, fully deterministic — the model-based fuzz drives it directly.
+// The Plane owns one and materializes its decisions onto the switch.
+type Table struct {
+	cfg      TableConfig
+	gbBudget []uint64 // per output, Frame units
+	glBudget uint64   // per output, Frame units (uniform)
+	inDown   []bool
+	outDown  []bool
+	nextID   uint64
+
+	byID map[uint64]*Reservation
+	gb   [][]*Reservation // per output, admission order
+	gl   [][]*Reservation
+}
+
+// NewTable builds an empty admission table.
+func NewTable(tc TableConfig) (*Table, error) {
+	if err := tc.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		cfg:      tc,
+		gbBudget: make([]uint64, tc.Radix),
+		glBudget: uint64(float64(Frame) * tc.GLShare),
+		inDown:   make([]bool, tc.Radix),
+		outDown:  make([]bool, tc.Radix),
+		nextID:   1,
+		byID:     make(map[uint64]*Reservation),
+		gb:       make([][]*Reservation, tc.Radix),
+		gl:       make([][]*Reservation, tc.Radix),
+	}
+	for o := range t.gbBudget {
+		t.gbBudget[o] = uint64(float64(Frame) * tc.GBShare)
+	}
+	return t, nil
+}
+
+// Policy returns the current budget-shrink policy.
+func (t *Table) Policy() Policy { return t.cfg.Policy }
+
+// GBBudget returns output o's GB budget in Frame units.
+func (t *Table) GBBudget(o int) uint64 { return t.gbBudget[o] }
+
+// GLBudget returns the per-output GL bandwidth budget in Frame units.
+func (t *Table) GLBudget() uint64 { return t.glBudget }
+
+// Get returns the active reservation with the given id, or nil.
+func (t *Table) Get(id uint64) *Reservation { return t.byID[id] }
+
+// Len returns the number of active reservations.
+func (t *Table) Len() int { return len(t.byID) }
+
+// GB returns output o's GB reservations in admission order. The slice
+// is shared; callers must not mutate it.
+func (t *Table) GB(o int) []*Reservation { return t.gb[o] }
+
+// GL returns output o's GL reservations in admission order.
+func (t *Table) GL(o int) []*Reservation { return t.gl[o] }
+
+// validate checks a request against the switch geometry.
+func (t *Table) validate(req FlowReq) *Reject {
+	if req.Src < 0 || req.Src >= t.cfg.Radix || req.Dst < 0 || req.Dst >= t.cfg.Radix {
+		return reject(ReasonBadRequest, "ports %d->%d outside radix %d", req.Src, req.Dst, t.cfg.Radix)
+	}
+	if req.Class != noc.GuaranteedBandwidth && req.Class != noc.GuaranteedLatency {
+		return reject(ReasonBadRequest, "class %v is not reservable; only GB and GL pass admission", req.Class)
+	}
+	if req.PacketLen < 1 || req.PacketLen > t.cfg.LMax {
+		return reject(ReasonBadRequest, "packet length %d outside [1,%d]", req.PacketLen, t.cfg.LMax)
+	}
+	if req.Rate <= 0 || req.Rate > 1 {
+		return reject(ReasonBadRequest, "rate %g outside (0,1]", req.Rate)
+	}
+	if req.Load < 0 || req.Load > 1 || req.Users < 0 {
+		return reject(ReasonBadRequest, "load %g must be in [0,1] and users %d non-negative", req.Load, req.Users)
+	}
+	if req.Class == noc.GuaranteedLatency {
+		if req.Latency == 0 || req.Burst < 1 {
+			return reject(ReasonBadRequest, "GL requests need latency=<cycles> and burst>=1")
+		}
+	} else if req.Latency != 0 || req.Burst != 0 {
+		return reject(ReasonBadRequest, "latency/burst are GL-only options")
+	}
+	return nil
+}
+
+// retryHint returns the cycles until the earliest lease expiry at
+// output o — the soonest a budget rejection could clear — or 0.
+func (t *Table) retryHint(o int, now noc.Cycle) noc.Cycle {
+	var best noc.Cycle
+	for _, set := range [2][]*Reservation{t.gb[o], t.gl[o]} {
+		for _, r := range set {
+			if r.ExpiresAt != 0 && (best == 0 || r.ExpiresAt < best) {
+				best = r.ExpiresAt
+			}
+		}
+	}
+	if best == 0 {
+		return 0
+	}
+	return noc.SatSub(best, now)
+}
+
+// Admit checks a request against the budgets and, if it fits, records
+// the reservation. lease 0 means no expiry.
+func (t *Table) Admit(req FlowReq, lease noc.Cycle, now noc.Cycle) (*Reservation, *Reject) {
+	if rej := t.validate(req); rej != nil {
+		return nil, rej
+	}
+	if t.inDown[req.Src] || t.outDown[req.Dst] {
+		return nil, reject(ReasonPortDown, "port %d->%d has fail-stopped", req.Src, req.Dst)
+	}
+	set := &t.gb[req.Dst]
+	if req.Class == noc.GuaranteedLatency {
+		set = &t.gl[req.Dst]
+	}
+	for _, r := range *set {
+		if r.Req.Src == req.Src {
+			return nil, reject(ReasonExists, "reservation %d already holds %d->%d/%v", r.ID, req.Src, req.Dst, req.Class)
+		}
+	}
+	cost := costOf(req)
+	if req.Class == noc.GuaranteedBandwidth {
+		used := t.gbUsed(req.Dst)
+		if used+cost > t.gbBudget[req.Dst] {
+			rej := reject(ReasonGBBudget, "output %d GB budget %d/%d Frame-units used; request needs %d",
+				req.Dst, used, t.gbBudget[req.Dst], cost)
+			rej.RetryAfter = t.retryHint(req.Dst, now)
+			return nil, rej
+		}
+	} else {
+		used := t.glUsed(req.Dst)
+		if used+cost > t.glBudget {
+			rej := reject(ReasonGLBudget, "output %d GL share %d/%d Frame-units used; request needs %d",
+				req.Dst, used, t.glBudget, cost)
+			rej.RetryAfter = t.retryHint(req.Dst, now)
+			return nil, rej
+		}
+		if rej := t.glCheck(req.Dst, &req); rej != nil {
+			rej.RetryAfter = t.retryHint(req.Dst, now)
+			return nil, rej
+		}
+	}
+	res := &Reservation{ID: t.nextID, Req: req, Cost: cost, GrantedCost: cost}
+	t.nextID++
+	if lease > 0 {
+		res.ExpiresAt = now + lease
+	}
+	*set = append(*set, res)
+	t.byID[res.ID] = res
+	if req.Class == noc.GuaranteedBandwidth {
+		t.renormalize(req.Dst)
+	}
+	return res, nil
+}
+
+// Remove revokes a reservation by id (client remove and deterministic
+// lease expiry share this path).
+func (t *Table) Remove(id uint64, now noc.Cycle) (*Reservation, *Reject) {
+	res, ok := t.byID[id]
+	if !ok {
+		return nil, reject(ReasonNotFound, "no reservation %d", id)
+	}
+	t.drop(res)
+	if res.Req.Class == noc.GuaranteedBandwidth {
+		t.renormalize(res.Req.Dst)
+	}
+	return res, nil
+}
+
+// drop unlinks a reservation from the table without renormalizing.
+func (t *Table) drop(res *Reservation) {
+	delete(t.byID, res.ID)
+	set := &t.gb[res.Req.Dst]
+	if res.Req.Class == noc.GuaranteedLatency {
+		set = &t.gl[res.Req.Dst]
+	}
+	for i, r := range *set {
+		if r.ID == res.ID {
+			*set = append((*set)[:i], (*set)[i+1:]...)
+			break
+		}
+	}
+}
+
+// Resize changes a reservation's rate (rate > 0) and/or lease
+// (setLease; lease 0 clears). The new rate passes the same budget and
+// GL-bound checks as an add.
+func (t *Table) Resize(id uint64, rate float64, lease noc.Cycle, setLease bool, now noc.Cycle) (*Reservation, *Reject) {
+	res, ok := t.byID[id]
+	if !ok {
+		return nil, reject(ReasonNotFound, "no reservation %d", id)
+	}
+	if rate != 0 {
+		if rate < 0 || rate > 1 {
+			return nil, reject(ReasonBadRequest, "rate %g outside (0,1]", rate)
+		}
+		newReq := res.Req
+		newReq.Rate = rate
+		newCost := costOf(newReq)
+		if res.Req.Class == noc.GuaranteedBandwidth {
+			used := noc.SatSub(t.gbUsed(res.Req.Dst), res.Cost) + newCost
+			if used > t.gbBudget[res.Req.Dst] {
+				rej := reject(ReasonGBBudget, "output %d GB budget %d Frame-units cannot fit resize to %d",
+					res.Req.Dst, t.gbBudget[res.Req.Dst], newCost)
+				rej.RetryAfter = t.retryHint(res.Req.Dst, now)
+				return nil, rej
+			}
+		} else {
+			used := noc.SatSub(t.glUsed(res.Req.Dst), res.Cost) + newCost
+			if used > t.glBudget {
+				rej := reject(ReasonGLBudget, "output %d GL share %d Frame-units cannot fit resize to %d",
+					res.Req.Dst, t.glBudget, newCost)
+				rej.RetryAfter = t.retryHint(res.Req.Dst, now)
+				return nil, rej
+			}
+		}
+		res.Req = newReq
+		res.Cost = newCost
+		res.GrantedCost = newCost
+	}
+	if setLease {
+		if lease == 0 {
+			res.ExpiresAt = 0
+		} else {
+			res.ExpiresAt = now + lease
+		}
+	}
+	if res.Req.Class == noc.GuaranteedBandwidth {
+		t.renormalize(res.Req.Dst)
+	}
+	return res, nil
+}
+
+// SetBudget changes output o's GB budget share. If the new budget no
+// longer covers the admitted set, PolicyDegrade scales every grant down
+// proportionally and PolicyReject revokes newest-first until the rest
+// fit; the revoked reservations are returned for the caller to detach.
+func (t *Table) SetBudget(o int, share float64, now noc.Cycle) ([]*Reservation, *Reject) {
+	if o < 0 || o >= t.cfg.Radix {
+		return nil, reject(ReasonBadRequest, "output %d outside radix %d", o, t.cfg.Radix)
+	}
+	if share < 0 || share+t.cfg.GLShare > 1 {
+		return nil, reject(ReasonBadRequest, "share %g must be in [0,%g] (GL holds %g)", share, 1-t.cfg.GLShare, t.cfg.GLShare)
+	}
+	t.gbBudget[o] = uint64(float64(Frame) * share)
+	revoked := t.fit(o)
+	t.renormalize(o)
+	return revoked, nil
+}
+
+// SetPolicy switches the shrink policy. Moving to PolicyReject while an
+// output is over-committed (degraded) revokes newest-first until every
+// output fits again.
+func (t *Table) SetPolicy(p Policy) []*Reservation {
+	t.cfg.Policy = p
+	var revoked []*Reservation
+	for o := 0; o < t.cfg.Radix; o++ {
+		revoked = append(revoked, t.fit(o)...)
+		t.renormalize(o)
+	}
+	return revoked
+}
+
+// fit enforces the PolicyReject invariant at output o: revoke
+// newest-first (highest id) until the admitted costs fit the budget.
+// Under PolicyDegrade it never revokes.
+func (t *Table) fit(o int) []*Reservation {
+	if t.cfg.Policy != PolicyReject {
+		return nil
+	}
+	var revoked []*Reservation
+	for t.gbUsed(o) > t.gbBudget[o] {
+		newest := t.gb[o][0]
+		for _, r := range t.gb[o] {
+			if r.ID > newest.ID {
+				newest = r
+			}
+		}
+		t.drop(newest)
+		revoked = append(revoked, newest)
+	}
+	return revoked
+}
+
+// FailStop marks a port dead and revokes every reservation it carried.
+// Under PolicyDegrade an input failure's freed bandwidth is
+// redistributed to the surviving reservations at each affected output
+// (the PR 3 graceful-degradation semantics); a later admission at that
+// output claws the bonus back (renormalize).
+func (t *Table) FailStop(f faults.FailStop) []*Reservation {
+	var revoked []*Reservation
+	if f.Input {
+		t.inDown[f.Port] = true
+		for o := 0; o < t.cfg.Radix; o++ {
+			prevGranted := t.gbGranted(o)
+			changed := false
+			for _, set := range [2][]*Reservation{t.gb[o], t.gl[o]} {
+				for _, r := range set {
+					if r.Req.Src == f.Port {
+						revoked = append(revoked, r)
+						changed = true
+					}
+				}
+			}
+			if !changed {
+				continue
+			}
+			for _, r := range revoked {
+				if t.byID[r.ID] != nil && r.Req.Dst == o {
+					t.drop(r)
+				}
+			}
+			if t.cfg.Policy == PolicyDegrade {
+				t.fill(o, prevGranted)
+			}
+		}
+		return revoked
+	}
+	o := f.Port
+	t.outDown[o] = true
+	revoked = append(revoked, t.gb[o]...)
+	revoked = append(revoked, t.gl[o]...)
+	for _, r := range revoked {
+		t.drop(r)
+	}
+	return revoked
+}
+
+// gbUsed sums the admitted GB costs at output o.
+func (t *Table) gbUsed(o int) uint64 {
+	var used uint64
+	for _, r := range t.gb[o] {
+		used += r.Cost
+	}
+	return used
+}
+
+// gbGranted sums the granted GB costs at output o.
+func (t *Table) gbGranted(o int) uint64 {
+	var used uint64
+	for _, r := range t.gb[o] {
+		used += r.GrantedCost
+	}
+	return used
+}
+
+// glUsed sums the admitted GL costs at output o.
+func (t *Table) glUsed(o int) uint64 {
+	var used uint64
+	for _, r := range t.gl[o] {
+		used += r.Cost
+	}
+	return used
+}
+
+// renormalize recomputes granted costs at output o from the admitted
+// costs: granted == admitted when the set fits its budget, and under
+// PolicyDegrade a proportional scale-down when it does not (only a
+// budget shrink can create that state). Proportional floors guarantee
+// the granted sum never exceeds the budget.
+func (t *Table) renormalize(o int) {
+	used := t.gbUsed(o)
+	budget := t.gbBudget[o]
+	if used <= budget {
+		for _, r := range t.gb[o] {
+			r.GrantedCost = r.Cost
+		}
+		return
+	}
+	// Over-committed: only reachable under PolicyDegrade (fit revokes
+	// first under PolicyReject).
+	for _, r := range t.gb[o] {
+		r.GrantedCost = r.Cost * budget / used
+	}
+}
+
+// fill scales output o's surviving GB grants up to the smaller of the
+// budget and the pre-failure granted total, proportionally to their
+// admitted costs — survivors absorb a failed input's reservation.
+func (t *Table) fill(o int, target uint64) {
+	if b := t.gbBudget[o]; target > b {
+		target = b
+	}
+	used := t.gbUsed(o)
+	if used == 0 || target <= used {
+		t.renormalize(o)
+		return
+	}
+	for _, r := range t.gb[o] {
+		r.GrantedCost = r.Cost * target / used
+	}
+}
+
+// Vticks fills vt (length >= radix) with output o's per-input SSVC
+// Vticks from the granted GB rates and returns it.
+func (t *Table) Vticks(o int, vt []noc.VTime) []noc.VTime {
+	vt = vt[:t.cfg.Radix]
+	for i := range vt {
+		vt[i] = 0
+	}
+	for _, r := range t.gb[o] {
+		vt[r.Req.Src] = r.GrantedVtick()
+	}
+	return vt
+}
+
+// glCheck verifies the Eq. 1-3 guaranteed-latency analysis for output
+// o's GL set plus an optional additional request: the Eq. 1 worst-case
+// wait must fit every member's constraint, and every member's requested
+// burst must fit its Eq. 2-3 budget.
+func (t *Table) glCheck(o int, extra *FlowReq) *Reject {
+	type member struct {
+		latency noc.Cycle
+		burst   int
+		lmin    int
+	}
+	members := make([]member, 0, len(t.gl[o])+1)
+	for _, r := range t.gl[o] {
+		members = append(members, member{r.Req.Latency, r.Req.Burst, r.Req.PacketLen})
+	}
+	if extra != nil {
+		members = append(members, member{extra.Latency, extra.Burst, extra.PacketLen})
+	}
+	if len(members) == 0 {
+		return nil
+	}
+	lmin := members[0].lmin
+	for _, m := range members[1:] {
+		if m.lmin < lmin {
+			lmin = m.lmin
+		}
+	}
+	p := glbound.Params{LMax: t.cfg.LMax, LMin: lmin, NGL: len(members), BufferFlits: t.cfg.GLBufferFlits}
+	if err := p.Validate(); err != nil {
+		return reject(ReasonBadRequest, "%v", err)
+	}
+	wait := p.MaxWait()
+	lats := make([]float64, len(members))
+	for i, m := range members {
+		lats[i] = float64(m.latency.Uint())
+		if wait > lats[i] {
+			return reject(ReasonGLBound, "Eq.1 worst-case wait %.0f cycles exceeds constraint %d (N_GL=%d, b=%d)",
+				wait, m.latency.Uint(), p.NGL, p.BufferFlits)
+		}
+	}
+	budgets, err := glbound.BurstSizes(t.cfg.LMax, lats)
+	if err != nil {
+		return reject(ReasonGLBound, "%v", err)
+	}
+	// Budgets come back sorted by latency; equal latencies get equal
+	// budgets, so ranking the members by latency matches them up.
+	sort.Slice(members, func(i, j int) bool { return members[i].latency < members[j].latency })
+	for i, m := range members {
+		if float64(m.burst) > budgets[i].MaxPackets {
+			return reject(ReasonGLBound, "burst %d packets exceeds the Eq.2-3 budget %.2f at latency %d",
+				m.burst, budgets[i].MaxPackets, m.latency.Uint())
+		}
+	}
+	return nil
+}
+
+// TableState is the serializable admission state, embedded in journal
+// snapshots and compared during replay verification.
+type TableState struct {
+	NextID       uint64        `json:"nextID"`
+	Policy       Policy        `json:"policy"`
+	GBBudget     []uint64      `json:"gbBudget"`
+	InDown       []int         `json:"inDown,omitempty"`
+	OutDown      []int         `json:"outDown,omitempty"`
+	Reservations []Reservation `json:"reservations"`
+}
+
+// State captures the table, reservations sorted by id.
+func (t *Table) State() TableState {
+	st := TableState{
+		NextID:   t.nextID,
+		Policy:   t.cfg.Policy,
+		GBBudget: append([]uint64(nil), t.gbBudget...),
+	}
+	for p, down := range t.inDown {
+		if down {
+			st.InDown = append(st.InDown, p)
+		}
+	}
+	for p, down := range t.outDown {
+		if down {
+			st.OutDown = append(st.OutDown, p)
+		}
+	}
+	st.Reservations = make([]Reservation, 0, len(t.byID))
+	for o := 0; o < t.cfg.Radix; o++ {
+		for _, set := range [2][]*Reservation{t.gb[o], t.gl[o]} {
+			for _, r := range set {
+				st.Reservations = append(st.Reservations, *r)
+			}
+		}
+	}
+	sort.Slice(st.Reservations, func(i, j int) bool { return st.Reservations[i].ID < st.Reservations[j].ID })
+	return st
+}

@@ -33,6 +33,7 @@ func TestShardsByteIdenticalTables(t *testing.T) {
 		{"compose", func(o Options) string { return ComposeTable(ComposeQoS(o)).String() }},
 		{"idleskip", func(o Options) string { return IdleSkipTable(IdleSkip(o)).String() }},
 		{"faults", func(o Options) string { return FaultsTable(Faults(o)).String() }},
+		{"ctlplane", func(o Options) string { return CtlPlaneTable(CtlPlane(o)).String() }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -36,6 +36,7 @@ func TestGoldenTables(t *testing.T) {
 		{"compose.txt", ComposeTable(ComposeQoS(o)).String()},
 		{"faults.txt", FaultsTable(Faults(o)).String()},
 		{"idleskip.txt", IdleSkipTable(IdleSkip(o)).String()},
+		{"ctlplane.txt", CtlPlaneTable(CtlPlane(o)).String()},
 	}
 	for _, tc := range cases {
 		path := filepath.Join("testdata", tc.name)

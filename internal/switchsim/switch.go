@@ -247,6 +247,9 @@ func New(cfg Config, newArb func(output int) arb.Arbiter) (*Switch, error) {
 		// turns nonempty: a fresh head is the only generation event that
 		// can make a barren input admissible again. Groups are local.
 		sh.sources.SetOnNewHead(func(group int) { arb.MaskClear(sh.admitSkip, group) })
+		if cfg.DynamicFlows {
+			sh.sources.DisableEventDriven()
+		}
 		// Pre-seed the transmission free list (one in-flight packet per
 		// output is the maximum) so the steady-state loop never allocates.
 		sh.txPool.Preload(n)
@@ -343,6 +346,9 @@ func (s *Switch) AddFlow(f traffic.Flow) error {
 	}
 	if f.Gen == nil {
 		return fmt.Errorf("switchsim: flow %d->%d has no generator", f.Spec.Src, f.Spec.Dst)
+	}
+	if s.now != 0 && !s.cfg.DynamicFlows {
+		return fmt.Errorf("switchsim: AddFlow at cycle %d requires Config.DynamicFlows (the event-driven source calendar is already sealed)", s.now)
 	}
 	k := s.part.Of(f.Spec.Src)
 	sh := s.sh[k]

@@ -1,0 +1,231 @@
+package traffic
+
+import (
+	"math/bits"
+
+	"swizzleqos/internal/noc"
+)
+
+// ClosedLoopConfig parameterizes a ClosedLoop source: a fixed population
+// of users alternating between thinking and issuing requests, in the
+// style of the feedback-driven workloads of Firoiu et al.'s Feedback
+// Output Queuing evaluation. Zero values select the defaults noted on
+// each field.
+type ClosedLoopConfig struct {
+	// Users is the population size: the maximum number of requests the
+	// flow can have outstanding. Default 1.
+	Users int
+	// ThinkMin/ThinkMax bound the uniform think time drawn after each
+	// completed response, in cycles. Defaults 64 and 1024.
+	ThinkMin noc.Cycle
+	ThinkMax noc.Cycle
+	// SizeMin/SizeMax bound the request size in packets. Sizes are
+	// heavy-tailed: starting from SizeMin, each doubling is taken with
+	// probability 1/2 (a discrete Pareto of shape 1 at octave
+	// granularity), truncated at SizeMax. Defaults 1 and 64*SizeMin.
+	SizeMin int
+	SizeMax int
+	// Timeout is the response deadline in cycles. A user whose response
+	// has not fully arrived by then (packets lost to fault injection,
+	// or a revoked reservation draining at best effort) gives up and
+	// returns to thinking, so the closed loop can never deadlock on a
+	// lossy switch. Default 65536.
+	Timeout noc.Cycle
+}
+
+func (c ClosedLoopConfig) withDefaults() ClosedLoopConfig {
+	if c.Users <= 0 {
+		c.Users = 1
+	}
+	if c.ThinkMin == 0 && c.ThinkMax == 0 {
+		c.ThinkMin, c.ThinkMax = noc.CycleOf(64), noc.CycleOf(1024)
+	}
+	if c.ThinkMax < c.ThinkMin {
+		c.ThinkMax = c.ThinkMin
+	}
+	if c.SizeMin <= 0 {
+		c.SizeMin = 1
+	}
+	if c.SizeMax < c.SizeMin {
+		c.SizeMax = 64 * c.SizeMin
+	}
+	if c.Timeout == 0 {
+		c.Timeout = noc.CycleOf(1 << 16)
+	}
+	return c
+}
+
+// clRequest is one in-flight request awaiting its response packets.
+type clRequest struct {
+	user        int
+	outstanding int // packet deliveries still owed
+	deadline    noc.Cycle
+}
+
+// ClosedLoop is a closed-loop request/response generator: each of Users
+// users issues a heavy-tailed multi-packet request, waits until every
+// packet of the request has been delivered (the owner of the switch
+// reports deliveries through Completed), thinks for a uniform random
+// time, and repeats. Offered load is therefore feedback-regulated — a
+// congested or degraded reservation slows its own users down instead of
+// growing an unbounded source queue — which is exactly the workload a
+// reservation control plane is admitted against.
+//
+// Delivery accounting is aggregate: requests complete in emission order
+// (the switch delivers a flow's packets in FIFO order), so Completed
+// credits the oldest outstanding request. Under packet loss the timeout
+// resynchronizes the loop.
+//
+// ClosedLoop deliberately does not implement Scheduler: its arrival
+// times depend on delivery feedback, so the event-driven source calendar
+// cannot precompute them. Switches hosting it must generate by polling
+// (switchsim.Config.DynamicFlows forces this).
+type ClosedLoop struct {
+	seq  *Sequence
+	spec noc.FlowSpec
+	cfg  ClosedLoopConfig
+	rng  *RNG
+
+	thinkUntil []noc.Cycle
+	remaining  []int // packets left to emit for the user's current request
+	reqSize    []int
+	awaiting   []bool
+	rr         int
+
+	// Fixed-capacity FIFO ring of in-flight requests (at most one per
+	// user), so the steady-state loop never allocates.
+	ring  []clRequest
+	head  int
+	count int
+
+	// Issued/Done/TimedOut count requests over the run.
+	Issued   uint64
+	Done     uint64
+	TimedOut uint64
+}
+
+var _ Generator = (*ClosedLoop)(nil)
+
+// NewClosedLoop builds a closed-loop source for the flow spec with its
+// own deterministic RNG stream.
+func NewClosedLoop(seq *Sequence, spec noc.FlowSpec, cfg ClosedLoopConfig, seed uint64) *ClosedLoop {
+	cfg = cfg.withDefaults()
+	g := &ClosedLoop{
+		seq:        seq,
+		spec:       spec,
+		cfg:        cfg,
+		rng:        NewRNG(seed),
+		thinkUntil: make([]noc.Cycle, cfg.Users),
+		remaining:  make([]int, cfg.Users),
+		reqSize:    make([]int, cfg.Users),
+		awaiting:   make([]bool, cfg.Users),
+		ring:       make([]clRequest, cfg.Users),
+	}
+	// Stagger the population's first requests across the think range so
+	// a large user count does not issue everything on cycle 0.
+	for u := range g.thinkUntil {
+		g.thinkUntil[u] = g.drawThink()
+	}
+	return g
+}
+
+// drawThink returns a uniform think time in [ThinkMin, ThinkMax].
+func (g *ClosedLoop) drawThink() noc.Cycle {
+	span := int(noc.SatSub(g.cfg.ThinkMax, g.cfg.ThinkMin).Uint()) + 1
+	return g.cfg.ThinkMin + noc.CycleOf(uint64(g.rng.Intn(span)))
+}
+
+// drawSize returns a heavy-tailed request size in packets: SizeMin
+// doubled k times with probability 2^-k, truncated at SizeMax.
+func (g *ClosedLoop) drawSize() int {
+	k := bits.TrailingZeros64(g.rng.Uint64() | 1<<20) // cap the shift
+	size := g.cfg.SizeMin << k
+	if size > g.cfg.SizeMax || size < g.cfg.SizeMin { // < catches overflow
+		size = g.cfg.SizeMax
+	}
+	return size
+}
+
+// Tick implements Generator: it emits at most one packet per cycle,
+// round-robining across users that are mid-request or done thinking.
+func (g *ClosedLoop) Tick(now noc.Cycle, queued int) *noc.Packet {
+	// Expire responses past their deadline so lost packets cannot stall
+	// the loop forever; the affected user goes back to thinking.
+	for g.count > 0 && g.ring[g.head].deadline <= now {
+		r := g.pop()
+		g.awaiting[r.user] = false
+		g.thinkUntil[r.user] = now + g.drawThink()
+		g.TimedOut++
+	}
+	for scanned := 0; scanned < len(g.thinkUntil); scanned++ {
+		u := g.rr
+		g.rr++
+		if g.rr == len(g.thinkUntil) {
+			g.rr = 0
+		}
+		if g.remaining[u] > 0 {
+			return g.emit(u, now)
+		}
+		if !g.awaiting[u] && g.thinkUntil[u] <= now {
+			size := g.drawSize()
+			g.remaining[u] = size
+			g.reqSize[u] = size
+			g.Issued++
+			return g.emit(u, now)
+		}
+	}
+	return nil
+}
+
+// emit sends one packet of user u's current request, registering the
+// request as in flight when its last packet leaves.
+func (g *ClosedLoop) emit(u int, now noc.Cycle) *noc.Packet {
+	g.remaining[u]--
+	if g.remaining[u] == 0 {
+		g.push(clRequest{user: u, outstanding: g.reqSize[u], deadline: now + g.cfg.Timeout})
+		g.awaiting[u] = true
+	}
+	return newPacket(g.seq, g.spec, now)
+}
+
+// Completed informs the source that one of the flow's packets was
+// delivered at the given cycle. The switch's owner wires this to the
+// delivery hook; the credit goes to the oldest in-flight request, and
+// completing it sends its user back to thinking.
+func (g *ClosedLoop) Completed(now noc.Cycle) {
+	if g.count == 0 {
+		return // a delivery that raced a timeout; the loop already moved on
+	}
+	r := &g.ring[g.head]
+	r.outstanding--
+	if r.outstanding > 0 {
+		return
+	}
+	u := r.user
+	g.pop()
+	g.awaiting[u] = false
+	g.thinkUntil[u] = now + g.drawThink()
+	g.Done++
+}
+
+// InFlight returns the number of requests awaiting responses.
+func (g *ClosedLoop) InFlight() int { return g.count }
+
+func (g *ClosedLoop) push(r clRequest) {
+	i := g.head + g.count
+	if i >= len(g.ring) {
+		i -= len(g.ring)
+	}
+	g.ring[i] = r
+	g.count++
+}
+
+func (g *ClosedLoop) pop() clRequest {
+	r := g.ring[g.head]
+	g.head++
+	if g.head == len(g.ring) {
+		g.head = 0
+	}
+	g.count--
+	return r
+}

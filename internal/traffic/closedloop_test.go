@@ -1,0 +1,161 @@
+package traffic
+
+import (
+	"testing"
+
+	"swizzleqos/internal/noc"
+)
+
+func clSpec() noc.FlowSpec {
+	return noc.FlowSpec{Src: 0, Dst: 1, Class: noc.GuaranteedBandwidth, Rate: 0.5, PacketLength: 4}
+}
+
+// TestClosedLoopFeedback walks one user through a full request cycle:
+// think, emit every packet, await, complete, think again.
+func TestClosedLoopFeedback(t *testing.T) {
+	var seq Sequence
+	g := NewClosedLoop(&seq, clSpec(), ClosedLoopConfig{
+		Users: 1, ThinkMin: 1, ThinkMax: 1, SizeMin: 3, SizeMax: 3,
+	}, 7)
+	if p := g.Tick(0, 0); p != nil {
+		t.Fatal("emitted during the initial think time")
+	}
+	var emitted int
+	now := noc.Cycle(1)
+	for ; emitted < 3; now++ {
+		if p := g.Tick(now, 0); p != nil {
+			emitted++
+			if p.Src != 0 || p.Dst != 1 || p.Length != 4 {
+				t.Fatalf("packet does not match the spec: %+v", p)
+			}
+		}
+		if now > 100 {
+			t.Fatalf("request never fully emitted (got %d of 3 packets)", emitted)
+		}
+	}
+	if g.InFlight() != 1 || g.Issued != 1 {
+		t.Fatalf("after full emission: inflight=%d issued=%d, want 1/1", g.InFlight(), g.Issued)
+	}
+	if p := g.Tick(now, 0); p != nil {
+		t.Fatal("emitted while awaiting the response")
+	}
+	for i := 0; i < 3; i++ {
+		g.Completed(now)
+	}
+	if g.InFlight() != 0 || g.Done != 1 {
+		t.Fatalf("after completion: inflight=%d done=%d, want 0/1", g.InFlight(), g.Done)
+	}
+	// The user thinks for exactly 1 cycle, then issues the next request.
+	if p := g.Tick(now+1, 0); p == nil {
+		t.Fatal("user never returned from thinking")
+	}
+	if g.Issued != 2 {
+		t.Fatalf("issued=%d, want 2", g.Issued)
+	}
+}
+
+// TestClosedLoopTimeout starves a request of deliveries: the deadline
+// must resynchronize the loop instead of deadlocking it.
+func TestClosedLoopTimeout(t *testing.T) {
+	var seq Sequence
+	g := NewClosedLoop(&seq, clSpec(), ClosedLoopConfig{
+		Users: 1, ThinkMin: 1, ThinkMax: 1, SizeMin: 1, SizeMax: 1, Timeout: 50,
+	}, 7)
+	now := noc.Cycle(1)
+	for g.Issued == 0 {
+		g.Tick(now, 0)
+		now++
+	}
+	for end := now + 200; g.TimedOut == 0; now++ {
+		if now >= end {
+			t.Fatal("starved request never timed out")
+		}
+		g.Tick(now, 0)
+	}
+	// A straggler delivery landing after the timeout, with nothing in
+	// flight, must be ignored.
+	g.Completed(now)
+	if g.Done != 0 {
+		t.Fatalf("done=%d, want 0: the straggler completed nothing", g.Done)
+	}
+	for end := now + 200; now < end && g.Issued < 2; now++ {
+		g.Tick(now, 0)
+	}
+	if g.Issued < 2 {
+		t.Fatal("loop never recovered after the timeout")
+	}
+}
+
+// TestClosedLoopInvariants randomizes deliveries against a multi-user
+// population and checks the conservation law after every cycle: requests
+// are either in flight or accounted done/timed out, and in-flight never
+// exceeds the population.
+func TestClosedLoopInvariants(t *testing.T) {
+	var seq Sequence
+	cfg := ClosedLoopConfig{Users: 5, ThinkMin: 2, ThinkMax: 20, SizeMin: 1, SizeMax: 16, Timeout: 300}
+	g := NewClosedLoop(&seq, clSpec(), cfg, 11)
+	rng := NewRNG(99)
+	pending := 0 // deliveries owed for packets emitted so far
+	for now := noc.Cycle(0); now < 20000; now++ {
+		if p := g.Tick(now, 0); p != nil {
+			pending++
+		}
+		for pending > 0 && rng.Bernoulli(0.3) {
+			g.Completed(now)
+			pending--
+		}
+		if g.InFlight() > cfg.Users {
+			t.Fatalf("cycle %d: %d requests in flight for %d users", now.Uint(), g.InFlight(), cfg.Users)
+		}
+		if g.Issued < g.Done+g.TimedOut {
+			t.Fatalf("cycle %d: issued=%d < done=%d + timedout=%d", now.Uint(), g.Issued, g.Done, g.TimedOut)
+		}
+	}
+	if g.Done == 0 {
+		t.Fatal("no request ever completed")
+	}
+}
+
+// TestClosedLoopHeavyTail checks the size distribution: bounded by
+// [SizeMin, SizeMax], doubling octaves, and genuinely heavy-tailed
+// (both extremes occur; small sizes dominate).
+func TestClosedLoopHeavyTail(t *testing.T) {
+	var seq Sequence
+	g := NewClosedLoop(&seq, clSpec(), ClosedLoopConfig{SizeMin: 2, SizeMax: 64}, 5)
+	counts := map[int]int{}
+	for i := 0; i < 10000; i++ {
+		s := g.drawSize()
+		if s < 2 || s > 64 {
+			t.Fatalf("size %d outside [2,64]", s)
+		}
+		if s != 64 && (s&(s-1)) != 0 {
+			t.Fatalf("size %d is not SizeMin<<k", s)
+		}
+		counts[s]++
+	}
+	if counts[2] < 4000 || counts[64] == 0 {
+		t.Fatalf("distribution shape off: %v", counts)
+	}
+	if counts[2] < counts[4] || counts[4] < counts[8] {
+		t.Fatalf("octave frequencies not decreasing: %v", counts)
+	}
+}
+
+// TestClosedLoopDeterminism: same seed, same behavior.
+func TestClosedLoopDeterminism(t *testing.T) {
+	run := func() (uint64, uint64) {
+		var seq Sequence
+		g := NewClosedLoop(&seq, clSpec(), ClosedLoopConfig{Users: 3}, 17)
+		for now := noc.Cycle(0); now < 5000; now++ {
+			if p := g.Tick(now, 0); p != nil {
+				g.Completed(now + 10) // immediate-ish echo
+			}
+		}
+		return g.Issued, g.Done
+	}
+	i1, d1 := run()
+	i2, d2 := run()
+	if i1 != i2 || d1 != d2 {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", i1, d1, i2, d2)
+	}
+}
