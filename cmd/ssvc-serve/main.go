@@ -184,19 +184,27 @@ func serveMain(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cmds := make(chan netCmd, 64)
+	var ln net.Listener
 	if *listen != "" {
-		ln, err := net.Listen("tcp", *listen)
-		if err != nil {
-			fmt.Fprintln(stderr, err)
+		var lerr error
+		if ln, lerr = net.Listen("tcp", *listen); lerr != nil {
+			fmt.Fprintln(stderr, lerr)
 			return 1
 		}
-		defer ln.Close()
 		fmt.Fprintf(stdout, "listening on %s\n", ln.Addr())
 		go acceptLoop(ln, cmds)
 	}
 
-	if err := serveLoop(p, sched, done, cmds, noc.CycleOf(*total), *pace, stdout); err != nil {
-		fmt.Fprintln(stderr, err)
+	loopErr := serveLoop(p, sched, done, cmds, noc.CycleOf(*total), *pace, stdout)
+	if ln != nil {
+		// The serve loop no longer drains cmds: stop new connections and
+		// answer in-flight commands with a rejection so no TCP client
+		// blocks forever on a reply that will never come.
+		ln.Close()
+		go drainCmds(cmds, p.Now())
+	}
+	if loopErr != nil {
+		fmt.Fprintln(stderr, loopErr)
 		return 1
 	}
 	if err := p.Finish(); err != nil {
@@ -280,6 +288,20 @@ func acceptLoop(ln net.Listener, cmds chan netCmd) {
 				fmt.Fprintf(conn, "%s\n", <-nc.reply)
 			}
 		}(conn)
+	}
+}
+
+// drainCmds answers commands that were in flight (or still arriving
+// from open connections) when the serve loop stopped: each gets a
+// frozen rejection instead of silence. Runs until process exit — the
+// channel is never closed because connection goroutines may still send.
+func drainCmds(cmds chan netCmd, now noc.Cycle) {
+	for c := range cmds {
+		c.reply <- ctlplane.Result{
+			Cycle:  now,
+			Reason: ctlplane.ReasonFrozen,
+			Msg:    "run complete, daemon shutting down",
+		}
 	}
 }
 

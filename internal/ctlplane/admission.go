@@ -130,7 +130,9 @@ func (tc TableConfig) Validate() error {
 	if tc.GLBufferFlits < 1 {
 		return fmt.Errorf("ctlplane: GL buffer depth %d must be at least 1 flit", tc.GLBufferFlits)
 	}
-	if tc.GBShare < 0 || tc.GLShare < 0 || tc.GBShare+tc.GLShare > 1 {
+	// Accepting form: NaN shares fail every ordered comparison and land
+	// in the rejection rather than slipping into the Frame-unit budgets.
+	if !(tc.GBShare >= 0 && tc.GLShare >= 0 && tc.GBShare+tc.GLShare <= 1) {
 		return fmt.Errorf("ctlplane: shares GB=%g GL=%g must be non-negative and sum to at most 1", tc.GBShare, tc.GLShare)
 	}
 	return nil
@@ -207,10 +209,13 @@ func (t *Table) validate(req FlowReq) *Reject {
 	if req.PacketLen < 1 || req.PacketLen > t.cfg.LMax {
 		return reject(ReasonBadRequest, "packet length %d outside [1,%d]", req.PacketLen, t.cfg.LMax)
 	}
-	if req.Rate <= 0 || req.Rate > 1 {
+	// Float range checks use the accepting form: NaN fails every ordered
+	// comparison, so a NaN (reachable via the line protocol's ParseFloat)
+	// is rejected here instead of reaching the fixed-point budget math.
+	if !(req.Rate > 0 && req.Rate <= 1) {
 		return reject(ReasonBadRequest, "rate %g outside (0,1]", req.Rate)
 	}
-	if req.Load < 0 || req.Load > 1 || req.Users < 0 {
+	if !(req.Load >= 0 && req.Load <= 1) || req.Users < 0 {
 		return reject(ReasonBadRequest, "load %g must be in [0,1] and users %d non-negative", req.Load, req.Users)
 	}
 	if req.Class == noc.GuaranteedLatency {
@@ -331,7 +336,8 @@ func (t *Table) Resize(id uint64, rate float64, lease noc.Cycle, setLease bool, 
 		return nil, reject(ReasonNotFound, "no reservation %d", id)
 	}
 	if rate != 0 {
-		if rate < 0 || rate > 1 {
+		// Accepting form: a NaN rate must be rejected, not resized to.
+		if !(rate > 0 && rate <= 1) {
 			return nil, reject(ReasonBadRequest, "rate %g outside (0,1]", rate)
 		}
 		newReq := res.Req
@@ -379,7 +385,9 @@ func (t *Table) SetBudget(o int, share float64, now noc.Cycle) ([]*Reservation, 
 	if o < 0 || o >= t.cfg.Radix {
 		return nil, reject(ReasonBadRequest, "output %d outside radix %d", o, t.cfg.Radix)
 	}
-	if share < 0 || share+t.cfg.GLShare > 1 {
+	// Accepting form: a NaN share would otherwise pass straight into
+	// uint64(float64(Frame)*share), corrupting the budget.
+	if !(share >= 0 && share+t.cfg.GLShare <= 1) {
 		return nil, reject(ReasonBadRequest, "share %g must be in [0,%g] (GL holds %g)", share, 1-t.cfg.GLShare, t.cfg.GLShare)
 	}
 	t.gbBudget[o] = uint64(float64(Frame) * share)

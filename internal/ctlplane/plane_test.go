@@ -2,6 +2,7 @@ package ctlplane
 
 import (
 	"bytes"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -261,6 +262,113 @@ func TestTornJournalRecovery(t *testing.T) {
 		if err := p.CloseJournal(); err != nil {
 			t.Fatal(err)
 		}
+		// The resumed journal must itself be cleanly recoverable: a
+		// record that survived the cut with only its newline missing must
+		// not merge with the first record appended after recovery.
+		if _, _, warn, err := ReadJournal(tornPath); err != nil {
+			t.Fatalf("offset %d: journal corrupt after resume: %v", off, err)
+		} else if warn != "" {
+			t.Fatalf("offset %d: journal still torn after resume: %s", off, warn)
+		}
+	}
+}
+
+// TestTornTailResumeThenRecoverAgain crashes twice: first a kill that
+// strips only the final record's newline (the record itself survives),
+// then — after recovery has resumed and journaled more commands — a
+// second kill. The second recovery must replay every record, including
+// the reattached tail record and everything appended after it, and the
+// finished run must match the uninterrupted reference bit for bit.
+func TestTornTailResumeThenRecoverAgain(t *testing.T) {
+	ref, _ := journaledRun(t, t.TempDir(), testTotal, true)
+	_, path := journaledRun(t, t.TempDir(), 2500, false)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		t.Fatal("journal does not end with a newline")
+	}
+	if err := os.WriteFile(path, data[:len(data)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, warn, err := RecoverFile(path, ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warn, "missing trailing newline") {
+		t.Fatalf("want a missing-newline warning, got %q", warn)
+	}
+	// Resume past cycle 3000 so at least one more command (and the
+	// cycle-4000 snapshot) lands after the reattached record.
+	runScripted(t, p, testSchedule(t), doneTags(t, path), 5000)
+	if err := p.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+	q, warn, err := RecoverFile(path, ReplayOptions{})
+	if err != nil {
+		t.Fatalf("second recovery: %v", err)
+	}
+	if warn != "" {
+		t.Fatalf("second recovery warned: %q", warn)
+	}
+	runScripted(t, q, testSchedule(t), doneTags(t, path), testTotal)
+	if err := q.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if q.TraceHash() != ref.TraceHash() || q.Delivered() != ref.Delivered() {
+		t.Fatalf("twice-recovered run diverged: hash %016x vs %016x, delivered %d vs %d",
+			q.TraceHash(), ref.TraceHash(), q.Delivered(), ref.Delivered())
+	}
+	if q.Counters() != ref.Counters() {
+		t.Fatalf("twice-recovered counters diverged")
+	}
+	if err := q.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNonFiniteInputsRejected feeds NaN and ±Inf — all reachable from
+// the line protocol via strconv.ParseFloat — into every float-accepting
+// admission path. Each must come back as a bad-request rejection; a NaN
+// that reaches the fixed-point budget math would corrupt the budgets
+// with an implementation-defined float-to-uint conversion.
+func TestNonFiniteInputsRejected(t *testing.T) {
+	tab, err := NewTable(TableConfig{
+		Radix: 4, LMax: 8, GLBufferFlits: 16,
+		GBShare: 0.8, GLShare: 0.1, Policy: PolicyDegrade,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	for _, v := range bad {
+		req := FlowReq{Src: 0, Dst: 1, Class: noc.GuaranteedBandwidth, Rate: v, PacketLen: 4}
+		if _, rej := tab.Admit(req, 0, 0); rej == nil || rej.Reason != ReasonBadRequest {
+			t.Fatalf("rate %v admitted (rej=%+v)", v, rej)
+		}
+		req = FlowReq{Src: 0, Dst: 1, Class: noc.GuaranteedBandwidth, Rate: 0.2, PacketLen: 4, Load: v}
+		if _, rej := tab.Admit(req, 0, 0); rej == nil || rej.Reason != ReasonBadRequest {
+			t.Fatalf("load %v admitted (rej=%+v)", v, rej)
+		}
+		if _, rej := tab.SetBudget(1, v, 0); rej == nil || rej.Reason != ReasonBadRequest {
+			t.Fatalf("budget share %v accepted (rej=%+v)", v, rej)
+		}
+		if _, err := NewTable(TableConfig{Radix: 4, LMax: 8, GLBufferFlits: 16, GBShare: v, GLShare: 0.1}); err == nil {
+			t.Fatalf("GBShare %v config validated", v)
+		}
+	}
+	res, rej := tab.Admit(FlowReq{Src: 2, Dst: 1, Class: noc.GuaranteedBandwidth, Rate: 0.2, PacketLen: 4}, 0, 0)
+	if rej != nil {
+		t.Fatalf("finite admit rejected: %+v", rej)
+	}
+	for _, v := range bad {
+		if _, rej := tab.Resize(res.ID, v, 0, false, 0); rej == nil || rej.Reason != ReasonBadRequest {
+			t.Fatalf("resize to %v accepted (rej=%+v)", v, rej)
+		}
+	}
+	if res.Cost == 0 || res.GrantedCost != res.Cost {
+		t.Fatalf("surviving reservation disturbed: %+v", res)
 	}
 }
 

@@ -165,6 +165,38 @@ func intsEqual(a, b []int) bool {
 	return true
 }
 
+// terminateTail appends the record terminator when a recovered
+// journal's last byte is not '\n' — the crash landed between the final
+// record's bytes and its newline (DecodeJournal's "last record intact"
+// case). Without it, the first post-recovery Append would write its
+// frame onto the same line, merging two records into one unparseable
+// line and breaking the next recovery.
+func terminateTail(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() == 0 {
+		return nil
+	}
+	last := make([]byte, 1)
+	if _, err := f.ReadAt(last, st.Size()-1); err != nil {
+		return err
+	}
+	if last[0] == '\n' {
+		return nil
+	}
+	if _, err := f.WriteAt([]byte{'\n'}, st.Size()); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
 // RecoverFile recovers a plane from a journal file: decode (tolerating
 // a torn tail), re-execute with verification, truncate any torn bytes,
 // and re-attach the journal for appending. A missing or empty journal
@@ -185,6 +217,9 @@ func RecoverFile(path string, ro ReplayOptions) (*Plane, string, error) {
 	if warn != "" {
 		if err := os.Truncate(path, validEnd); err != nil {
 			return nil, warn, fmt.Errorf("ctlplane: truncate torn journal tail: %w", err)
+		}
+		if err := terminateTail(path); err != nil {
+			return nil, warn, fmt.Errorf("ctlplane: terminate recovered journal tail: %w", err)
 		}
 	}
 	jr, err := AppendJournal(path)
