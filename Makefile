@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race vet fmt lint benchguard bench-arb bench-shard serve-check staticcheck govulncheck bench experiments verify examples cover fuzz
+.PHONY: all check build test race race-shard vet fmt lint benchguard bench-arb bench-shard serve-check staticcheck govulncheck bench experiments verify examples cover fuzz
 
 all: build vet test
 
@@ -22,6 +22,14 @@ test:
 # detector on the whole module, not just the runner package.
 race:
 	$(GO) test -race ./...
+
+# Dynamic counterpart of the shardsafety analyzer: the shard executor
+# and the three sharded engines under the race detector with enough
+# scheduler parallelism (GOMAXPROCS >= 4) that Par stages genuinely
+# overlap rather than serialize on a starved runtime.
+race-shard:
+	GOMAXPROCS=4 $(GO) test -race -count=1 \
+		./internal/shard/ ./internal/switchsim/ ./internal/mesh/ ./internal/compose/
 
 vet:
 	$(GO) vet ./...

@@ -10,17 +10,21 @@
 //
 // Usage:
 //
-//	ssvc-lint [-root dir] [-allow file] [-strict] [packages]
+//	ssvc-lint [-root dir] [-allow file] [-strict] [-json] [packages]
 //
 // The package argument is accepted for familiarity (`ssvc-lint ./...`)
 // but the tool always analyzes the rule-defined package sets of the
 // enclosing module. It prints one `file:line: [analyzer] message` per
-// finding and exits 1 if any survive the allowlist. Allowlist entries
-// that suppressed nothing are warnings by default; -strict (the CI
-// mode) makes them failures, so lint.allow cannot rot.
+// finding and exits 1 if any survive the allowlist. -json switches the
+// findings stream to a JSON array of {file,line,analyzer,message}
+// objects (exit codes unchanged) for editor and CI integration; the
+// plain format is matched by .github/problem-matchers/ssvc-lint.json.
+// Allowlist entries that suppressed nothing are warnings by default;
+// -strict (the CI mode) makes them failures, so lint.allow cannot rot.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +43,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	root := fs.String("root", "", "module root (default: nearest go.mod above the working directory)")
 	allowPath := fs.String("allow", "", "allowlist file (default: <root>/lint.allow)")
 	strict := fs.Bool("strict", false, "treat unused allowlist entries as failures")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of file:line lines")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -75,8 +80,15 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 		fmt.Fprintf(stderr, "ssvc-lint: %s: unused allowlist entry: %s %s\n", kind, e.Analyzer, loc)
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	if *jsonOut {
+		if err := writeJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, "ssvc-lint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "ssvc-lint: %d invariant violation(s)\n", len(diags))
@@ -87,6 +99,26 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the machine-readable shape of one diagnostic.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits the findings as a single indented JSON array. An
+// empty run prints `[]` so consumers never special-case the clean exit.
+func writeJSON(w *os.File, diags []analysis.Diagnostic) error {
+	out := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonFinding{File: d.File, Line: d.Line, Analyzer: d.Analyzer, Message: d.Message})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // findRoot walks upward from the working directory to the nearest

@@ -1,0 +1,723 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Durability proves the control plane's crash-safety ordering contract
+// (DESIGN.md "Reservation control plane"): an accepted command must be
+// journaled and fsynced before it is acknowledged, snapshot writes must
+// not race an unsynced append, and the lease heap is single-owner
+// state.
+//
+// Three checks, matched by name so fixture packages can model the
+// contract without importing ctlplane:
+//
+//  1. Ack ordering (interprocedural must-analysis). At every
+//     `return Result{OK: true, ...}` the durable fact must hold.
+//     Durable is established by Append-then-Sync with both error
+//     results proven nil on the path, by a nil journal handle (journal
+//     disabled), or by a verified barrier: a callee whose trailing
+//     bool result is false only on paths where durable already holds
+//     (ctlplane's journalCmd). Barriers are verified bottom-up to a
+//     fixpoint, so a chain of wrappers still proves out — and a
+//     wrapper that forgets the Sync fails closed: its false-returns
+//     lose the durable fact, it is not admitted as a barrier, and
+//     every ack gated on it is flagged.
+//  2. Unsynced-append windows (intraprocedural may-analysis). After a
+//     successful Journal.Append, a second Append (a snapshot write
+//     racing the unsynced command record) or a return is flagged until
+//     Journal.Sync runs; append-failure branches are exempt because
+//     the plane freezes there.
+//  3. Lease-heap ownership. Any goroutine spawn whose transitive call
+//     graph (per the callgraph.go effect summaries) reaches
+//     leaseHeap.push/pop or an //ssvc:serial-only function is flagged:
+//     those mutations belong to the plane's single owner goroutine.
+func Durability(l *Loader, packages []string) ([]Diagnostic, error) {
+	var pkgs []*Package
+	for _, rel := range packages {
+		pkg, err := l.Load(l.Module + "/" + rel)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	cg := buildCallGraph(l)
+	dc := &durChecker{l: l, cg: cg, barriers: map[*types.Func]bool{}}
+
+	// Admit barriers bottom-up: re-run verification until the set is
+	// stable, then emit diagnostics in a final pass.
+	for {
+		grew := false
+		for _, pkg := range pkgs {
+			for _, fd := range funcDecls(pkg) {
+				fn := declFunc(pkg, fd)
+				if fn == nil || dc.barriers[fn] || !hasTrailingBool(fn) {
+					continue
+				}
+				if dc.checkAckOrdering(pkg, fd, true) {
+					dc.barriers[fn] = true
+					grew = true
+				}
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, fd := range funcDecls(pkg) {
+			dc.checkAckOrdering(pkg, fd, false)
+			dc.checkUnsynced(pkg, fd)
+		}
+		dc.checkGoSpawns(pkg)
+	}
+	SortDiagnostics(dc.diags)
+	return dc.diags, nil
+}
+
+type durChecker struct {
+	l        *Loader
+	cg       *callGraph
+	barriers map[*types.Func]bool
+	diags    []Diagnostic
+}
+
+func (dc *durChecker) report(pos token.Pos, msg string) {
+	file, line := dc.l.Rel(pos)
+	dc.diags = append(dc.diags, Diagnostic{File: file, Line: line, Analyzer: "durability", Message: msg})
+}
+
+func funcDecls(pkg *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+func declFunc(pkg *Package, fd *ast.FuncDecl) *types.Func {
+	fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	return fn
+}
+
+func hasTrailingBool(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	basic, ok := last.Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Bool
+}
+
+// durFacts is the must-state of check 1 at one program point. Idents
+// are tracked by name; the sets record which locals hold an unproven
+// Append error, Sync error, or barrier verdict.
+type durFacts struct {
+	durable    bool
+	appended   bool
+	appendErrs map[string]bool
+	syncErrs   map[string]bool
+	barrierOks map[string]bool
+}
+
+func newDurFacts() *durFacts {
+	return &durFacts{
+		appendErrs: map[string]bool{},
+		syncErrs:   map[string]bool{},
+		barrierOks: map[string]bool{},
+	}
+}
+
+func (f *durFacts) clone() *durFacts {
+	out := &durFacts{durable: f.durable, appended: f.appended,
+		appendErrs: map[string]bool{}, syncErrs: map[string]bool{}, barrierOks: map[string]bool{}}
+	for k := range f.appendErrs {
+		out.appendErrs[k] = true
+	}
+	for k := range f.syncErrs {
+		out.syncErrs[k] = true
+	}
+	for k := range f.barrierOks {
+		out.barrierOks[k] = true
+	}
+	return out
+}
+
+func intersectDur(a, b *durFacts) *durFacts {
+	out := newDurFacts()
+	out.durable = a.durable && b.durable
+	out.appended = a.appended && b.appended
+	for k := range a.appendErrs {
+		if b.appendErrs[k] {
+			out.appendErrs[k] = true
+		}
+	}
+	for k := range a.syncErrs {
+		if b.syncErrs[k] {
+			out.syncErrs[k] = true
+		}
+	}
+	for k := range a.barrierOks {
+		if b.barrierOks[k] {
+			out.barrierOks[k] = true
+		}
+	}
+	return out
+}
+
+func durEqual(a, b *durFacts) bool {
+	if a.durable != b.durable || a.appended != b.appended {
+		return false
+	}
+	if len(a.appendErrs) != len(b.appendErrs) || len(a.syncErrs) != len(b.syncErrs) || len(a.barrierOks) != len(b.barrierOks) {
+		return false
+	}
+	for k := range a.appendErrs {
+		if !b.appendErrs[k] {
+			return false
+		}
+	}
+	for k := range a.syncErrs {
+		if !b.syncErrs[k] {
+			return false
+		}
+	}
+	for k := range a.barrierOks {
+		if !b.barrierOks[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkAckOrdering runs check 1 on one function. In verify mode it
+// emits nothing and reports whether the function qualifies as a
+// barrier: every return whose trailing bool is the constant false must
+// carry the durable fact. Otherwise it emits a diagnostic at every
+// `Result{OK: true}` return lacking durable.
+func (dc *durChecker) checkAckOrdering(pkg *Package, fd *ast.FuncDecl, verify bool) bool {
+	relevant := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			if verify && isConstFalseReturn(pkg, ret) {
+				relevant = true
+			}
+			if !verify && ackResult(pkg, ret) != nil {
+				relevant = true
+			}
+		}
+		return true
+	})
+	if !relevant {
+		return false
+	}
+	g := buildCFG(fd.Body)
+	in := make([]*durFacts, len(g.blocks))
+	in[g.entry.index] = newDurFacts()
+	work := []*cfgBlock{g.entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := in[blk.index].clone()
+		for _, n := range blk.nodes {
+			dc.durTransfer(pkg, n, out)
+		}
+		for _, e := range blk.succs {
+			ef := out
+			if e.cond != nil {
+				ef = out.clone()
+				dc.durEdge(pkg, e.cond, e.branch, ef)
+			}
+			cur := in[e.to.index]
+			if cur == nil {
+				in[e.to.index] = ef.clone()
+				work = append(work, e.to)
+				continue
+			}
+			merged := intersectDur(cur, ef)
+			if !durEqual(merged, cur) {
+				in[e.to.index] = merged
+				work = append(work, e.to)
+			}
+		}
+	}
+	ok := true
+	for _, blk := range g.blocks {
+		if in[blk.index] == nil {
+			continue
+		}
+		fs := in[blk.index].clone()
+		for _, n := range blk.nodes {
+			if ret, isRet := n.(*ast.ReturnStmt); isRet {
+				if verify {
+					if isConstFalseReturn(pkg, ret) && !fs.durable {
+						ok = false
+					}
+				} else if lit := ackResult(pkg, ret); lit != nil && !fs.durable {
+					dc.report(lit.Pos(), "command acknowledged (Result{OK: true}) on a path where the journal append+fsync is not proven complete")
+				}
+			}
+			dc.durTransfer(pkg, n, fs)
+		}
+	}
+	return ok
+}
+
+// ackResult returns the Result{OK: true} composite literal inside a
+// return statement, if any.
+func ackResult(pkg *Package, ret *ast.ReturnStmt) *ast.CompositeLit {
+	for _, r := range ret.Results {
+		lit, ok := unparen(r).(*ast.CompositeLit)
+		if !ok || !isNamedStruct(pkg.Info, lit, "Result") {
+			continue
+		}
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "OK" {
+				if v, ok := unparen(kv.Value).(*ast.Ident); ok && v.Name == "true" {
+					return lit
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func isConstFalseReturn(pkg *Package, ret *ast.ReturnStmt) bool {
+	if len(ret.Results) == 0 {
+		return false
+	}
+	last, ok := unparen(ret.Results[len(ret.Results)-1]).(*ast.Ident)
+	return ok && last.Name == "false"
+}
+
+func isNamedStruct(info *types.Info, e ast.Expr, name string) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	return ok && named.Obj().Name() == name
+}
+
+// journalMethod reports whether a call is Journal.Append / Journal.Sync
+// (receiver type named Journal, any package).
+func journalMethod(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+	if name != "Append" && name != "Sync" {
+		return ""
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Journal" {
+		return ""
+	}
+	return name
+}
+
+// journalHandle reports whether an expression denotes a *Journal value
+// (the plane's handle field), for the `jr == nil` disabled-journal gen.
+func journalHandle(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	p, ok := tv.Type.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Journal"
+}
+
+// barrierCallee resolves a call to a verified-barrier function.
+func (dc *durChecker) barrierCallee(pkg *Package, call *ast.CallExpr) bool {
+	var fn *types.Func
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = pkg.Info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		if s, ok := pkg.Info.Selections[fun]; ok && s.Kind() == types.MethodVal {
+			fn, _ = s.Obj().(*types.Func)
+		} else {
+			fn, _ = pkg.Info.Uses[fun.Sel].(*types.Func)
+		}
+	}
+	return fn != nil && dc.barriers[fn]
+}
+
+// durTransfer applies one node's effect on the must-facts.
+func (dc *durChecker) durTransfer(pkg *Package, n ast.Node, fs *durFacts) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if call, ok := unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+				dc.durCall(pkg, s.Lhs, call, fs)
+				return
+			}
+		}
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				killDurIdent(fs, id.Name)
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := unparen(s.X).(*ast.CallExpr); ok {
+			dc.durCall(pkg, nil, call, fs)
+		}
+	case *ast.IncDecStmt:
+		if id, ok := s.X.(*ast.Ident); ok {
+			killDurIdent(fs, id.Name)
+		}
+	}
+}
+
+func killDurIdent(fs *durFacts, name string) {
+	delete(fs.appendErrs, name)
+	delete(fs.syncErrs, name)
+	delete(fs.barrierOks, name)
+}
+
+// durCall records the results of Append/Sync/barrier calls.
+func (dc *durChecker) durCall(pkg *Package, lhs []ast.Expr, call *ast.CallExpr, fs *durFacts) {
+	for _, l := range lhs {
+		if id, ok := l.(*ast.Ident); ok {
+			killDurIdent(fs, id.Name)
+		}
+	}
+	switch journalMethod(pkg.Info, call) {
+	case "Append":
+		// A fresh record is in flight: prior durability no longer
+		// covers this command.
+		fs.durable = false
+		fs.appended = false
+		if len(lhs) == 1 {
+			if id, ok := lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				fs.appendErrs[id.Name] = true
+			}
+		}
+		return
+	case "Sync":
+		if len(lhs) == 1 {
+			if id, ok := lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				fs.syncErrs[id.Name] = true
+			}
+		}
+		return
+	}
+	if dc.barrierCallee(pkg, call) && len(lhs) >= 1 {
+		if id, ok := lhs[len(lhs)-1].(*ast.Ident); ok && id.Name != "_" {
+			fs.barrierOks[id.Name] = true
+		}
+	}
+}
+
+// durEdge decomposes a branch condition into durability facts.
+func (dc *durChecker) durEdge(pkg *Package, cond ast.Expr, branch bool, fs *durFacts) {
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		dc.durEdge(pkg, c.X, branch, fs)
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			dc.durEdge(pkg, c.X, !branch, fs)
+		}
+	case *ast.Ident:
+		// `if bad { return r }`: on the fall-through edge the barrier
+		// has proven the record durable.
+		if !branch && fs.barrierOks[c.Name] {
+			fs.durable = true
+		}
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			if branch {
+				dc.durEdge(pkg, c.X, true, fs)
+				dc.durEdge(pkg, c.Y, true, fs)
+			}
+		case token.LOR:
+			if !branch {
+				dc.durEdge(pkg, c.X, false, fs)
+				dc.durEdge(pkg, c.Y, false, fs)
+			}
+		case token.EQL:
+			if branch {
+				dc.nilCompare(pkg, c.X, c.Y, fs)
+			}
+		case token.NEQ:
+			if !branch {
+				dc.nilCompare(pkg, c.X, c.Y, fs)
+			}
+		}
+	}
+}
+
+// nilCompare handles `x == nil` holding: x an Append error proves the
+// append, x a Sync error proves durability of a proven append, x the
+// journal handle means journaling is disabled entirely.
+func (dc *durChecker) nilCompare(pkg *Package, a, b ast.Expr, fs *durFacts) {
+	x := unparen(a)
+	if id, ok := unparen(b).(*ast.Ident); ok && id.Name == "nil" {
+		// keep x
+	} else if id, ok := unparen(a).(*ast.Ident); ok && id.Name == "nil" {
+		x = unparen(b)
+	} else {
+		return
+	}
+	if id, ok := x.(*ast.Ident); ok {
+		if fs.appendErrs[id.Name] {
+			fs.appended = true
+		}
+		if fs.syncErrs[id.Name] && fs.appended {
+			fs.durable = true
+		}
+		return
+	}
+	if journalHandle(pkg.Info, x) {
+		fs.durable = true
+	}
+}
+
+// checkUnsynced runs check 2: a may-analysis for the window between a
+// successful Append and the Sync that makes it durable.
+func (dc *durChecker) checkUnsynced(pkg *Package, fd *ast.FuncDecl) {
+	type unsyncFacts struct {
+		unsynced bool
+		errName  string // local holding the pending Append's error
+	}
+	g := buildCFG(fd.Body)
+	in := make([]*unsyncFacts, len(g.blocks))
+	in[g.entry.index] = &unsyncFacts{}
+	work := []*cfgBlock{g.entry}
+	transfer := func(n ast.Node, fs *unsyncFacts, emit bool) {
+		var lhs []ast.Expr
+		var call *ast.CallExpr
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				call, _ = unparen(s.Rhs[0]).(*ast.CallExpr)
+				lhs = s.Lhs
+			}
+		case *ast.ExprStmt:
+			call, _ = unparen(s.X).(*ast.CallExpr)
+		case *ast.ReturnStmt:
+			// `return jr.Sync()` closes the window in the result
+			// expression itself.
+			for _, r := range s.Results {
+				ast.Inspect(r, func(m ast.Node) bool {
+					if c, ok := m.(*ast.CallExpr); ok && journalMethod(pkg.Info, c) == "Sync" {
+						fs.unsynced = false
+						fs.errName = ""
+					}
+					return true
+				})
+			}
+			if emit && fs.unsynced && ackResult(pkg, s) == nil {
+				// An acknowledging return is the ack-ordering
+				// analysis's finding; reporting both here would
+				// double-count the same defect.
+				dc.report(n.Pos(), "return with a journal append not yet fsynced: the record can be lost after the caller proceeds")
+			}
+			return
+		}
+		if call == nil {
+			return
+		}
+		switch journalMethod(pkg.Info, call) {
+		case "Append":
+			if emit && fs.unsynced {
+				dc.report(call.Pos(), "journal append while a previous append is not yet fsynced (a snapshot record must not race an unsynced command record)")
+			}
+			fs.unsynced = true
+			fs.errName = ""
+			if len(lhs) == 1 {
+				if id, ok := lhs[0].(*ast.Ident); ok && id.Name != "_" {
+					fs.errName = id.Name
+				}
+			}
+		case "Sync":
+			fs.unsynced = false
+			fs.errName = ""
+		}
+	}
+	var killFailed func(cond ast.Expr, branch bool, fs *unsyncFacts)
+	killFailed = func(cond ast.Expr, branch bool, fs *unsyncFacts) {
+		// On the edge where the pending append's error is non-nil the
+		// plane freezes; the record was never accepted, so the window
+		// closes.
+		switch c := cond.(type) {
+		case *ast.ParenExpr:
+			killFailed(c.X, branch, fs)
+		case *ast.UnaryExpr:
+			if c.Op == token.NOT {
+				killFailed(c.X, !branch, fs)
+			}
+		case *ast.BinaryExpr:
+			nilSide := func(a, b ast.Expr) *ast.Ident {
+				if id, ok := unparen(b).(*ast.Ident); ok && id.Name == "nil" {
+					if x, ok := unparen(a).(*ast.Ident); ok {
+						return x
+					}
+				}
+				return nil
+			}
+			var id *ast.Ident
+			nonNilHolds := false
+			if c.Op == token.NEQ && branch || c.Op == token.EQL && !branch {
+				nonNilHolds = true
+			}
+			if id = nilSide(c.X, c.Y); id == nil {
+				id = nilSide(c.Y, c.X)
+			}
+			if nonNilHolds && id != nil && fs.unsynced && id.Name == fs.errName {
+				fs.unsynced = false
+				fs.errName = ""
+			}
+		}
+	}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := *in[blk.index]
+		for _, n := range blk.nodes {
+			transfer(n, &out, false)
+		}
+		for _, e := range blk.succs {
+			ef := out
+			if e.cond != nil {
+				killFailed(e.cond, e.branch, &ef)
+			}
+			cur := in[e.to.index]
+			if cur == nil {
+				next := ef
+				in[e.to.index] = &next
+				work = append(work, e.to)
+				continue
+			}
+			// May-analysis: union.
+			merged := *cur
+			if ef.unsynced && !cur.unsynced {
+				merged.unsynced = true
+				merged.errName = ef.errName
+			}
+			if merged != *cur {
+				in[e.to.index] = &merged
+				work = append(work, e.to)
+			}
+		}
+	}
+	for _, blk := range g.blocks {
+		if in[blk.index] == nil {
+			continue
+		}
+		fs := *in[blk.index]
+		for _, n := range blk.nodes {
+			transfer(n, &fs, true)
+		}
+	}
+}
+
+// checkGoSpawns runs check 3: no spawned goroutine may transitively
+// reach the lease heap or an //ssvc:serial-only function.
+func (dc *durChecker) checkGoSpawns(pkg *Package) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var start []*types.Func
+			var sum *effectSummary
+			switch fun := unparen(gs.Call.Fun).(type) {
+			case *ast.FuncLit:
+				sum = dc.cg.litSummary(fun, pkg)
+			case *ast.Ident:
+				if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+					start = append(start, fn)
+				}
+			case *ast.SelectorExpr:
+				if s, ok := pkg.Info.Selections[fun]; ok && s.Kind() == types.MethodVal {
+					if fn, ok := s.Obj().(*types.Func); ok {
+						start = append(start, fn)
+					}
+				} else if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+					start = append(start, fn)
+				}
+			}
+			seen := map[*types.Func]bool{}
+			var visit func(fn *types.Func)
+			visit = func(fn *types.Func) {
+				if fn == nil || seen[fn] {
+					return
+				}
+				seen[fn] = true
+				if bad := dc.singleOwnerViolation(fn); bad != "" {
+					dc.report(gs.Pos(), "goroutine transitively calls "+bad+"; lease-heap and serial-only state belong to the plane's single owner goroutine")
+					return
+				}
+				if s := dc.cg.summaries[fn]; s != nil {
+					for _, cr := range s.calls {
+						for _, callee := range cr.callees {
+							visit(callee)
+						}
+					}
+				}
+			}
+			if sum != nil {
+				for _, cr := range sum.calls {
+					for _, callee := range cr.callees {
+						visit(callee)
+					}
+				}
+			}
+			for _, fn := range start {
+				visit(fn)
+			}
+			return true
+		})
+	}
+}
+
+// singleOwnerViolation names the violated contract for a callee the
+// spawned goroutine reaches, or "".
+func (dc *durChecker) singleOwnerViolation(fn *types.Func) string {
+	if dc.cg.serialOnly[fn] {
+		return fn.Name() + " (//ssvc:serial-only)"
+	}
+	if fn.Name() != "push" && fn.Name() != "pop" {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj().Name() == "leaseHeap" {
+		return "leaseHeap." + fn.Name()
+	}
+	return ""
+}

@@ -68,6 +68,25 @@ var RecycleSources = []MethodRule{
 	{TypeName: "TxPool", Method: "Get"},
 }
 
+// ShardSafetyPackages hold shard.Executor stage programs (the three
+// engines) plus the executor itself; their Par stages must touch only
+// shard-owned state (see shardsafety.go for the ownership rules and
+// the //ssvc:shards family of annotations).
+var ShardSafetyPackages = []string{
+	"internal/shard",
+	"internal/switchsim",
+	"internal/mesh",
+	"internal/compose",
+}
+
+// DurabilityPackages carry the crash-safety ordering contract: the
+// control plane (journal before acknowledgement, single-owner lease
+// heap) and the daemon that spawns goroutines around it.
+var DurabilityPackages = []string{
+	"internal/ctlplane",
+	"cmd/ssvc-serve",
+}
+
 // HotpathPackages are scanned for //ssvc:hotpath annotations. The
 // whole module is eligible; this list just avoids scanning fixture
 // trees (the loader skips testdata on its own).

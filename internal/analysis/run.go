@@ -1,6 +1,6 @@
 package analysis
 
-// RunAll executes the six analyzers over the module rooted at root
+// RunAll executes the eight analyzers over the module rooted at root
 // with the repository's default rules, filters the result through the
 // allowlist (nil for none), and returns the surviving diagnostics
 // sorted. This is the single entry point shared by cmd/ssvc-lint and
@@ -56,6 +56,18 @@ func RunAll(root string, allow *Allowlist) ([]Diagnostic, error) {
 		return nil, err
 	}
 	d, err = Hotpath(l, hot)
+	if err != nil {
+		return nil, err
+	}
+	diags = append(diags, d...)
+
+	d, err = ShardSafety(l, ShardSafetyPackages)
+	if err != nil {
+		return nil, err
+	}
+	diags = append(diags, d...)
+
+	d, err = Durability(l, DurabilityPackages)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,180 @@
+// Package durabilitybad is a lint fixture for the durability analyzer:
+// a miniature control plane (Journal / Result / leaseHeap matched by
+// the same names as internal/ctlplane) mixing ack-before-fsync,
+// racing-append, and goroutine-ownership violations with the sanctioned
+// journal-then-ack shapes.
+package durabilitybad
+
+// Record stands in for a journal record.
+type Record struct {
+	Kind string
+}
+
+// Journal stands in for the append-only journal; the analyzer matches
+// the type name and the Append/Sync methods.
+type Journal struct {
+	n int
+}
+
+// Append buffers one record.
+func (j *Journal) Append(rec *Record) error {
+	j.n++
+	return nil
+}
+
+// Sync flushes and fsyncs.
+func (j *Journal) Sync() error { return nil }
+
+// Result stands in for the command reply; OK: true is the
+// acknowledgement the analyzer gates on durability.
+type Result struct {
+	OK bool
+	ID uint64
+}
+
+type leaseEntry struct {
+	at, id uint64
+}
+
+// leaseHeap is single-owner state: only the plane's own goroutine may
+// push or pop.
+type leaseHeap []leaseEntry
+
+func (h *leaseHeap) push(e leaseEntry) { *h = append(*h, e) }
+
+func (h *leaseHeap) pop() leaseEntry {
+	old := *h
+	e := old[0]
+	*h = old[:len(old)-1]
+	return e
+}
+
+// Plane stands in for the control plane.
+type Plane struct {
+	jr     *Journal
+	leases leaseHeap
+	seq    uint64
+}
+
+// ApplyGood is the sanctioned shape: nil-journal fast path, then
+// append, then sync, then the acknowledgement.
+func (p *Plane) ApplyGood(rec *Record) Result {
+	if p.jr == nil {
+		return Result{OK: true}
+	}
+	if err := p.jr.Append(rec); err != nil {
+		return Result{}
+	}
+	if err := p.jr.Sync(); err != nil {
+		return Result{}
+	}
+	return Result{OK: true}
+}
+
+// ApplyNoSync acknowledges after the append but before the fsync.
+func (p *Plane) ApplyNoSync(rec *Record) Result {
+	if p.jr == nil {
+		return Result{OK: true}
+	}
+	if err := p.jr.Append(rec); err != nil {
+		return Result{}
+	}
+	return Result{OK: true} // want:durability
+}
+
+// journalCmd is the verified-barrier shape: false only once the record
+// is durable.
+func (p *Plane) journalCmd(rec *Record) (Result, bool) {
+	if p.jr == nil {
+		return Result{}, false
+	}
+	if err := p.jr.Append(rec); err == nil {
+		if err = p.jr.Sync(); err == nil {
+			return Result{}, false
+		}
+	}
+	return Result{ID: p.seq}, true
+}
+
+// ApplyViaBarrier acknowledges behind the verified barrier.
+func (p *Plane) ApplyViaBarrier(rec *Record) Result {
+	if r, bad := p.journalCmd(rec); bad {
+		return r
+	}
+	return Result{OK: true}
+}
+
+// brokenBarrier claims success without ever syncing, so it is not
+// admitted as a barrier.
+func (p *Plane) brokenBarrier(rec *Record) (Result, bool) {
+	if p.jr == nil {
+		return Result{}, false
+	}
+	if err := p.jr.Append(rec); err != nil {
+		return Result{ID: p.seq}, true
+	}
+	return Result{}, false // want:durability
+}
+
+// ApplyViaBroken trusts the broken barrier; the acknowledgement is
+// flagged because the barrier never verified.
+func (p *Plane) ApplyViaBroken(rec *Record) Result {
+	if r, bad := p.brokenBarrier(rec); bad {
+		return r
+	}
+	return Result{OK: true} // want:durability
+}
+
+// SnapshotRace appends a snapshot record while the command record is
+// still unsynced.
+func (p *Plane) SnapshotRace(cmd, snap *Record) error {
+	if err := p.jr.Append(cmd); err != nil {
+		return err
+	}
+	if err := p.jr.Append(snap); err != nil { // want:durability
+		return err
+	}
+	return p.jr.Sync()
+}
+
+// LeaveUnsynced returns with the append buffered but not durable.
+func (p *Plane) LeaveUnsynced(rec *Record) error {
+	if err := p.jr.Append(rec); err != nil {
+		return err
+	}
+	return nil // want:durability
+}
+
+// Expire is the single-owner lease walk, fine on the plane's own
+// goroutine.
+func (p *Plane) Expire(now uint64) {
+	for len(p.leases) > 0 && p.leases[0].at <= now {
+		p.leases.pop()
+	}
+}
+
+// Renew pushes a lease entry; also owner-only.
+func (p *Plane) Renew(e leaseEntry) { p.leases.push(e) }
+
+// Serve is the plane's command loop.
+//
+//ssvc:serial-only
+func (p *Plane) Serve(rec *Record) Result { return p.ApplyGood(rec) }
+
+// SpawnBad hands single-owner state to goroutines.
+func (p *Plane) SpawnBad(e leaseEntry, rec *Record) {
+	go func() { // want:durability
+		p.leases.push(e)
+	}()
+	go p.Expire(e.at) // want:durability
+	go p.Serve(rec)   // want:durability
+}
+
+// SpawnGood runs something harmless off the owner goroutine.
+func (p *Plane) SpawnGood() {
+	done := make(chan int, 1)
+	go func() {
+		done <- 1
+	}()
+	<-done
+}

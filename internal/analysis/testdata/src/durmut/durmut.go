@@ -1,0 +1,72 @@
+// Package durmut is the durability mutation meta-fixture: a copy of
+// the control plane's journalCmd barrier and its Apply caller with
+// exactly one deliberate mutation — the fsync between the append and
+// the success return is gone. The meta-test asserts the analyzer flags
+// both the premature success return and the acknowledgement gated on
+// the no-longer-verified barrier, proving the barrier admission fails
+// closed.
+package durmut
+
+// Record stands in for a journal record.
+type Record struct {
+	Kind string
+}
+
+// Journal matches the analyzer's name-based contract.
+type Journal struct {
+	n int
+}
+
+// Append buffers one record.
+func (j *Journal) Append(rec *Record) error {
+	j.n++
+	return nil
+}
+
+// Sync flushes and fsyncs (never called on the mutated path).
+func (j *Journal) Sync() error { return nil }
+
+// Result is the command reply.
+type Result struct {
+	OK     bool
+	ID     uint64
+	Reason int
+}
+
+// Command is one control-plane command.
+type Command struct {
+	Op int
+}
+
+// Plane is the mutated miniature control plane.
+type Plane struct {
+	jr  *Journal
+	seq uint64
+}
+
+// journalCmd is the real barrier shape; the fsync after the append has
+// been deleted, so the false return is reached with the record still
+// buffered — the analyzer refuses to admit it as a barrier and flags
+// the unsynced return directly.
+func (p *Plane) journalCmd(cmd Command) (Result, bool) {
+	if p.jr == nil {
+		p.seq++
+		return Result{}, false
+	}
+	p.seq++
+	rec := &Record{Kind: "cmd"}
+	if err := p.jr.Append(rec); err == nil {
+		// MUTATION: p.jr.Sync() belongs here, before the success return.
+		return Result{}, false // want:durability
+	}
+	return Result{ID: p.seq, Reason: 1}, true
+}
+
+// Apply acknowledges behind the mutated barrier; the acknowledgement is
+// flagged because the barrier no longer proves durability.
+func (p *Plane) Apply(cmd Command) Result {
+	if r, bad := p.journalCmd(cmd); bad {
+		return r
+	}
+	return Result{OK: true} // want:durability
+}

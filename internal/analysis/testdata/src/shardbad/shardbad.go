@@ -1,0 +1,150 @@
+// Package shardbad is a lint fixture for the shardsafety analyzer: a
+// miniature sharded engine (real shard.Stage program, annotated
+// containers) mixing every violation class with the clean idioms the
+// three engines rely on — owned-range loops, mailbox exchange, owner
+// guards, token indices, and the //ssvc:shared escape hatch.
+package shardbad
+
+import "swizzleqos/internal/shard"
+
+var global int
+
+// item stands in for a packet: its integer fields are trusted indices
+// only when the item itself is an owned token.
+type item struct {
+	Src int
+}
+
+// port stands in for an input/output port.
+type port struct {
+	sh  *eShard //ssvc:owner
+	val int
+}
+
+// eShard is one shard's slice of the engine.
+type eShard struct {
+	lo, hi int
+	acc    uint64
+	queue  []*item
+	outbox [][]int //ssvc:mailbox
+}
+
+// admitEach feeds the shard's own queued items to f.
+func (sh *eShard) admitEach(f func(it *item) bool) {
+	for _, it := range sh.queue {
+		if !f(it) {
+			return
+		}
+	}
+}
+
+// Engine is the miniature sharded simulator.
+type Engine struct {
+	sh     []*eShard //ssvc:shards
+	ports  []*port   //ssvc:owned-index
+	shared uint64
+	safe   uint64 //ssvc:shared
+	ptr    *uint64
+	done   chan int
+	exec   *shard.Executor
+}
+
+func (e *Engine) program() []shard.Stage {
+	return []shard.Stage{
+		{Serial: e.generate},
+		{Par: e.goodShard},
+		{Par: e.badShard},
+		{Par: func(k int) {
+			e.shared++ // want:shardsafety
+		}},
+		{Serial: e.commit},
+	}
+}
+
+// generate is a Serial stage: it may touch anything.
+func (e *Engine) generate() {
+	e.shared++
+	for _, sh := range e.sh {
+		sh.acc = 0
+	}
+}
+
+// commit is the Serial barrier stage; calling it from a Par stage is a
+// violation.
+//
+//ssvc:serial-only
+func (e *Engine) commit() {
+	for _, sh := range e.sh {
+		e.shared += sh.acc
+	}
+}
+
+// goodShard exercises every sanctioned idiom; nothing here may be
+// flagged.
+func (e *Engine) goodShard(k int) {
+	sh := e.sh[k] // the shard directory at our own index
+	sh.acc++
+	for i := sh.lo; i < sh.hi; i++ {
+		p := e.ports[i] // loop index proven inside [lo, hi)
+		p.val++
+	}
+	p0 := e.ports[sh.lo] // the shard's first port
+	p0.val++
+	q := e.ports[sh.lo+1] // local-offset idiom
+	q.val++
+	e.safe++ // explicitly opted out of the check
+	for j := range e.sh {
+		for _, v := range e.sh[j].outbox[k] { // mailbox slot k is ours
+			sh.acc += uint64(v)
+		}
+	}
+	sh.admitEach(func(it *item) bool {
+		p := e.ports[it.Src] // token field from our own queue
+		p.val++
+		return true
+	})
+	e.relay(sh, e.ports[0])
+	fresh := &eShard{lo: sh.lo, hi: sh.hi} // fresh allocation is ours
+	fresh.acc++
+}
+
+// relay writes p only after proving this shard owns it.
+func (e *Engine) relay(sh *eShard, p *port) {
+	if p.sh == sh {
+		p.val++
+	}
+}
+
+// badShard violates every rule once.
+func (e *Engine) badShard(k int) {
+	sh := e.sh[k]
+	sh.acc++
+	e.shared++ // want:shardsafety
+	global = k // want:shardsafety
+	other := e.sh[0]
+	other.acc++         // want:shardsafety
+	v := e.ports[k].val // want:shardsafety
+	_ = v
+	e.ports[global].val = 1 // want:shardsafety
+	*e.ptr = 5              // want:shardsafety
+	go e.drain(k)           // want:shardsafety
+	e.done <- k             // want:shardsafety
+	e.commit()              // want:shardsafety
+	e.scribble(e.ports[0])
+}
+
+// drain is any helper a stray goroutine might run.
+func (e *Engine) drain(k int) {
+	e.sh[k].acc = 0
+}
+
+// scribble writes through its parameter; flagged where the write
+// happens when reached with an unowned argument.
+func (e *Engine) scribble(p *port) {
+	p.val = 9 // want:shardsafety
+}
+
+// Program exposes the stage pipeline for the executor to drive.
+func (e *Engine) Program() []shard.Stage {
+	return e.program()
+}

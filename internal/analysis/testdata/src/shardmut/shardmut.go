@@ -1,0 +1,87 @@
+// Package shardmut is the shardsafety mutation meta-fixture: a copy of
+// the switch engine's admit-and-offer stage shape with exactly one
+// deliberate isolation break — the admission counter bumped from the
+// Par stage is the shared engine-level one instead of the shard's
+// private delta block. The meta-test asserts the analyzer reports it,
+// proving the check fails closed rather than merely passing on clean
+// code.
+package shardmut
+
+import "swizzleqos/internal/shard"
+
+type packet struct {
+	Src, Dst int
+	Length   int
+}
+
+type counters struct {
+	Admitted, Offered uint64
+}
+
+type offer struct {
+	dst int
+	pkt *packet
+}
+
+type inPort struct {
+	sh   *mShard //ssvc:owner
+	busy bool
+}
+
+type mShard struct {
+	lo, hi int
+	ctr    counters
+	queue  []*packet
+	outbox [][]offer //ssvc:mailbox
+}
+
+// admitEach feeds the shard's own queued packets to f.
+func (sh *mShard) admitEach(f func(p *packet) bool) {
+	for _, p := range sh.queue {
+		if !f(p) {
+			return
+		}
+	}
+}
+
+// Engine is the mutated miniature switch.
+type Engine struct {
+	sh       []*mShard //ssvc:shards
+	inputs   []*inPort //ssvc:owned-index
+	Admitted uint64
+	exec     *shard.Executor
+}
+
+// Program exposes the stage pipeline.
+func (e *Engine) Program() []shard.Stage {
+	return []shard.Stage{
+		{Par: e.admitAndOffer},
+		{Serial: e.commit},
+	}
+}
+
+// admitAndOffer is the real pipeline shape; the marked line is the
+// mutation.
+func (e *Engine) admitAndOffer(k int) {
+	sh := e.sh[k]
+	sh.admitEach(func(p *packet) bool {
+		in := e.inputs[p.Src]
+		if in.busy {
+			return true
+		}
+		// MUTATION: should be sh.ctr.Admitted++ (the per-shard delta).
+		e.Admitted++ // want:shardsafety
+		sh.ctr.Offered++
+		j := p.Dst % len(sh.outbox)
+		sh.outbox[j] = append(sh.outbox[j], offer{dst: p.Dst, pkt: p})
+		return true
+	})
+}
+
+// commit merges per-shard deltas behind the barrier.
+func (e *Engine) commit() {
+	for _, sh := range e.sh {
+		e.Admitted += sh.ctr.Admitted
+		sh.ctr = counters{}
+	}
+}

@@ -47,7 +47,7 @@ type PortRef struct {
 type Topology struct {
 	Ports     []int
 	Links     map[PortRef]PortRef // from (node, output port) to (node, input port)
-	Terminals []PortRef
+	Terminals []PortRef           //ssvc:owned-index
 	Route     func(node, terminal int) int
 }
 
@@ -159,7 +159,7 @@ type node struct {
 	id int
 	// sh is the shard owning this node; li is the node's local index
 	// within it (id - sh.lo).
-	sh       *netShard
+	sh       *netShard //ssvc:owner
 	li       int
 	in       []*fabric.Buffer
 	out      []*fabric.Transmission
@@ -204,7 +204,7 @@ type netShard struct {
 	// outbox[k] holds this shard's boundary commits into shard k this
 	// cycle; delivered holds this shard's ejected packets, in ascending
 	// node order. Both drain at the serial commit stage.
-	outbox    [][]haloCommit
+	outbox    [][]haloCommit //ssvc:mailbox
 	delivered []*noc.Packet
 }
 
@@ -260,9 +260,9 @@ type Network struct {
 	fabric.Hooks
 
 	cfg   Config
-	nodes []*node
+	nodes []*node //ssvc:owned-index
 	part  shard.Partition
-	sh    []*netShard
+	sh    []*netShard //ssvc:shards
 	// termShard/termGroup map a terminal to its owning shard and its
 	// group index within that shard's sources.
 	termShard []int

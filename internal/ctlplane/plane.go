@@ -399,6 +399,8 @@ func (p *Plane) fail(err error) {
 // durable journal append (fsync before the OK), then live
 // materialization onto the switch. Rejections return typed reasons and
 // a retry-after hint without touching the running simulation.
+//
+//ssvc:serial-only
 func (p *Plane) Apply(cmd Command) Result {
 	now := p.sw.Now()
 	if err := p.Err(); err != nil {
@@ -666,6 +668,8 @@ func (p *Plane) snapRecord() *SnapRecord {
 }
 
 // Finish writes the clean-shutdown end record.
+//
+//ssvc:serial-only
 func (p *Plane) Finish() error {
 	p.checkpoint(KindEnd)
 	return p.Err()
@@ -686,6 +690,8 @@ func (p *Plane) CloseJournal() error {
 // control plane idle (no due events) the whole span runs as a single
 // engine call, so an attached-but-idle plane adds no per-cycle work or
 // allocation to the hot loop.
+//
+//ssvc:serial-only
 func (p *Plane) Advance(n noc.Cycle) error {
 	end := p.sw.Now() + n
 	for {
@@ -714,6 +720,8 @@ func (p *Plane) Advance(n noc.Cycle) error {
 }
 
 // AdvanceTo drives the simulation to an absolute cycle.
+//
+//ssvc:serial-only
 func (p *Plane) AdvanceTo(c noc.Cycle) error {
 	now := p.sw.Now()
 	if c < now {

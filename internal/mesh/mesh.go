@@ -101,7 +101,7 @@ type router struct {
 	x, y int
 	// sh is the shard owning this router; li is the router's local index
 	// within it (id - sh.lo).
-	sh   *meshShard
+	sh   *meshShard //ssvc:owner
 	li   int
 	in   [numPorts]*fabric.Buffer
 	out  [numPorts]*fabric.Transmission
@@ -148,7 +148,7 @@ type meshShard struct {
 	// outbox[k] holds this shard's boundary commits into shard k this
 	// cycle; delivered holds this shard's locally ejected packets, in
 	// ascending router order. Both drain at the serial commit stage.
-	outbox    [][]haloCommit
+	outbox    [][]haloCommit //ssvc:mailbox
 	delivered []*noc.Packet
 }
 
@@ -184,9 +184,9 @@ type Mesh struct {
 	fabric.Hooks
 
 	cfg     Config
-	routers []*router
+	routers []*router //ssvc:owned-index
 	part    shard.Partition
-	sh      []*meshShard
+	sh      []*meshShard //ssvc:shards
 	now     noc.Cycle
 	err     error // terminal invariant violation; freezes the engine
 

@@ -220,10 +220,13 @@ func (c *Collector) OutputThroughput(dst int) float64 {
 	if w == 0 {
 		return 0
 	}
+	// Sorted-key iteration: the sum is integer (order-insensitive), but
+	// fixing the order keeps every aggregate on the one deterministic
+	// path and survives a future switch to float accumulation.
 	var flits uint64
-	for k, f := range c.flows {
+	for _, k := range c.Keys() {
 		if k.Dst == dst {
-			flits += f.Flits
+			flits += c.flows[k].Flits
 		}
 	}
 	return float64(flits) / float64(w.Uint())
@@ -244,8 +247,8 @@ func (c *Collector) Adherence(k FlowKey, reserved float64) float64 {
 // TotalPackets returns the number of packets delivered in the window.
 func (c *Collector) TotalPackets() uint64 {
 	var n uint64
-	for _, f := range c.flows {
-		n += f.Packets
+	for _, k := range c.Keys() {
+		n += c.flows[k].Packets
 	}
 	return n
 }

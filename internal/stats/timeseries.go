@@ -8,6 +8,10 @@ import "swizzleqos/internal/noc"
 type Series struct {
 	window noc.Cycle
 	flits  map[FlowKey][]uint64
+	// keys holds the observed flow keys in first-delivery order, the
+	// deterministic iteration order for every aggregate (deliveries
+	// reach OnDeliver in simulation order, never from a map walk).
+	keys []FlowKey
 	// last is the highest window index observed, so rows can be padded.
 	last int
 }
@@ -27,7 +31,10 @@ func (s *Series) Window() noc.Cycle { return s.window }
 func (s *Series) OnDeliver(p *noc.Packet) {
 	idx := int((p.DeliveredAt / s.window).Uint())
 	k := KeyOf(p)
-	buf := s.flits[k]
+	buf, seen := s.flits[k]
+	if !seen {
+		s.keys = append(s.keys, k)
+	}
 	for len(buf) <= idx {
 		buf = append(buf, 0)
 	}
@@ -54,7 +61,8 @@ func (s *Series) Throughput(k FlowKey, idx int) float64 {
 // in window idx.
 func (s *Series) TotalThroughput(dst, idx int) float64 {
 	var flits uint64
-	for k, buf := range s.flits {
+	for _, k := range s.keys {
+		buf := s.flits[k]
 		if k.Dst != dst || idx >= len(buf) {
 			continue
 		}

@@ -16,8 +16,8 @@ import (
 // the port's shard and its bit index within the shard's work masks.
 type inputPort struct {
 	id    int
-	sh    *swShard
-	li    int // index within sh: id - sh.lo
+	sh    *swShard //ssvc:owner
+	li    int      // index within sh: id - sh.lo
 	be    *fabric.Buffer
 	gl    *fabric.Buffer
 	gb    []*fabric.Buffer // one virtual output queue per output
@@ -90,8 +90,8 @@ func (in *inputPort) bufferFor(class noc.Class, dst int) *fabric.Buffer {
 // assertion (admit runs once per input per cycle; see New).
 type outputPort struct {
 	id  int
-	sh  *swShard
-	li  int // index within sh: id - sh.lo
+	sh  *swShard //ssvc:owner
+	li  int      // index within sh: id - sh.lo
 	arb arb.Arbiter
 	obs arb.ArrivalObserver // non-nil iff arb observes arrivals
 	pre arb.Preemptor       // non-nil iff arb can preempt
@@ -143,8 +143,10 @@ type swShard struct {
 	// offers toward shard j's outputs; evs and delivered accumulate the
 	// serve stage's boundary effects for the commit barrier. All are
 	// preallocated to port-count capacity, so steady state never grows
-	// them.
-	outbox    [][]request
+	// them. The mailbox annotation blesses foreign-slot reads: the
+	// stage barrier between admitAndOffer (writes) and mergeAndServe
+	// (reads) orders them.
+	outbox    [][]request //ssvc:mailbox
 	evs       []swEvent
 	delivered []*noc.Packet
 }
@@ -175,12 +177,12 @@ type Switch struct {
 	fabric.Hooks
 
 	cfg     Config
-	inputs  []*inputPort
-	outputs []*outputPort
+	inputs  []*inputPort  //ssvc:owned-index
+	outputs []*outputPort //ssvc:owned-index
 	part    shard.Partition
-	sh      []*swShard
-	flowDir []flowRef // AddFlow order -> per-shard source index
-	hasObs  bool      // any output arbiter observes arrivals
+	sh      []*swShard //ssvc:shards
+	flowDir []flowRef  // AddFlow order -> per-shard source index
+	hasObs  bool       // any output arbiter observes arrivals
 
 	now noc.Cycle
 	err error // terminal invariant violation; freezes the engine
