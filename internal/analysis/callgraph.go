@@ -5,6 +5,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"sync"
 )
 
 // This file is the interprocedural layer under the shardsafety and
@@ -55,6 +56,19 @@ const (
 	// single-owner goroutine (the plane's driver or a Serial stage);
 	// calling it from a Par stage or from a spawned goroutine is flagged.
 	MarkSerialOnly = "//ssvc:serial-only"
+	// MarkSink annotates a function whose arguments feed the exact
+	// fixed-point arithmetic (cost products, schedulability bounds,
+	// vtick counters); the taint analyzer requires every value reaching
+	// a sink argument to have crossed a barrier first. DESIGN.md
+	// invariant 10 documents the rule.
+	MarkSink = "//ssvc:sink"
+	// MarkBarrier annotates a validation function: calling it launders
+	// the taint off its receiver and arguments (the callee rejects
+	// out-of-range, NaN, or Inf input before it can reach a sink), and
+	// its results are trusted. valuerange likewise exempts float-to-
+	// integer conversions inside barrier bodies, since clamping is
+	// exactly what barriers are for.
+	MarkBarrier = "//ssvc:barrier"
 )
 
 // funcInfo ties a type-checked function object back to its syntax.
@@ -95,6 +109,7 @@ type callGraph struct {
 	fieldMark    map[*types.Var]string
 	serialOnly   map[*types.Func]bool
 	shardStructs map[*types.Named]bool
+	chaMu        sync.Mutex
 	chaCache     map[string][]*types.Func
 }
 
@@ -654,10 +669,13 @@ func (cg *callGraph) implementers(recv types.Type, method string) []*types.Func 
 		return nil
 	}
 	key := recv.String() + "." + method
-	if fns, ok := cg.chaCache[key]; ok {
+	cg.chaMu.Lock()
+	fns, ok := cg.chaCache[key]
+	cg.chaMu.Unlock()
+	if ok {
 		return fns
 	}
-	var fns []*types.Func
+	fns = nil
 	for _, pkg := range cg.pkgs {
 		scope := pkg.Types.Scope()
 		names := scope.Names()
@@ -684,7 +702,9 @@ func (cg *callGraph) implementers(recv types.Type, method string) []*types.Func 
 			}
 		}
 	}
+	cg.chaMu.Lock()
 	cg.chaCache[key] = fns
+	cg.chaMu.Unlock()
 	return fns
 }
 

@@ -19,11 +19,14 @@ import (
 //     path-sensitively through the CFG (cfg.go, dataflow.go), so
 //     `if a < b { return 0 }; return a - b` — the shape of noc.SatSub —
 //     passes, as do guards established by loop conditions, &&-chains,
-//     negations, and tagless switch cases. Constant reasoning covers
-//     `x > 0` justifying `x - 1` (with `x != 0` on an unsigned x
-//     recognized as exactly `x > 0`, admitting the bitmask-iteration
-//     idiom `for m != 0 { m &= m - 1 }`), subtraction from a type's
-//     maximum value, and the `1<<k - 1` mask idiom.
+//     negations, and tagless switch cases. Bound reasoning is genuine
+//     intervals (factIval in interval.go): x's proven lower bound —
+//     from a constant, a guard fact like `x > 0` (with `x != 0` on an
+//     unsigned x recognized as exactly that, admitting the
+//     bitmask-iteration idiom `for m != 0 { m &= m - 1 }`), or the
+//     shift structure of `1<<k` — at or above y's upper bound proves
+//     the subtraction safe, uniformly covering what used to be
+//     special-cased constant idioms.
 //  2. Narrowing conversion: a non-constant 64-bit unsigned value
 //     converted to an integer type narrower than 64 bits ('int' and
 //     'uint' count as 64-bit; the simulator only targets 64-bit
@@ -130,40 +133,21 @@ func checkSub(l *Loader, pkg *Package, fs factSet, n ast.Node, x, y ast.Expr) (D
 	if yv != nil && constant.Sign(yv) == 0 {
 		return Diagnostic{}, false // x - 0
 	}
-	// Subtracting from the type's maximum cannot wrap.
-	if xv := constVal(pkg, x); xv != nil {
-		if w := bitWidth(t); w > 0 && constant.Compare(xv, token.EQL, maxOfWidth(w)) {
-			return Diagnostic{}, false
-		}
-	}
-	// The `1<<k - 1` mask idiom: a shift of a positive constant base is
-	// at least 1 whenever it is meaningful, so subtracting 1 holds.
-	if sh, ok := unparen(x).(*ast.BinaryExpr); ok && sh.Op == token.SHL && yv != nil &&
-		constant.Compare(yv, token.EQL, constant.MakeInt64(1)) {
-		if bv := constVal(pkg, sh.X); bv != nil && constant.Sign(bv) > 0 {
-			return Diagnostic{}, false
-		}
-	}
 	xs, ys := types.ExprString(x), types.ExprString(y)
 	// Exact dominating guard: x >= y (or stronger) on every path here.
 	if _, ok := fs[guardFact{a: xs, b: ys}.key()]; ok {
 		return Diagnostic{}, false
 	}
-	// Constant guard: a fact x >= c1 (or x > c1) with c1 >= y's value
-	// (c1+1 >= it when strict).
-	if yv != nil {
-		for _, f := range fs {
-			if f.a != xs || f.bVal == nil {
-				continue
-			}
-			bound := f.bVal
-			if f.strict {
-				bound = constant.BinaryOp(bound, token.ADD, constant.MakeInt64(1))
-			}
-			if constant.Compare(bound, token.GEQ, yv) {
-				return Diagnostic{}, false
-			}
-		}
+	// Interval reasoning (interval.go): x's lower bound — from a
+	// constant value, a guard fact like `x > 0`, or the shift-of-a-
+	// positive-base structure of `1<<k` — at or above y's upper bound
+	// proves the subtraction safe. This subsumes the retired
+	// special cases for subtracting from a type maximum, the
+	// `1<<k - 1` mask idiom, and constant-bound guard matching.
+	xiv := factIval(pkg, fs, x)
+	yiv := factIval(pkg, fs, y)
+	if xiv.lo.Cmp(yiv.hi) >= 0 {
+		return Diagnostic{}, false
 	}
 	file, line := l.Rel(n.Pos())
 	return Diagnostic{

@@ -44,7 +44,12 @@ func Durability(l *Loader, packages []string) ([]Diagnostic, error) {
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	cg := buildCallGraph(l)
+	return durabilityWithCG(l, buildCallGraph(l), pkgs)
+}
+
+// durabilityWithCG is the core shared with the parallel RunAll driver,
+// which builds one call graph for every interprocedural analyzer.
+func durabilityWithCG(l *Loader, cg *callGraph, pkgs []*Package) ([]Diagnostic, error) {
 	dc := &durChecker{l: l, cg: cg, barriers: map[*types.Func]bool{}}
 
 	// Admit barriers bottom-up: re-run verification until the set is

@@ -87,6 +87,28 @@ var DurabilityPackages = []string{
 	"cmd/ssvc-serve",
 }
 
+// ValueRangePackages carry the declared-critical integer arithmetic
+// the interval engine proves overflow-safe (DESIGN.md invariant 9):
+// the admission budget's Frame-scaled cost products, the Eq 1-3
+// schedulability terms, and the datapath shift/mask kernels. Input
+// contracts live on their config structs as //ssvc:range annotations.
+var ValueRangePackages = []string{
+	"internal/ctlplane",
+	"internal/glbound",
+	"internal/core",
+	"internal/arb",
+}
+
+// TaintPackages are where untrusted input enters (the TCP line
+// protocol, the on-disk journal) and where it is consumed by the
+// fixed-point arithmetic; the taint analyzer requires a
+// //ssvc:barrier validation on every path from the first to the
+// second (DESIGN.md invariant 10).
+var TaintPackages = []string{
+	"internal/ctlplane",
+	"cmd/ssvc-serve",
+}
+
 // HotpathPackages are scanned for //ssvc:hotpath annotations. The
 // whole module is eligible; this list just avoids scanning fixture
 // trees (the loader skips testdata on its own).

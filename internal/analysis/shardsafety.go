@@ -59,7 +59,12 @@ func ShardSafety(l *Loader, packages []string) ([]Diagnostic, error) {
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	cg := buildCallGraph(l)
+	return shardSafetyWithCG(l, buildCallGraph(l), pkgs)
+}
+
+// shardSafetyWithCG is the core shared with the parallel RunAll driver,
+// which builds one call graph for every interprocedural analyzer.
+func shardSafetyWithCG(l *Loader, cg *callGraph, pkgs []*Package) ([]Diagnostic, error) {
 	sc := &shardChecker{
 		l:          l,
 		cg:         cg,

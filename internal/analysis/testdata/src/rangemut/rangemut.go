@@ -1,0 +1,23 @@
+// Package rangemut is the valuerange mutation meta-fixture: a copy of
+// the admission table's Frame-scaled cost product with its dominating
+// guard deleted. The real NewTable/Admit path proves the product fits
+// because validate bounds the request first; with the guard gone the
+// declared range alone admits a 82-bit product. The meta-test asserts
+// the analyzer reports it, proving the check fails closed rather than
+// merely passing on clean code.
+package rangemut
+
+type req struct {
+	//ssvc:range Len 1..4611686018427387904
+	Len uint64
+}
+
+const frame = 1 << 20
+
+// Cost computes the Frame-scaled admission cost. The original guards
+// Len against the frame before multiplying; the mutation deleted the
+// guard, so the product may wrap uint64.
+func Cost(r req) uint64 {
+	// mutation: `if r.Len > frame { return 0 }` deleted
+	return frame * r.Len // want:valuerange
+}

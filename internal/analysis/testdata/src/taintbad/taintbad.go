@@ -1,0 +1,97 @@
+// Package taintbad is a lint fixture for the taint analyzer: a
+// miniature of the serve daemon's parse → validate → price pipeline.
+// Every flow that reaches the //ssvc:sink without crossing the
+// //ssvc:barrier carries a trailing want-marker — including the
+// channel hop that mirrors how the accept goroutine hands commands to
+// the apply loop — and every validated flow is marker-free.
+package taintbad
+
+import "strconv"
+
+type conf struct {
+	rate float64
+	n    uint64
+}
+
+// valid is the validation barrier: NaN fails the accepting
+// comparisons, so nothing unordered survives it.
+//
+//ssvc:barrier
+func valid(c conf) bool { return c.rate > 0 && c.rate <= 1 && c.n > 0 }
+
+// cost is the fixed-point arithmetic the analyzer protects.
+//
+//ssvc:sink
+func cost(n uint64) uint64 { return n * 3 }
+
+// parse turns an untrusted line into a config; both results are
+// tainted by definition.
+func parse(s string) conf {
+	r, _ := strconv.ParseFloat(s, 64)
+	n, _ := strconv.ParseUint(s, 10, 32)
+	return conf{rate: r, n: n}
+}
+
+// AdmitBad feeds parsed input straight to the sink.
+func AdmitBad(s string) uint64 {
+	c := parse(s)
+	return cost(c.n) // want:taint
+}
+
+// AdmitGood validates first; the barrier launders c on the
+// fall-through path.
+func AdmitGood(s string) uint64 {
+	c := parse(s)
+	if !valid(c) {
+		return 0
+	}
+	return cost(c.n)
+}
+
+// scale is a pass-through helper: its return summary depends on its
+// parameter, so taint survives the hop exactly when the argument is
+// tainted.
+func scale(n uint64) uint64 { return n + 1 }
+
+// Chained reaches the sink through the intermediate helper.
+func Chained(s string) uint64 {
+	c := parse(s)
+	return cost(scale(c.n)) // want:taint
+}
+
+// CleanChain prices a trusted constant through the same helper: the
+// polyvariant summary must not let AdmitBad's taint bleed over here.
+func CleanChain() uint64 {
+	return cost(scale(7))
+}
+
+// ConvertBad converts a tainted float outside any barrier.
+func ConvertBad(s string) uint64 {
+	c := parse(s)
+	return uint64(c.rate) // want:taint
+}
+
+type job struct{ c conf }
+
+var jobs = make(chan job, 1)
+
+// Producer hands parsed jobs to the worker goroutine; the send taints
+// the channel's element type module-wide.
+func Producer(s string) {
+	jobs <- job{c: parse(s)}
+}
+
+// Consumer prices a received job without validating it.
+func Consumer() uint64 {
+	j := <-jobs
+	return cost(j.c.n) // want:taint
+}
+
+// ConsumerGood validates the received job before the sink.
+func ConsumerGood() uint64 {
+	j := <-jobs
+	if !valid(j.c) {
+		return 0
+	}
+	return cost(j.c.n)
+}

@@ -1,0 +1,33 @@
+// Package taintmut is the taint mutation meta-fixture: the serve
+// daemon's parse → validate → price pipeline with the validation call
+// deleted. The barrier still exists — only the call site is gone, the
+// way a careless refactor would lose it. The meta-test asserts the
+// analyzer reports the unlaundered flow, proving the check fails
+// closed rather than merely passing on clean code.
+package taintmut
+
+import "strconv"
+
+type conf struct{ rate float64 }
+
+// valid is the barrier the mutation bypassed.
+//
+//ssvc:barrier
+func valid(c conf) bool { return c.rate > 0 && c.rate <= 1 }
+
+// cost is the fixed-point arithmetic the pipeline must protect.
+//
+//ssvc:sink
+func cost(rate float64) float64 { return 1 / rate }
+
+// Admit parses and prices a request. The original validates between
+// the two steps.
+func Admit(s string) float64 {
+	r, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0
+	}
+	c := conf{rate: r}
+	// mutation: `if !valid(c) { return 0 }` deleted
+	return cost(c.rate) // want:taint
+}

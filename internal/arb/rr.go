@@ -12,14 +12,18 @@ import (
 // congestion but can be unfair over short windows when request patterns
 // correlate with the pointer position.
 type RoundRobin struct {
-	n    int
-	next int // highest-priority input this cycle
+	//ssvc:range n 1..4096
+	n int
+	// next is the highest-priority input this cycle.
+	//
+	//ssvc:range next 0..4095
+	next int
 }
 
 // NewRoundRobin returns a round-robin arbiter over n inputs.
 func NewRoundRobin(n int) *RoundRobin {
-	if n <= 0 {
-		panic(fmt.Sprintf("arb: round robin size %d must be positive", n))
+	if n <= 0 || n > 4096 {
+		panic(fmt.Sprintf("arb: round robin size %d outside [1,4096]", n))
 	}
 	return &RoundRobin{n: n}
 }

@@ -68,7 +68,10 @@ func (s *SSVC) arbitrate1(now noc.Cycle, reqs []arb.Request) int {
 	reqIdx := s.reqIdx
 	for i := range reqs {
 		in := reqs[i].Input
-		bit := uint64(1) << uint(in)
+		// The &63 matches the wide path: inputs are < radix <= 64 here, so
+		// it never changes a valid decision, and it keeps the shift width
+		// provably in range for any Request.Input.
+		bit := uint64(1) << (uint(in) & 63)
 		if (glm|gbm|bem)&bit != 0 {
 			return s.arbitrateScalar(now, reqs)
 		}

@@ -45,16 +45,25 @@ func (p CounterPolicy) String() string {
 	return fmt.Sprintf("CounterPolicy(%d)", uint8(p))
 }
 
-// Config parameterises one SSVC arbiter (one output channel).
+// Config parameterises one SSVC arbiter (one output channel). The
+// //ssvc:range annotations are the bounds Validate enforces, stated
+// where the valuerange analyzer can use them to prove the counter
+// widths and quantum shifts stay inside uint64.
 type Config struct {
 	// Radix is the number of input ports.
+	//
+	//ssvc:range Radix 2..4096
 	Radix int
 	// CounterBits is the total auxVC counter width. Table 1 uses 3+8
 	// bits; Figure 4 uses 4 significant bits over a 12-bit counter.
+	//
+	//ssvc:range CounterBits 2..32
 	CounterBits int
 	// SigBits is the number of auxVC most significant bits mapped to the
 	// thermometer code: the coarse comparison distinguishes 2^SigBits
 	// priority levels, one per GB lane.
+	//
+	//ssvc:range SigBits 1..31
 	SigBits int
 	// Policy is the finite-counter management method.
 	Policy CounterPolicy
@@ -73,13 +82,18 @@ type Config struct {
 	// ... to prevent its abuse"). GLVtick 0 disables policing.
 	EnableGL bool
 	GLVtick  VTime
-	GLBurst  int
+	//ssvc:range GLBurst 0..1048576
+	GLBurst int
 }
 
-// Validate reports a descriptive error for malformed configurations.
+// Validate reports a descriptive error for malformed configurations. It
+// enforces the //ssvc:range bounds declared on the struct and is the
+// taint barrier for externally sourced arbiter configurations.
+//
+//ssvc:barrier
 func (c Config) Validate() error {
-	if c.Radix < 2 {
-		return fmt.Errorf("core: radix %d must be at least 2", c.Radix)
+	if c.Radix < 2 || c.Radix > 4096 {
+		return fmt.Errorf("core: radix %d outside [2,4096]", c.Radix)
 	}
 	if c.CounterBits < 2 || c.CounterBits > 32 {
 		return fmt.Errorf("core: counter width %d outside [2,32]", c.CounterBits)
@@ -89,6 +103,9 @@ func (c Config) Validate() error {
 	}
 	if len(c.Vticks) != c.Radix {
 		return fmt.Errorf("core: got %d vticks for radix %d", len(c.Vticks), c.Radix)
+	}
+	if c.GLBurst < 0 || c.GLBurst > 1<<20 {
+		return fmt.Errorf("core: GL burst %d outside [0,%d]", c.GLBurst, 1<<20)
 	}
 	if c.EnableGL && c.GLVtick > 0 && c.GLBurst < 1 {
 		return fmt.Errorf("core: GL policing needs a burst allowance of at least 1 packet, got %d", c.GLBurst)
@@ -196,6 +213,11 @@ func (s *SSVC) Levels() int { return s.levels }
 // flows keep their earned priority and simply tick at the new rate from
 // the next grant on, exactly as the hardware would after an update of
 // the reservation table.
+//
+// It is a taint sink: Vtick vectors must be derived from admitted
+// (validated) reservations, never raw protocol input.
+//
+//ssvc:sink
 func (s *SSVC) SetVticks(vt []VTime) error {
 	if len(vt) != s.cfg.Radix {
 		return fmt.Errorf("core: got %d vticks for radix %d", len(vt), s.cfg.Radix)
@@ -243,7 +265,13 @@ func (s *SSVC) glEligible(now Cycle) bool {
 	if !s.cfg.EnableGL || s.cfg.GLVtick == 0 {
 		return s.cfg.EnableGL
 	}
-	allowance := noc.VTimeOf(uint64(s.cfg.GLBurst-1)) * s.cfg.GLVtick
+	// Validate guarantees GLBurst >= 1 whenever policing is enabled; the
+	// floor keeps the burst-1 conversion non-negative by construction.
+	burst := s.cfg.GLBurst
+	if burst < 1 {
+		burst = 1
+	}
+	allowance := noc.VTimeOf(uint64(burst-1)) * s.cfg.GLVtick
 	return s.glVC <= noc.SatAdd(noc.VTimeOfCycle(now), allowance)
 }
 

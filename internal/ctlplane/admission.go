@@ -78,6 +78,10 @@ func (r *Reservation) GrantedVtick() noc.VTime {
 // derived from its Vtick: a PacketLen-flit packet every Vtick cycles.
 // Deriving the cost from the (rounded) Vtick rather than the raw rate
 // makes "sum of admitted Vticks fits the frame" the literal invariant.
+// It is a taint sink: every request reaching it must have crossed a
+// //ssvc:barrier validation (Table.validate) first.
+//
+//ssvc:sink
 func costOf(req FlowReq) uint64 {
 	vt := req.Spec().Vtick().Uint()
 	if vt == 0 {
@@ -102,13 +106,21 @@ func reject(reason Reason, format string, args ...any) *Reject {
 	return &Reject{Reason: reason, Msg: fmt.Sprintf(format, args...)}
 }
 
-// TableConfig sizes an admission table.
+// TableConfig sizes an admission table. The //ssvc:range annotations
+// are the input contract the valuerange analyzer assumes when proving
+// the Frame-scaled budget arithmetic overflow-safe; Validate enforces
+// the same bounds at runtime.
 type TableConfig struct {
+	//ssvc:range Radix 2..4096
 	Radix int
 	// LMax is the largest packet length admissible anywhere in the
 	// network, in flits — the lmax of the Eq. 1-3 analysis.
+	//
+	//ssvc:range LMax 1..1048576
 	LMax int
 	// GLBufferFlits is the per-input GL buffer depth b of Eq. 1.
+	//
+	//ssvc:range GLBufferFlits 1..1048576
 	GLBufferFlits int
 	// GBShare and GLShare are the per-output budget fractions for the
 	// two reserving classes (GB per-output budgets can be moved later
@@ -120,15 +132,20 @@ type TableConfig struct {
 }
 
 // Validate reports a descriptive error for malformed configurations.
+// It enforces exactly the //ssvc:range contract declared on the struct,
+// which is why it carries the barrier marker: a config that passed here
+// is safe input for the Frame-scaled budget arithmetic.
+//
+//ssvc:barrier
 func (tc TableConfig) Validate() error {
-	if tc.Radix < 2 {
-		return fmt.Errorf("ctlplane: radix %d must be at least 2", tc.Radix)
+	if tc.Radix < 2 || tc.Radix > 4096 {
+		return fmt.Errorf("ctlplane: radix %d must be in [2,4096]", tc.Radix)
 	}
-	if tc.LMax < 1 {
-		return fmt.Errorf("ctlplane: lmax %d must be at least 1", tc.LMax)
+	if tc.LMax < 1 || tc.LMax > 1<<20 {
+		return fmt.Errorf("ctlplane: lmax %d must be in [1,%d]", tc.LMax, 1<<20)
 	}
-	if tc.GLBufferFlits < 1 {
-		return fmt.Errorf("ctlplane: GL buffer depth %d must be at least 1 flit", tc.GLBufferFlits)
+	if tc.GLBufferFlits < 1 || tc.GLBufferFlits > 1<<20 {
+		return fmt.Errorf("ctlplane: GL buffer depth %d must be in [1,%d] flits", tc.GLBufferFlits, 1<<20)
 	}
 	// Accepting form: NaN shares fail every ordered comparison and land
 	// in the rejection rather than slipping into the Frame-unit budgets.
@@ -162,7 +179,7 @@ func NewTable(tc TableConfig) (*Table, error) {
 	t := &Table{
 		cfg:      tc,
 		gbBudget: make([]uint64, tc.Radix),
-		glBudget: uint64(float64(Frame) * tc.GLShare),
+		glBudget: noc.ClampUint64(float64(Frame)*tc.GLShare, Frame),
 		inDown:   make([]bool, tc.Radix),
 		outDown:  make([]bool, tc.Radix),
 		nextID:   1,
@@ -171,7 +188,7 @@ func NewTable(tc TableConfig) (*Table, error) {
 		gl:       make([][]*Reservation, tc.Radix),
 	}
 	for o := range t.gbBudget {
-		t.gbBudget[o] = uint64(float64(Frame) * tc.GBShare)
+		t.gbBudget[o] = noc.ClampUint64(float64(Frame)*tc.GBShare, Frame)
 	}
 	return t, nil
 }
@@ -198,7 +215,26 @@ func (t *Table) GB(o int) []*Reservation { return t.gb[o] }
 // GL returns output o's GL reservations in admission order.
 func (t *Table) GL(o int) []*Reservation { return t.gl[o] }
 
-// validate checks a request against the switch geometry.
+// validRate reports whether rate is a usable bandwidth fraction. The
+// accepting form means NaN fails and lands in the rejection, never in
+// the fixed-point budget math.
+//
+//ssvc:barrier
+func validRate(rate float64) bool { return rate > 0 && rate <= 1 }
+
+// validShare reports whether a GB budget share can coexist with the
+// fixed GL share; NaN fails the accepting comparison.
+//
+//ssvc:barrier
+func validShare(share, glShare float64) bool {
+	return share >= 0 && share+glShare <= 1
+}
+
+// validate checks a request against the switch geometry. It is the
+// //ssvc:barrier the taint analyzer requires between the line
+// protocol's parsed fields and the fixed-point cost arithmetic.
+//
+//ssvc:barrier
 func (t *Table) validate(req FlowReq) *Reject {
 	if req.Src < 0 || req.Src >= t.cfg.Radix || req.Dst < 0 || req.Dst >= t.cfg.Radix {
 		return reject(ReasonBadRequest, "ports %d->%d outside radix %d", req.Src, req.Dst, t.cfg.Radix)
@@ -212,7 +248,7 @@ func (t *Table) validate(req FlowReq) *Reject {
 	// Float range checks use the accepting form: NaN fails every ordered
 	// comparison, so a NaN (reachable via the line protocol's ParseFloat)
 	// is rejected here instead of reaching the fixed-point budget math.
-	if !(req.Rate > 0 && req.Rate <= 1) {
+	if !validRate(req.Rate) {
 		return reject(ReasonBadRequest, "rate %g outside (0,1]", req.Rate)
 	}
 	if !(req.Load >= 0 && req.Load <= 1) || req.Users < 0 {
@@ -266,7 +302,7 @@ func (t *Table) Admit(req FlowReq, lease noc.Cycle, now noc.Cycle) (*Reservation
 	cost := costOf(req)
 	if req.Class == noc.GuaranteedBandwidth {
 		used := t.gbUsed(req.Dst)
-		if used+cost > t.gbBudget[req.Dst] {
+		if noc.SatAdd(used, cost) > t.gbBudget[req.Dst] {
 			rej := reject(ReasonGBBudget, "output %d GB budget %d/%d Frame-units used; request needs %d",
 				req.Dst, used, t.gbBudget[req.Dst], cost)
 			rej.RetryAfter = t.retryHint(req.Dst, now)
@@ -274,7 +310,7 @@ func (t *Table) Admit(req FlowReq, lease noc.Cycle, now noc.Cycle) (*Reservation
 		}
 	} else {
 		used := t.glUsed(req.Dst)
-		if used+cost > t.glBudget {
+		if noc.SatAdd(used, cost) > t.glBudget {
 			rej := reject(ReasonGLBudget, "output %d GL share %d/%d Frame-units used; request needs %d",
 				req.Dst, used, t.glBudget, cost)
 			rej.RetryAfter = t.retryHint(req.Dst, now)
@@ -337,14 +373,14 @@ func (t *Table) Resize(id uint64, rate float64, lease noc.Cycle, setLease bool, 
 	}
 	if rate != 0 {
 		// Accepting form: a NaN rate must be rejected, not resized to.
-		if !(rate > 0 && rate <= 1) {
+		if !validRate(rate) {
 			return nil, reject(ReasonBadRequest, "rate %g outside (0,1]", rate)
 		}
 		newReq := res.Req
 		newReq.Rate = rate
 		newCost := costOf(newReq)
 		if res.Req.Class == noc.GuaranteedBandwidth {
-			used := noc.SatSub(t.gbUsed(res.Req.Dst), res.Cost) + newCost
+			used := noc.SatAdd(noc.SatSub(t.gbUsed(res.Req.Dst), res.Cost), newCost)
 			if used > t.gbBudget[res.Req.Dst] {
 				rej := reject(ReasonGBBudget, "output %d GB budget %d Frame-units cannot fit resize to %d",
 					res.Req.Dst, t.gbBudget[res.Req.Dst], newCost)
@@ -352,7 +388,7 @@ func (t *Table) Resize(id uint64, rate float64, lease noc.Cycle, setLease bool, 
 				return nil, rej
 			}
 		} else {
-			used := noc.SatSub(t.glUsed(res.Req.Dst), res.Cost) + newCost
+			used := noc.SatAdd(noc.SatSub(t.glUsed(res.Req.Dst), res.Cost), newCost)
 			if used > t.glBudget {
 				rej := reject(ReasonGLBudget, "output %d GL share %d Frame-units cannot fit resize to %d",
 					res.Req.Dst, t.glBudget, newCost)
@@ -386,11 +422,11 @@ func (t *Table) SetBudget(o int, share float64, now noc.Cycle) ([]*Reservation, 
 		return nil, reject(ReasonBadRequest, "output %d outside radix %d", o, t.cfg.Radix)
 	}
 	// Accepting form: a NaN share would otherwise pass straight into
-	// uint64(float64(Frame)*share), corrupting the budget.
-	if !(share >= 0 && share+t.cfg.GLShare <= 1) {
+	// the float-to-fixed conversion, corrupting the budget.
+	if !validShare(share, t.cfg.GLShare) {
 		return nil, reject(ReasonBadRequest, "share %g must be in [0,%g] (GL holds %g)", share, 1-t.cfg.GLShare, t.cfg.GLShare)
 	}
-	t.gbBudget[o] = uint64(float64(Frame) * share)
+	t.gbBudget[o] = noc.ClampUint64(float64(Frame)*share, Frame)
 	revoked := t.fit(o)
 	t.renormalize(o)
 	return revoked, nil
@@ -555,7 +591,10 @@ func (t *Table) Vticks(o int, vt []noc.VTime) []noc.VTime {
 // glCheck verifies the Eq. 1-3 guaranteed-latency analysis for output
 // o's GL set plus an optional additional request: the Eq. 1 worst-case
 // wait must fit every member's constraint, and every member's requested
-// burst must fit its Eq. 2-3 budget.
+// burst must fit its Eq. 2-3 budget. Like costOf it is a taint sink:
+// extra must already have passed Table.validate.
+//
+//ssvc:sink
 func (t *Table) glCheck(o int, extra *FlowReq) *Reject {
 	type member struct {
 		latency noc.Cycle

@@ -93,6 +93,36 @@ type Command struct {
 	Tag string `json:"tag,omitempty"`
 }
 
+// Validate structurally checks a command at the trust boundary: Apply
+// refuses anything malformed before touching admission state, whether
+// the command arrived from the line protocol, a script, or journal
+// replay. Field semantics against the switch geometry (radix bounds,
+// budget fit, GL schedulability) are the admission table's job; this
+// check guarantees the command's shape and that its floats are not
+// NaN.
+//
+//ssvc:barrier
+func (c Command) Validate() error {
+	switch c.Op {
+	case OpAdd:
+		if c.Flow == nil {
+			return fmt.Errorf("add without a flow")
+		}
+	case OpRemove, OpResize, OpBudget, OpPolicy:
+	default:
+		return fmt.Errorf("unknown op %v", c.Op)
+	}
+	// Accepting comparisons: NaN fails and is rejected here instead of
+	// reaching the fixed-point budget math.
+	if c.Rate != 0 && !(c.Rate > 0 && c.Rate <= 1) {
+		return fmt.Errorf("resize rate %g outside (0,1]", c.Rate)
+	}
+	if c.Op == OpBudget && !(c.Share >= 0 && c.Share <= 1) {
+		return fmt.Errorf("budget share %g outside [0,1]", c.Share)
+	}
+	return nil
+}
+
 // Reason is a typed rejection cause returned to clients.
 type Reason string
 

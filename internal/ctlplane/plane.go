@@ -10,6 +10,7 @@ package ctlplane
 
 import (
 	"fmt"
+	"math"
 
 	"swizzleqos/internal/arb"
 	"swizzleqos/internal/core"
@@ -27,21 +28,30 @@ import (
 // ShardWorkers are pure execution mechanism — results are bit-identical
 // at any value — and are deliberately excluded from the journal.
 type SimConfig struct {
-	Radix         int `json:"radix"`
+	//ssvc:range Radix 2..4096
+	Radix int `json:"radix"`
+	//ssvc:range BEBufferFlits 1..1048576
 	BEBufferFlits int `json:"beBuf"`
+	//ssvc:range GLBufferFlits 1..1048576
 	GLBufferFlits int `json:"glBuf"`
+	//ssvc:range GBBufferFlits 1..1048576
 	GBBufferFlits int `json:"gbBuf"`
 
-	CounterBits   int                `json:"counterBits"`
+	//ssvc:range CounterBits 2..32
+	CounterBits int `json:"counterBits"`
+	//ssvc:range SigBits 1..31
 	SigBits       int                `json:"sigBits"`
 	CounterPolicy core.CounterPolicy `json:"counterPolicy"`
 
 	// LMax bounds packet lengths network-wide (the Eq. 1-3 lmax).
+	//
+	//ssvc:range LMax 1..1048576
 	LMax int `json:"lmax"`
 	// GBShare and GLShare are the initial per-output budget fractions.
 	GBShare float64 `json:"gbShare"`
 	GLShare float64 `json:"glShare"`
-	GLBurst int     `json:"glBurst"`
+	//ssvc:range GLBurst 1..1048576
+	GLBurst int `json:"glBurst"`
 
 	// Degrade selects PolicyDegrade (true) or PolicyReject (false) as
 	// the initial budget-shrink policy; the policy command flips it.
@@ -107,12 +117,45 @@ func (c SimConfig) WithDefaults() SimConfig {
 
 // glVtick is the SSVC cycle budget per GL packet implied by the GL
 // share: the leaky bucket refills one lmax-flit packet's worth every
-// LMax/GLShare cycles.
+// LMax/GLShare cycles. A denormal GLShare can push the quotient past
+// 2^64, so the float-to-fixed crossing is clamped, not cast.
 func (c SimConfig) glVtick() noc.VTime {
 	if c.GLShare <= 0 {
 		return 0
 	}
-	return noc.VTimeOf(uint64(float64(c.LMax)/c.GLShare + 0.5))
+	return noc.VTimeOf(noc.ClampUint64(float64(c.LMax)/c.GLShare+0.5, math.MaxUint64))
+}
+
+// Validate reports a descriptive error for malformed configurations;
+// WithDefaults output always passes. Like TableConfig.Validate it is
+// the runtime enforcement of the struct's //ssvc:range contract and so
+// doubles as the taint barrier for journal-decoded headers.
+//
+//ssvc:barrier
+func (c SimConfig) Validate() error {
+	if err := c.tableConfig().Validate(); err != nil {
+		return err
+	}
+	for _, f := range [...]struct {
+		name string
+		v    int
+	}{
+		{"BE buffer", c.BEBufferFlits},
+		{"GL buffer", c.GLBufferFlits},
+		{"GB buffer", c.GBBufferFlits},
+		{"GL burst", c.GLBurst},
+	} {
+		if f.v < 1 || f.v > 1<<20 {
+			return fmt.Errorf("ctlplane: %s %d must be in [1,%d]", f.name, f.v, 1<<20)
+		}
+	}
+	if c.CounterBits < 2 || c.CounterBits > 32 {
+		return fmt.Errorf("ctlplane: counter bits %d must be in [2,32]", c.CounterBits)
+	}
+	if c.SigBits < 1 || c.SigBits >= c.CounterBits {
+		return fmt.Errorf("ctlplane: sig bits %d must be in [1,%d]", c.SigBits, c.CounterBits-1)
+	}
+	return nil
 }
 
 // tableConfig derives the admission-table geometry.
@@ -250,6 +293,9 @@ type Plane struct {
 // and the experiments layer drive it directly).
 func New(cfg SimConfig) (*Plane, error) {
 	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	tab, err := NewTable(cfg.tableConfig())
 	if err != nil {
 		return nil, err
@@ -406,11 +452,11 @@ func (p *Plane) Apply(cmd Command) Result {
 	if err := p.Err(); err != nil {
 		return p.rejected(Result{Cycle: now, Reason: ReasonFrozen, Msg: err.Error()})
 	}
+	if err := cmd.Validate(); err != nil {
+		return p.rejected(Result{Cycle: now, Reason: ReasonBadRequest, Msg: err.Error()})
+	}
 	switch cmd.Op {
 	case OpAdd:
-		if cmd.Flow == nil {
-			return p.rejected(Result{Cycle: now, Reason: ReasonBadRequest, Msg: "add without a flow"})
-		}
 		res, rej := p.tab.Admit(*cmd.Flow, cmd.Lease, now)
 		if rej != nil {
 			return p.rejected(Result{Cycle: now, Reason: rej.Reason, RetryAfter: rej.RetryAfter, Msg: rej.Msg})
@@ -537,7 +583,9 @@ func (p *Plane) materializeAdd(res *Reservation) {
 		}
 		gen = traffic.NewBernoulli(&p.seq, spec, load, seed)
 	} else {
-		interval := uint64(float64(req.PacketLen)/req.Rate + 0.5)
+		// Rate passed admission, so the quotient is finite, but the
+		// clamped crossing keeps the conversion well-defined regardless.
+		interval := noc.ClampUint64(float64(req.PacketLen)/req.Rate+0.5, math.MaxUint64)
 		if interval == 0 {
 			interval = 1
 		}

@@ -25,6 +25,12 @@ type ReplayOptions struct {
 // admits, a different assigned id, a snapshot that disagrees on the
 // trace hash, counters, or admission table — is a hard error naming the
 // mismatch; recovery is bit-for-bit or it is refused.
+//
+// Rebuild is a taint barrier: every journal-decoded value either passes
+// SimConfig.Validate (the header) or re-enters admission through Apply
+// (the commands), so the returned plane holds only validated state.
+//
+//ssvc:barrier
 func Rebuild(recs []Record, ro ReplayOptions) (*Plane, error) {
 	if len(recs) == 0 {
 		return nil, fmt.Errorf("ctlplane: empty journal")

@@ -10,29 +10,41 @@ import (
 )
 
 // Params describes the guaranteed-latency contention scenario at one
-// output.
+// output. The //ssvc:range annotations bound the Eq. 1-3 integer terms
+// for the valuerange analyzer; Validate enforces the same bounds.
 type Params struct {
 	// LMax and LMin are the maximum and minimum packet lengths in the
 	// network, in flits. LMax covers the channel-release wait for a
 	// packet (of any class) already holding the output.
+	//
+	//ssvc:range LMax 1..1048576
 	LMax int
+	//ssvc:range LMin 1..1048576
 	LMin int
 	// NGL is the number of inputs injecting GL traffic to this output.
+	//
+	//ssvc:range NGL 1..4096
 	NGL int
 	// BufferFlits is b, the per-input GL buffer depth in flits.
+	//
+	//ssvc:range BufferFlits 1..1048576
 	BufferFlits int
 }
 
-// Validate reports a descriptive error for malformed parameters.
+// Validate reports a descriptive error for malformed parameters. It is
+// the runtime enforcement of the //ssvc:range contract above and the
+// taint barrier the control plane's glCheck relies on.
+//
+//ssvc:barrier
 func (p Params) Validate() error {
-	if p.LMin < 1 || p.LMax < p.LMin {
-		return fmt.Errorf("glbound: packet lengths must satisfy 1 <= lmin <= lmax, got lmin=%d lmax=%d", p.LMin, p.LMax)
+	if p.LMin < 1 || p.LMax < p.LMin || p.LMax > 1<<20 {
+		return fmt.Errorf("glbound: packet lengths must satisfy 1 <= lmin <= lmax <= %d, got lmin=%d lmax=%d", 1<<20, p.LMin, p.LMax)
 	}
-	if p.NGL < 1 {
-		return fmt.Errorf("glbound: NGL %d must be at least 1", p.NGL)
+	if p.NGL < 1 || p.NGL > 4096 {
+		return fmt.Errorf("glbound: NGL %d must be in [1,4096]", p.NGL)
 	}
-	if p.BufferFlits < 1 {
-		return fmt.Errorf("glbound: buffer depth %d must be at least 1 flit", p.BufferFlits)
+	if p.BufferFlits < 1 || p.BufferFlits > 1<<20 {
+		return fmt.Errorf("glbound: buffer depth %d must be in [1,%d] flits", p.BufferFlits, 1<<20)
 	}
 	return nil
 }

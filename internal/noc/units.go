@@ -96,3 +96,20 @@ func SatShl[T Counter](v T, k uint) T {
 	}
 	return v << k
 }
+
+// ClampUint64 converts a float to an unsigned counter value, pinning the
+// result into [0, hi]. A bare uint64(f) is undefined for NaN, negative,
+// or out-of-range inputs (the conversion the control plane used to do on
+// protocol-derived shares); this is the sanctioned crossing from float
+// bandwidth fractions into the fixed-point Frame domain.
+//
+//ssvc:barrier
+func ClampUint64(f float64, hi uint64) uint64 {
+	if !(f > 0) { // accepting form: NaN lands here too
+		return 0
+	}
+	if f >= float64(hi) {
+		return hi
+	}
+	return uint64(f)
+}
